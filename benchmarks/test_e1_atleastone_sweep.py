@@ -1,0 +1,92 @@
+"""E1 — the paper's headline experiment (§1 ¶5, §4).
+
+    "TINTIN allows checking the assertion atLeastOneLineItem
+     efficiently in data sets consisting of 1GB to 5GB of data and with
+     1MB to 5MB of tuple insertions/deletions, with times ranging from
+     0.01 to 0.04 seconds ... much better than the time required for
+     directly executing the query inside the assertions on the
+     database, ranging from x89 to x2662 times faster."
+
+The grid sweeps data scale x{1,2,5} and update size x{1,2,5} (scaled to
+this pure-Python engine; the *shape* is what reproduces: incremental
+time tracks update size and stays flat in data size, the full check
+grows linearly with data, and the speedup factor grows with the
+data/update ratio).
+"""
+
+import pytest
+
+from conftest import applied_workload, cached_workload
+from repro.bench import CellResult, e1_table, time_call
+from repro.tpch import AT_LEAST_ONE_LINEITEM
+
+#: data-scale axis, ratio 1:2:5 like the paper's 1-5 GB
+SCALES = (0.004, 0.008, 0.02)
+#: update-size axis (refresh orders), ratio 1:2:5 like the paper's 1-5 MB
+UPDATES = (10, 20, 50)
+
+ASSERTIONS = (AT_LEAST_ONE_LINEITEM,)
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("update_orders", UPDATES)
+def test_tintin_incremental_check(benchmark, scale, update_orders):
+    """Time of safeCommit's check phase over the captured update."""
+    workload = cached_workload(scale, update_orders, ASSERTIONS)
+    result = benchmark(workload.check_incremental)
+    assert result.committed  # refresh batches are valid
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("update_orders", UPDATES)
+def test_full_nonincremental_check(benchmark, scale, update_orders):
+    """Time of executing the assertion's defining query in full."""
+    workload = applied_workload(scale, update_orders, ASSERTIONS)
+    violations = benchmark(workload.check_full)
+    assert violations == []
+
+
+def test_e1_report(benchmark):
+    """Regenerate the paper's comparison table (printed to stdout)."""
+
+    def build_table():
+        cells = []
+        for scale in SCALES:
+            for update_orders in UPDATES:
+                workload = cached_workload(scale, update_orders, ASSERTIONS)
+                incremental = time_call(workload.check_incremental, repeat=3)
+                applied = applied_workload(scale, update_orders, ASSERTIONS)
+                full = time_call(applied.check_full, repeat=3)
+                cells.append(
+                    CellResult(
+                        scale=scale,
+                        data_rows=workload.data_rows,
+                        update_rows=workload.update_rows,
+                        tintin_seconds=incremental,
+                        baseline_seconds=full,
+                        committed=True,
+                    )
+                )
+        return cells
+
+    cells = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print()
+    print("E1: atLeastOneLineItem, incremental vs non-incremental")
+    print(e1_table(cells))
+    # the paper's qualitative claims must hold:
+    # (1) TINTIN always wins
+    assert all(c.speedup > 1.0 for c in cells)
+    # (2) the speedup grows with data size at fixed update size
+    by_update = {}
+    for cell in cells:
+        by_update.setdefault(cell.update_rows // 40, []).append(cell)
+    largest_scale = [c for c in cells if c.scale == max(SCALES)]
+    smallest_scale = [c for c in cells if c.scale == min(SCALES)]
+    assert (
+        max(c.speedup for c in largest_scale)
+        > min(c.speedup for c in smallest_scale)
+    )
+    # (3) the full check's cost grows roughly linearly with data size
+    small_full = min(c.baseline_seconds for c in smallest_scale)
+    large_full = min(c.baseline_seconds for c in largest_scale)
+    assert large_full > small_full * 2

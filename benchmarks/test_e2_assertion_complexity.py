@@ -1,0 +1,69 @@
+"""E2 — assertions of different complexity (§4).
+
+    "We have checked some assertions of different complexity with
+     TINTIN (like the one of our running example) ... The time TINTIN
+     required for checking the assertions ranges from 0.01 to 1.29
+     seconds and it is always better than in the non incremental
+     approach."
+
+Six assertions ordered by complexity (single-table built-in, join,
+simple negation, composite-key negation, filtered negation, ...)
+checked against the same mixed refresh batch.  The reproduced claims:
+check time rises with assertion complexity, and the incremental check
+beats the full check for every assertion.
+"""
+
+import pytest
+
+from conftest import applied_workload, cached_workload
+from repro.bench import series_table, time_call
+from repro.tpch import COMPLEXITY_SUITE, by_name
+
+SCALE = 0.008
+UPDATE_ORDERS = 20
+
+NAMES = [spec.name for spec in COMPLEXITY_SUITE]
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_incremental_by_complexity(benchmark, name):
+    workload = cached_workload(SCALE, UPDATE_ORDERS, (by_name(name),))
+    result = benchmark(workload.check_incremental)
+    assert result.committed
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_full_by_complexity(benchmark, name):
+    workload = applied_workload(SCALE, UPDATE_ORDERS, (by_name(name),))
+    violations = benchmark(workload.check_full)
+    assert violations == []
+
+
+def test_e2_report(benchmark):
+    """Regenerate the complexity table (printed to stdout)."""
+
+    def build_rows():
+        rows = []
+        for name in NAMES:
+            spec = by_name(name)
+            workload = cached_workload(SCALE, UPDATE_ORDERS, (spec,))
+            incremental = time_call(workload.check_incremental, repeat=3)
+            applied = applied_workload(SCALE, UPDATE_ORDERS, (spec,))
+            full = time_call(applied.check_full, repeat=3)
+            rows.append((name, incremental, full))
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print()
+    print(
+        f"E2: assertion complexity sweep "
+        f"(scale={SCALE}, {UPDATE_ORDERS} refresh orders)"
+    )
+    print(series_table("assertion", rows))
+    # TINTIN always beats the non-incremental check (paper §4)
+    for name, incremental, full in rows:
+        assert incremental < full, f"{name}: {incremental} !< {full}"
+    # the range spans roughly two orders of magnitude across complexity,
+    # mirroring the paper's 0.01-1.29 s spread
+    times = [incremental for _, incremental, _ in rows]
+    assert max(times) > min(times) * 2

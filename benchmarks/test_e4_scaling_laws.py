@@ -1,0 +1,80 @@
+"""E4 (ablation) — the two scaling laws behind incrementality (§2).
+
+    "the data considered by an SQL query during its execution is
+     necessarily the data joining the update applied, thus, avoiding to
+     look through all the database."
+
+Two series over ``atLeastOneLineItem``:
+
+* fixed data, growing update — the incremental check's cost tracks the
+  update size;
+* fixed update, growing data — the incremental check stays (nearly)
+  flat while the full check grows linearly.
+"""
+
+import pytest
+
+from conftest import applied_workload, cached_workload
+from repro.bench import series_table, time_call
+from repro.tpch import AT_LEAST_ONE_LINEITEM
+
+ASSERTIONS = (AT_LEAST_ONE_LINEITEM,)
+FIXED_SCALE = 0.008
+UPDATE_SERIES = (5, 10, 20, 40, 80)
+FIXED_UPDATE = 20
+SCALE_SERIES = (0.002, 0.004, 0.008, 0.016)
+
+
+@pytest.mark.parametrize("update_orders", (5, 80), ids=["small-update", "big-update"])
+def test_update_size_extremes(benchmark, update_orders):
+    workload = cached_workload(FIXED_SCALE, update_orders, ASSERTIONS)
+    benchmark(workload.check_incremental)
+
+
+@pytest.mark.parametrize("scale", (0.002, 0.016), ids=["small-data", "big-data"])
+def test_data_size_extremes(benchmark, scale):
+    workload = cached_workload(scale, FIXED_UPDATE, ASSERTIONS)
+    benchmark(workload.check_incremental)
+
+
+def test_e4_report(benchmark):
+    def build():
+        update_rows = []
+        for update_orders in UPDATE_SERIES:
+            workload = cached_workload(FIXED_SCALE, update_orders, ASSERTIONS)
+            incremental = time_call(workload.check_incremental, repeat=3)
+            applied = applied_workload(FIXED_SCALE, update_orders, ASSERTIONS)
+            full = time_call(applied.check_full, repeat=3)
+            update_rows.append(
+                (f"{workload.update_rows} rows", incremental, full)
+            )
+        scale_rows = []
+        for scale in SCALE_SERIES:
+            workload = cached_workload(scale, FIXED_UPDATE, ASSERTIONS)
+            incremental = time_call(workload.check_incremental, repeat=3)
+            applied = applied_workload(scale, FIXED_UPDATE, ASSERTIONS)
+            full = time_call(applied.check_full, repeat=3)
+            scale_rows.append(
+                (f"{workload.data_rows} rows", incremental, full)
+            )
+        return update_rows, scale_rows
+
+    update_rows, scale_rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(f"E4a: fixed data (scale={FIXED_SCALE}), growing update")
+    print(series_table("update size", update_rows))
+    print()
+    print(f"E4b: fixed update ({FIXED_UPDATE} orders), growing data")
+    print(series_table("data size", scale_rows))
+
+    # scaling law 1: incremental cost grows with the update
+    first_incremental = update_rows[0][1]
+    last_incremental = update_rows[-1][1]
+    assert last_incremental > first_incremental
+
+    # scaling law 2: full-check cost grows with the data; the
+    # incremental check grows far slower
+    full_growth = scale_rows[-1][2] / scale_rows[0][2]
+    incremental_growth = scale_rows[-1][1] / scale_rows[0][1]
+    assert full_growth > 3.0
+    assert incremental_growth < full_growth / 2

@@ -1,0 +1,82 @@
+"""E6 (extension) — aggregate assertions, the paper's §5 future work.
+
+    "As further work, we plan to extend TINTIN to handle aggregate
+     functions in assertions."
+
+This reproduction implements that extension (COUNT/SUM/MIN/MAX/AVG
+bounds per group, checked by recomputing only update-adjacent groups
+via index probes).  The bench shows the same incremental-vs-full
+asymmetry as the relational assertions: the group-probe check costs
+O(update), the full recheck costs O(data).
+"""
+
+import pytest
+
+from conftest import cached_workload
+from repro.bench import build_workload, format_seconds, time_call
+from repro.tpch import MAX_SEVEN_LINEITEMS, ORDER_QUANTITY_CAP, UpdateGenerator
+
+SCALE = 0.008
+UPDATE_ORDERS = 20
+SUITE = (MAX_SEVEN_LINEITEMS, ORDER_QUANTITY_CAP)
+
+
+def full_aggregate_check(workload):
+    checkers = workload.tintin.safe_commit_proc.aggregate_checkers
+    return [c.check_full(workload.db) for c in checkers]
+
+
+@pytest.mark.parametrize("scale", (0.004, 0.008, 0.02))
+def test_incremental_aggregate_check(benchmark, scale):
+    workload = cached_workload(scale, UPDATE_ORDERS, SUITE)
+    result = benchmark(workload.check_incremental)
+    assert result.committed
+
+
+@pytest.mark.parametrize("scale", (0.004, 0.008, 0.02))
+def test_full_aggregate_check(benchmark, scale):
+    workload = cached_workload(scale, UPDATE_ORDERS, SUITE)
+    violations = benchmark(full_aggregate_check, workload)
+    assert all(v is None for v in violations)
+
+
+def test_e6_report(benchmark):
+    def build():
+        rows = []
+        for scale in (0.004, 0.008, 0.02):
+            workload = cached_workload(scale, UPDATE_ORDERS, SUITE)
+            incremental = time_call(workload.check_incremental, repeat=3)
+            full = time_call(lambda: full_aggregate_check(workload), repeat=3)
+            rows.append((workload.data_rows, incremental, full))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print("E6: aggregate assertions (future work) — incremental vs full")
+    print(f"{'data rows':>10} {'TINTIN':>10} {'full check':>11} {'speedup':>9}")
+    for data_rows, incremental, full in rows:
+        print(
+            f"{data_rows:>10} {format_seconds(incremental):>10} "
+            f"{format_seconds(full):>11} x{full / incremental:>8.1f}"
+        )
+    # incremental always wins and the gap grows with data
+    for _, incremental, full in rows:
+        assert incremental < full
+    assert rows[-1][2] / rows[-1][1] > rows[0][2] / rows[0][1] * 0.8
+
+
+def test_aggregate_violations_detected(benchmark):
+    def scenario():
+        workload = build_workload(SCALE, 0, SUITE, seed=99)
+        generator = UpdateGenerator(workload.db, seed=3)
+        generator.violating_too_many_items().stage(workload.db)
+        result = workload.tintin.safe_commit()
+        assert result.rejected
+        assert result.violations[0].assertion == "maxSevenLineItems"
+        generator.violating_bulk_quantities().stage(workload.db)
+        result = workload.tintin.safe_commit()
+        assert result.rejected
+        assert result.violations[0].assertion == "orderQuantityCap"
+        return True
+
+    assert benchmark.pedantic(scenario, rounds=1, iterations=1)

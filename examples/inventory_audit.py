@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Domain scenario: warehouse inventory with cross-table business rules.
+
+The paper's introduction motivates assertions as *global* constraints
+"not tied to a particular table, but ranging over several ones".  This
+example models a small warehouse where three such rules hold:
+
+* ``reservedWithinStock`` — the units reserved for shipments never
+  exceed the stock on hand (join + comparison across two tables);
+* ``noShipmentFromEmptyBin`` — shipments only draw from bins that
+  actually stock the product (inclusion dependency as an assertion);
+* ``everyHazmatAudited``   — every hazardous product has at least one
+  audit record (the paper's "at least one" pattern).
+
+None of these is expressible with plain column CHECKs or FKs alone —
+exactly the gap CREATE ASSERTION fills.
+
+Run:  python examples/inventory_audit.py
+"""
+
+from repro import Database, Tintin
+
+
+def build_schema(db: Database) -> None:
+    db.execute(
+        "CREATE TABLE product ("
+        "  sku INTEGER PRIMARY KEY,"
+        "  name VARCHAR(40) NOT NULL,"
+        "  hazmat BOOLEAN NOT NULL)"
+    )
+    db.execute(
+        "CREATE TABLE bin ("
+        "  bin_id INTEGER PRIMARY KEY,"
+        "  sku INTEGER NOT NULL,"
+        "  on_hand INTEGER NOT NULL,"
+        "  FOREIGN KEY (sku) REFERENCES product (sku))"
+    )
+    db.execute(
+        "CREATE TABLE shipment ("
+        "  ship_id INTEGER PRIMARY KEY,"
+        "  bin_id INTEGER NOT NULL,"
+        "  units INTEGER NOT NULL,"
+        "  FOREIGN KEY (bin_id) REFERENCES bin (bin_id))"
+    )
+    db.execute(
+        "CREATE TABLE audit ("
+        "  audit_id INTEGER PRIMARY KEY,"
+        "  sku INTEGER NOT NULL,"
+        "  FOREIGN KEY (sku) REFERENCES product (sku))"
+    )
+
+
+ASSERTIONS = (
+    # reserved units per shipment never exceed the bin's stock
+    "CREATE ASSERTION reservedWithinStock CHECK (NOT EXISTS ("
+    "SELECT * FROM shipment AS s, bin AS b "
+    "WHERE s.bin_id = b.bin_id AND s.units > b.on_hand))",
+    # a shipment's bin must hold a positive stock
+    "CREATE ASSERTION noShipmentFromEmptyBin CHECK (NOT EXISTS ("
+    "SELECT * FROM shipment AS s WHERE NOT EXISTS ("
+    "SELECT * FROM bin AS b WHERE b.bin_id = s.bin_id AND b.on_hand > 0)))",
+    # every hazardous product has at least one audit record
+    "CREATE ASSERTION everyHazmatAudited CHECK (NOT EXISTS ("
+    "SELECT * FROM product AS p WHERE p.hazmat = TRUE AND NOT EXISTS ("
+    "SELECT * FROM audit AS a WHERE a.sku = p.sku)))",
+)
+
+
+def main() -> None:
+    db = Database("warehouse")
+    build_schema(db)
+
+    # seed a consistent initial state (before installing the capture)
+    db.execute("INSERT INTO product VALUES (100, 'solvent', TRUE)")
+    db.execute("INSERT INTO product VALUES (200, 'rope', FALSE)")
+    db.execute("INSERT INTO audit VALUES (1, 100)")
+    db.execute("INSERT INTO bin VALUES (1, 100, 40), (2, 200, 15)")
+
+    tintin = Tintin(db)
+    tintin.install()
+    for sql in ASSERTIONS:
+        assertion = tintin.add_assertion(sql)
+        print(f"installed {assertion.name}: {len(assertion.edcs)} EDC view(s)")
+    print()
+
+    scenarios = [
+        (
+            "ship 10 units of solvent from bin 1",
+            ["INSERT INTO shipment VALUES (1, 1, 10)"],
+        ),
+        (
+            "over-reserve: ship 99 units from bin 2 (only 15 on hand)",
+            ["INSERT INTO shipment VALUES (2, 2, 99)"],
+        ),
+        (
+            "drain bin 1 to zero while a shipment still draws from it",
+            ["UPDATE bin SET on_hand = 0 WHERE bin_id = 1"],
+        ),
+        (
+            "add a new hazardous product without an audit",
+            ["INSERT INTO product VALUES (300, 'acid', TRUE)"],
+        ),
+        (
+            "add the same product together with its audit record",
+            [
+                "INSERT INTO product VALUES (300, 'acid', TRUE)",
+                "INSERT INTO audit VALUES (2, 300)",
+            ],
+        ),
+        (
+            "restock bin 2 and take the big shipment in one transaction",
+            [
+                "UPDATE bin SET on_hand = 120 WHERE bin_id = 2",
+                "INSERT INTO shipment VALUES (3, 2, 99)",
+            ],
+        ),
+    ]
+
+    for description, statements in scenarios:
+        for sql in statements:
+            db.execute(sql)
+        result = tintin.safe_commit()
+        status = "COMMITTED" if result.committed else "REJECTED "
+        print(f"[{status}] {description}")
+        for violation in result.violations:
+            print(f"            -> {violation}")
+
+    print()
+    print("final shipments:")
+    for row in db.query(
+        "SELECT s.ship_id, p.name, s.units FROM shipment AS s, bin AS b, "
+        "product AS p WHERE s.bin_id = b.bin_id AND b.sku = p.sku"
+    ):
+        print(f"  #{row[0]}: {row[2]} x {row[1]}")
+
+
+if __name__ == "__main__":
+    main()

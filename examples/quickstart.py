@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: assertions on a tiny project-management schema.
+
+Demonstrates the core workflow in under a minute:
+
+1. create a database and tables;
+2. install TINTIN (event tables + triggers + safeCommit);
+3. add an assertion ("every project has at least one assignee");
+4. run transactions — valid ones commit, violating ones are rejected
+   with the offending tuples.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database, Tintin
+
+
+def main() -> None:
+    db = Database("quickstart")
+    db.execute(
+        "CREATE TABLE project ("
+        "  p_id INTEGER PRIMARY KEY,"
+        "  p_name VARCHAR(40) NOT NULL)"
+    )
+    db.execute(
+        "CREATE TABLE assignment ("
+        "  a_project INTEGER NOT NULL,"
+        "  a_person VARCHAR(40) NOT NULL,"
+        "  PRIMARY KEY (a_project, a_person),"
+        "  FOREIGN KEY (a_project) REFERENCES project (p_id))"
+    )
+
+    tintin = Tintin(db)
+    tintin.install()
+    tintin.add_assertion(
+        "CREATE ASSERTION everyProjectStaffed CHECK (NOT EXISTS ("
+        "SELECT * FROM project AS p WHERE NOT EXISTS ("
+        "SELECT * FROM assignment AS a WHERE a.a_project = p.p_id)))"
+    )
+    print(tintin.describe())
+    print()
+
+    # --- transaction 1: a staffed project -------------------------------
+    db.execute("INSERT INTO project VALUES (1, 'Rosetta')")
+    db.execute("INSERT INTO assignment VALUES (1, 'Ada')")
+    result = tintin.safe_commit()
+    print(f"transaction 1 (staffed project):   {result}")
+
+    # --- transaction 2: a project with nobody on it ---------------------
+    db.execute("INSERT INTO project VALUES (2, 'Ghost ship')")
+    result = tintin.safe_commit()
+    print(f"transaction 2 (unstaffed project): {result}")
+    for violation in result.violations:
+        print(f"  witnesses: {violation.rows}")
+
+    # --- transaction 3: removing the last assignee ----------------------
+    db.execute("DELETE FROM assignment WHERE a_person = 'Ada'")
+    result = tintin.safe_commit()
+    print(f"transaction 3 (remove last assignee): {result}")
+
+    # --- transaction 4: replace the assignee atomically -----------------
+    db.execute("DELETE FROM assignment WHERE a_person = 'Ada'")
+    db.execute("INSERT INTO assignment VALUES (1, 'Grace')")
+    result = tintin.safe_commit()
+    print(f"transaction 4 (swap assignee):     {result}")
+
+    print()
+    print("final state:")
+    for row in db.query(
+        "SELECT p.p_name, a.a_person FROM project AS p, assignment AS a "
+        "WHERE a.a_project = p.p_id"
+    ):
+        print(f"  {row[0]}: {row[1]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs (``pip install -e .``)
+in offline environments that lack the ``wheel`` package.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""Reproduction of *TINTIN: a Tool for INcremental INTegrity checking
+of Assertions in SQL Server* (EDBT 2016).
+
+Quick start::
+
+    from repro import Database, Tintin
+
+    db = Database("shop")
+    db.execute("CREATE TABLE orders (id INTEGER PRIMARY KEY)")
+    db.execute(
+        "CREATE TABLE items (order_id INTEGER, n INTEGER, "
+        "PRIMARY KEY (order_id, n), "
+        "FOREIGN KEY (order_id) REFERENCES orders (id))"
+    )
+    tintin = Tintin(db)
+    tintin.install()
+    tintin.add_assertion(
+        "CREATE ASSERTION atLeastOneItem CHECK (NOT EXISTS ("
+        "SELECT * FROM orders AS o WHERE NOT EXISTS ("
+        "SELECT * FROM items AS i WHERE i.order_id = o.id)))"
+    )
+    db.execute("INSERT INTO orders VALUES (1)")
+    db.execute("INSERT INTO items VALUES (1, 1)")
+    result = tintin.safe_commit()
+    assert result.committed
+
+Packages: :mod:`repro.sqlparser` (SQL front end), :mod:`repro.minidb`
+(the relational engine substrate), :mod:`repro.logic` (denials/EDC
+representation), :mod:`repro.core` (the TINTIN pipeline),
+:mod:`repro.tpch` (data/workloads), :mod:`repro.bench` (experiment
+harness), :mod:`repro.backends` (SQLite portability).
+"""
+
+from .core import Assertion, CommitResult, Tintin, Violation
+from .minidb import Database, ResultSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assertion",
+    "CommitResult",
+    "Database",
+    "ResultSet",
+    "Tintin",
+    "Violation",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Alternative execution backends for the generated (standard-SQL)
+checking queries — the portability claim of paper §3."""
+
+from .sqlite import SQLiteMirror
+
+__all__ = ["SQLiteMirror"]

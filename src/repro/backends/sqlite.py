@@ -1,0 +1,140 @@
+"""SQLite mirror backend — the portability claim (paper §3, feature 1).
+
+The paper stresses that the generated checking queries are *standard
+SQL* and therefore portable to any relational DBMS.  This module proves
+it for this reproduction: it mirrors a minidb database (schema, data,
+event tables and the generated violation views) into a stdlib
+``sqlite3`` database and runs the same checks there.  Experiment E5
+verifies that both engines reach identical decisions.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Optional
+
+from ..minidb.database import Database
+from ..minidb.types import SQLType
+from ..sqlparser.printer import print_query
+
+_SQLITE_TYPE = {
+    "INTEGER": "INTEGER",
+    "DOUBLE": "REAL",
+    "VARCHAR": "TEXT",
+    "BOOLEAN": "INTEGER",
+    "DATE": "TEXT",
+}
+
+
+def _sqlite_type(sql_type: SQLType) -> str:
+    return _SQLITE_TYPE[sql_type.kind]
+
+
+class SQLiteMirror:
+    """A sqlite3 replica of a minidb database plus its TINTIN views."""
+
+    def __init__(self):
+        self.connection = sqlite3.connect(":memory:")
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SQLiteMirror":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- mirroring ---------------------------------------------------------
+
+    def mirror_schema(self, db: Database) -> None:
+        """Create every table of ``db`` (both namespaces) in SQLite.
+
+        Keys are copied; FKs are omitted (the mirror only *checks*, it
+        never applies updates, so enforcement is not needed).
+        """
+        cursor = self.connection.cursor()
+        for table in db.catalog.tables():
+            schema = table.schema
+            columns = ", ".join(
+                f"{c.name} {_sqlite_type(c.sql_type)}"
+                + (" NOT NULL" if c.not_null else "")
+                for c in schema.columns
+            )
+            keys = ""
+            if schema.primary_key:
+                keys = f", PRIMARY KEY ({', '.join(schema.primary_key)})"
+            cursor.execute(f"CREATE TABLE {schema.name} ({columns}{keys})")
+        self.connection.commit()
+
+    def mirror_data(self, db: Database, tables: Optional[Iterable[str]] = None) -> int:
+        """Bulk-copy rows; returns the number of rows copied."""
+        cursor = self.connection.cursor()
+        copied = 0
+        names = (
+            [t.schema.name for t in db.catalog.tables()]
+            if tables is None
+            else list(tables)
+        )
+        for name in names:
+            table = db.table(name)
+            rows = table.rows_snapshot()
+            if not rows:
+                continue
+            placeholders = ", ".join("?" for _ in table.schema.columns)
+            cursor.executemany(
+                f"INSERT INTO {name} VALUES ({placeholders})", rows
+            )
+            copied += len(rows)
+        self.connection.commit()
+        return copied
+
+    def refresh_event_tables(self, db: Database) -> None:
+        """Re-sync only the (small) event tables before a check."""
+        cursor = self.connection.cursor()
+        for table in db.catalog.tables(namespace="event"):
+            name = table.schema.name
+            cursor.execute(f"DELETE FROM {name}")
+            rows = table.rows_snapshot()
+            if rows:
+                placeholders = ", ".join("?" for _ in table.schema.columns)
+                cursor.executemany(
+                    f"INSERT INTO {name} VALUES ({placeholders})", rows
+                )
+        self.connection.commit()
+
+    def mirror_views(self, db: Database) -> list[str]:
+        """Install every stored view using its printed standard SQL."""
+        cursor = self.connection.cursor()
+        installed = []
+        for view in db.catalog.views():
+            sql = print_query(view.query)
+            cursor.execute(f"CREATE VIEW {view.name} AS {sql}")
+            installed.append(view.name)
+        self.connection.commit()
+        return installed
+
+    @classmethod
+    def from_database(cls, db: Database) -> "SQLiteMirror":
+        """Full mirror: schema + data + views."""
+        mirror = cls()
+        mirror.mirror_schema(db)
+        mirror.mirror_data(db)
+        mirror.mirror_views(db)
+        return mirror
+
+    # -- checking ------------------------------------------------------------
+
+    def view_rows(self, view_name: str) -> list[tuple]:
+        cursor = self.connection.execute(f"SELECT * FROM {view_name}")
+        return cursor.fetchall()
+
+    def check_views(self, view_names: Iterable[str]) -> dict[str, int]:
+        """Row counts per violation view (non-zero means violated)."""
+        return {name: len(self.view_rows(name)) for name in view_names}
+
+    def any_violation(self, view_names: Iterable[str]) -> bool:
+        return any(count for count in self.check_views(view_names).values())
+
+    def query(self, sql: str) -> list[tuple]:
+        return self.connection.execute(sql).fetchall()

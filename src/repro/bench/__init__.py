@@ -1,0 +1,15 @@
+"""Benchmark harness and reporting (drives the E1-E5 experiments)."""
+
+from .harness import CellResult, Workload, build_workload, run_cell, time_call
+from .reporting import e1_table, format_seconds, series_table
+
+__all__ = [
+    "CellResult",
+    "Workload",
+    "build_workload",
+    "e1_table",
+    "format_seconds",
+    "run_cell",
+    "series_table",
+    "time_call",
+]

@@ -1,0 +1,138 @@
+"""Benchmark harness: build a workload cell, time incremental vs full.
+
+One *cell* corresponds to one configuration of the paper's evaluation:
+a data scale (the paper's 1-5 GB axis) and an update size (the paper's
+1-5 MB axis).  For each cell the harness measures:
+
+* ``tintin_seconds`` — running the stored violation views against the
+  captured update (``check_pending``: what safeCommit does before
+  applying);
+* ``baseline_seconds`` — executing the original assertion queries over
+  the full post-update state (the paper's non-incremental comparator).
+
+Both checks see exactly the same update and the same final state, and
+run on the same engine with the same indexes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core import Tintin
+from ..minidb.database import Database
+from ..tpch import (
+    AssertionSpec,
+    TPCHGenerator,
+    UpdateGenerator,
+    tpch_database,
+)
+
+
+@dataclass
+class CellResult:
+    """Timing results of one workload cell."""
+
+    scale: float
+    data_rows: int
+    update_rows: int
+    tintin_seconds: float
+    baseline_seconds: float
+    committed: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.tintin_seconds <= 0:
+            return float("inf")
+        return self.baseline_seconds / self.tintin_seconds
+
+
+@dataclass
+class Workload:
+    """A prepared workload: loaded database + staged update.
+
+    The update sits in the event tables; ``check_incremental`` and
+    (after ``apply``) ``check_full`` can be timed repeatedly without
+    disturbing it.
+    """
+
+    db: Database
+    tintin: Tintin
+    update_rows: int
+    data_rows: int
+    scale: float
+
+    def check_incremental(self):
+        return self.tintin.check_pending()
+
+    def apply(self) -> int:
+        return self.tintin.events.apply_pending()
+
+    def check_full(self):
+        return self.tintin.baseline.check_current_state(self.db)
+
+
+def build_workload(
+    scale: float,
+    update_orders: int,
+    assertions: tuple[AssertionSpec, ...],
+    seed: int = 42,
+    update_kind: str = "mixed",
+    optimize: bool = True,
+) -> Workload:
+    """Load TPC-H at ``scale``, install the assertions, stage an update.
+
+    ``update_kind`` is ``"mixed"`` (RF1+RF2, the paper's
+    insertions+deletions), ``"insert"`` (RF1) or ``"delete"`` (RF2).
+    """
+    db = tpch_database()
+    data = TPCHGenerator(scale, seed).populate(db)
+    tintin = Tintin(db, optimize=optimize)
+    tintin.install()
+    for spec in assertions:
+        tintin.add_assertion(spec.sql)
+    generator = UpdateGenerator(db, seed=seed + 1)
+    if update_kind == "mixed":
+        batch = generator.mixed_refresh(update_orders)
+    elif update_kind == "insert":
+        batch = generator.rf1_new_orders(update_orders)
+    elif update_kind == "delete":
+        batch = generator.rf2_delete_orders(update_orders)
+    else:
+        raise ValueError(f"unknown update kind {update_kind!r}")
+    staged = batch.stage(db)
+    return Workload(db, tintin, staged, data.total_rows, scale)
+
+
+def time_call(fn: Callable, repeat: int = 3) -> float:
+    """Best-of-N wall time of a callable (seconds)."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_cell(
+    scale: float,
+    update_orders: int,
+    assertions: tuple[AssertionSpec, ...],
+    seed: int = 42,
+    repeat: int = 3,
+) -> CellResult:
+    """Measure one cell: incremental check vs full post-state check."""
+    workload = build_workload(scale, update_orders, assertions, seed)
+    incremental = time_call(workload.check_incremental, repeat)
+    result = workload.check_incremental()
+    workload.apply()
+    full = time_call(workload.check_full, repeat)
+    return CellResult(
+        scale=scale,
+        data_rows=workload.data_rows,
+        update_rows=workload.update_rows,
+        tintin_seconds=incremental,
+        baseline_seconds=full,
+        committed=result.committed,
+    )

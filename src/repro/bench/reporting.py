@@ -1,0 +1,46 @@
+"""Paper-style result tables for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .harness import CellResult
+
+
+def format_seconds(seconds: float) -> str:
+    if seconds < 0.0001:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.2f}s"
+
+
+def e1_table(results: Iterable[CellResult]) -> str:
+    """The E1 grid: rows = data scale, columns = update size, cells =
+    TINTIN time / baseline time / speedup (the paper's x89-x2662)."""
+    lines = [
+        f"{'data rows':>10} {'update rows':>12} {'TINTIN':>10} "
+        f"{'full check':>11} {'speedup':>9}"
+    ]
+    for cell in results:
+        lines.append(
+            f"{cell.data_rows:>10} {cell.update_rows:>12} "
+            f"{format_seconds(cell.tintin_seconds):>10} "
+            f"{format_seconds(cell.baseline_seconds):>11} "
+            f"x{cell.speedup:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def series_table(
+    header: str, rows: list[tuple[str, float, float]]
+) -> str:
+    """A two-series table (incremental vs full) keyed by a label."""
+    lines = [f"{header:>16} {'TINTIN':>10} {'full check':>11} {'speedup':>9}"]
+    for label, incremental, full in rows:
+        speedup = full / incremental if incremental > 0 else float("inf")
+        lines.append(
+            f"{label:>16} {format_seconds(incremental):>10} "
+            f"{format_seconds(full):>11} x{speedup:>8.1f}"
+        )
+    return "\n".join(lines)

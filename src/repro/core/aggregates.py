@@ -1,0 +1,412 @@
+"""Aggregate assertions — the paper's stated future work (§5).
+
+    "As further work, we plan to extend TINTIN to handle aggregate
+     functions in assertions."
+
+This module implements that extension for assertions of the shape::
+
+    CREATE ASSERTION name CHECK (NOT EXISTS (
+        SELECT * FROM outer AS o
+        WHERE [outer conditions AND]
+              (SELECT AGG(arg) FROM inner AS i
+               WHERE i.k = o.k [AND inner conditions])  OP  constant))
+
+e.g. "no order has more than 7 line items" or "the quantities of an
+order's items never sum above 300".
+
+Checking is incremental in the spirit of the authors' follow-up work on
+aggregates ([5] in the paper): instead of rewriting deltas of the
+aggregate itself, the checker recomputes the aggregate **only for the
+groups an update can touch** — new outer tuples (``ins_outer``) and
+outer tuples whose group gained or lost inner tuples (keys appearing in
+``ins_inner``/``del_inner``) — using index probes against the base
+table and the (tiny) event tables.  Updates that touch neither table
+skip the check entirely, mirroring the "trivially empty" shortcut of
+the relational EDC views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import AssertionDefinitionError
+from ..minidb.catalog import Catalog
+from ..minidb.database import Database
+from ..minidb.expressions import Compiled, Scope, compile_expr, sql_compare
+from ..minidb.plan import aggregate_value
+from ..sqlparser import nodes as n
+from .assertion import Assertion
+from .event_tables import del_table_name, ins_table_name
+from .safe_commit import Violation
+
+_FLIP = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+@dataclass
+class AggregateAssertion:
+    """A compiled aggregate assertion (see module docstring for shape)."""
+
+    name: str
+    outer_table: str
+    outer_binding: str
+    #: compiled predicate over an outer row (True = row is constrained)
+    outer_condition: Optional[Compiled]
+    func: str
+    #: compiled aggregate argument over an inner row (None = COUNT(*))
+    argument: Optional[Compiled]
+    inner_table: str
+    inner_binding: str
+    #: pairs of (inner column position, outer column position)
+    correlation: tuple[tuple[int, int], ...]
+    #: compiled predicate over an inner row (outer row via params)
+    inner_condition: Optional[Compiled]
+    op: str
+    bound: object
+
+    @property
+    def driving_tables(self) -> tuple[str, ...]:
+        """Event tables whose content can make this assertion fire."""
+        return (
+            ins_table_name(self.outer_table),
+            ins_table_name(self.inner_table),
+            del_table_name(self.inner_table),
+        )
+
+
+class AggregateAssertionCompiler:
+    """Recognizes and compiles the supported aggregate-assertion shape."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    @staticmethod
+    def is_aggregate_assertion(assertion: Assertion) -> bool:
+        return any(
+            isinstance(node, n.ScalarSubquery)
+            for query in _safe_inner_queries(assertion)
+            for select in _selects(query)
+            if select.where is not None
+            for node in n.walk_expr(select.where)
+        )
+
+    def compile(self, assertion: Assertion) -> AggregateAssertion:
+        queries = assertion.inner_queries()
+        if len(queries) != 1 or not isinstance(queries[0], n.Select):
+            raise AssertionDefinitionError(
+                f"aggregate assertion {assertion.name!r}: CHECK must be a "
+                "single NOT EXISTS (SELECT ...)"
+            )
+        select = queries[0]
+        if len(select.from_items) != 1:
+            raise AssertionDefinitionError(
+                f"aggregate assertion {assertion.name!r}: exactly one outer "
+                "table is supported"
+            )
+        outer_ref = select.from_items[0]
+        outer = self.catalog.get_table(outer_ref.name, default=None)
+        if outer is None:
+            raise AssertionDefinitionError(
+                f"aggregate assertion {assertion.name!r}: unknown table "
+                f"{outer_ref.name!r}"
+            )
+        outer_scope = Scope(
+            [(outer_ref.binding, c) for c in outer.schema.column_names]
+        )
+
+        aggregate_condition: Optional[n.Comparison] = None
+        plain: list[n.Expr] = []
+        for conjunct in n.conjuncts(select.where):
+            if _contains_scalar(conjunct):
+                if aggregate_condition is not None:
+                    raise AssertionDefinitionError(
+                        f"aggregate assertion {assertion.name!r}: exactly one "
+                        "aggregate comparison is supported"
+                    )
+                aggregate_condition = self._normalize_comparison(
+                    assertion.name, conjunct
+                )
+            else:
+                plain.append(conjunct)
+        if aggregate_condition is None:
+            raise AssertionDefinitionError(
+                f"aggregate assertion {assertion.name!r}: no aggregate "
+                "comparison found"
+            )
+
+        scalar = aggregate_condition.left
+        bound_expr = aggregate_condition.right
+        assert isinstance(scalar, n.ScalarSubquery)
+        if not isinstance(bound_expr, n.Literal) or bound_expr.value is None:
+            raise AssertionDefinitionError(
+                f"aggregate assertion {assertion.name!r}: the aggregate must "
+                "be compared against a non-NULL constant"
+            )
+
+        inner_select = scalar.query
+        assert isinstance(inner_select, n.Select)
+        call = inner_select.items[0].expr
+        if len(inner_select.from_items) != 1:
+            raise AssertionDefinitionError(
+                f"aggregate assertion {assertion.name!r}: the aggregate "
+                "subquery must range over exactly one table"
+            )
+        inner_ref = inner_select.from_items[0]
+        inner = self.catalog.get_table(inner_ref.name, default=None)
+        if inner is None:
+            raise AssertionDefinitionError(
+                f"aggregate assertion {assertion.name!r}: unknown table "
+                f"{inner_ref.name!r}"
+            )
+        inner_scope = Scope(
+            [(inner_ref.binding, c) for c in inner.schema.column_names],
+            outer=outer_scope,
+        )
+
+        correlation: list[tuple[int, int]] = []
+        inner_conditions: list[n.Expr] = []
+        for conjunct in n.conjuncts(inner_select.where):
+            pair = self._equi_pair(conjunct, inner_scope, outer_scope)
+            if pair is not None:
+                correlation.append(pair)
+            else:
+                inner_conditions.append(conjunct)
+        if not correlation:
+            raise AssertionDefinitionError(
+                f"aggregate assertion {assertion.name!r}: the aggregate "
+                "subquery must be equi-correlated with the outer table"
+            )
+
+        return AggregateAssertion(
+            name=assertion.name,
+            outer_table=outer.schema.name,
+            outer_binding=outer_ref.binding.lower(),
+            outer_condition=(
+                compile_expr(n.conjoin(plain), outer_scope) if plain else None
+            ),
+            func=call.func,
+            argument=(
+                compile_expr(call.argument, inner_scope)
+                if call.argument is not None
+                else None
+            ),
+            inner_table=inner.schema.name,
+            inner_binding=inner_ref.binding.lower(),
+            correlation=tuple(correlation),
+            inner_condition=(
+                compile_expr(n.conjoin(inner_conditions), inner_scope)
+                if inner_conditions
+                else None
+            ),
+            op=aggregate_condition.op,
+            bound=bound_expr.value,
+        )
+
+    @staticmethod
+    def _normalize_comparison(name: str, conjunct: n.Expr) -> n.Comparison:
+        """Bring the aggregate condition into ``scalar OP literal`` form."""
+        if not isinstance(conjunct, n.Comparison):
+            raise AssertionDefinitionError(
+                f"aggregate assertion {name!r}: the aggregate may only "
+                "appear in a comparison"
+            )
+        if isinstance(conjunct.left, n.ScalarSubquery):
+            return conjunct
+        if isinstance(conjunct.right, n.ScalarSubquery):
+            return n.Comparison(
+                _FLIP[conjunct.op], conjunct.right, conjunct.left
+            )
+        raise AssertionDefinitionError(
+            f"aggregate assertion {name!r}: one comparison side must be the "
+            "aggregate subquery"
+        )
+
+    @staticmethod
+    def _equi_pair(
+        conjunct: n.Expr, inner_scope: Scope, outer_scope: Scope
+    ) -> Optional[tuple[int, int]]:
+        if not (isinstance(conjunct, n.Comparison) and conjunct.op == "="):
+            return None
+        for inner, other in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            if not (
+                isinstance(inner, n.ColumnRef) and isinstance(other, n.ColumnRef)
+            ):
+                continue
+            inner_position = inner_scope.try_resolve(inner)
+            outer_position = outer_scope.try_resolve(other)
+            if inner_position is not None and outer_position is not None:
+                return (inner_position, outer_position)
+        return None
+
+
+class AggregateChecker:
+    """Incremental group-probe checker for one aggregate assertion."""
+
+    def __init__(self, spec: AggregateAssertion):
+        self.spec = spec
+
+    @property
+    def driving_tables(self) -> tuple[str, ...]:
+        return self.spec.driving_tables
+
+    # -- checking ---------------------------------------------------------
+
+    def check(self, db: Database) -> Optional[Violation]:
+        """Find new-state violations among update-adjacent groups."""
+        spec = self.spec
+        outer = db.table(spec.outer_table)
+        ins_outer = db.table(ins_table_name(spec.outer_table))
+        del_outer = db.table(del_table_name(spec.outer_table))
+        ins_inner = db.table(ins_table_name(spec.inner_table))
+        del_inner = db.table(del_table_name(spec.inner_table))
+
+        outer_positions = tuple(op for _, op in spec.correlation)
+        outer_columns = tuple(
+            outer.schema.columns[p].name for p in outer_positions
+        )
+
+        candidates: dict[tuple, tuple] = {}
+        for row in ins_outer.scan():
+            candidates[("ins", row)] = row
+        # groups touched by inner insertions/deletions: probe the outer
+        # table by the correlation key
+        for event_table in (ins_inner, del_inner):
+            for event_row in event_table.scan():
+                key = tuple(
+                    event_row[ip] for ip, _ in spec.correlation
+                )
+                if any(v is None for v in key):
+                    continue
+                for outer_row in outer.lookup_secondary(outer_columns, key):
+                    if del_outer.contains_row(outer_row):
+                        continue  # the outer tuple is being removed
+                    candidates[("base", outer_row)] = outer_row
+
+        witnesses = []
+        for candidate in candidates.values():
+            if self._violates(db, candidate, ins_inner, del_inner):
+                witnesses.append(candidate)
+        if not witnesses:
+            return None
+        return Violation(
+            assertion=spec.name,
+            edc_name=f"{spec.name}(aggregate)",
+            columns=list(outer.schema.column_names),
+            rows=witnesses,
+        )
+
+    def _violates(self, db, outer_row, ins_inner, del_inner) -> bool:
+        spec = self.spec
+        if spec.outer_condition is not None:
+            if spec.outer_condition(outer_row, {}) is not True:
+                return False
+        value = self._new_state_aggregate(db, outer_row, ins_inner, del_inner)
+        return sql_compare(spec.op, value, spec.bound) is True
+
+    def _new_state_aggregate(self, db, outer_row, ins_inner, del_inner):
+        """AGG over (inner ∖ del_inner ∪ ins_inner) restricted to the
+        outer row's group, via index probes."""
+        spec = self.spec
+        inner = db.table(spec.inner_table)
+        inner_positions = tuple(ip for ip, _ in spec.correlation)
+        inner_columns = tuple(
+            inner.schema.columns[p].name for p in inner_positions
+        )
+        key = tuple(outer_row[op] for _, op in spec.correlation)
+        params = self._outer_params(db, outer_row)
+
+        deleted = {
+            row
+            for row in del_inner.lookup_secondary(inner_columns, key)
+        }
+        count = 0
+        values: list = []
+        for source, skip_deleted in ((inner, True), (ins_inner, False)):
+            for row in source.lookup_secondary(inner_columns, key):
+                if skip_deleted and row in deleted:
+                    continue
+                if (
+                    spec.inner_condition is not None
+                    and spec.inner_condition(row, params) is not True
+                ):
+                    continue
+                if spec.argument is None:
+                    count += 1
+                else:
+                    values.append(spec.argument(row, params))
+        if spec.argument is None:
+            return count
+        return aggregate_value(spec.func, values)
+
+    def _outer_params(self, db, outer_row) -> dict:
+        spec = self.spec
+        outer = db.table(spec.outer_table)
+        return {
+            (spec.outer_binding, column.lower()): outer_row[position]
+            for position, column in enumerate(outer.schema.column_names)
+        }
+
+    # -- full (non-incremental) check --------------------------------------------
+
+    def check_full(self, db: Database) -> Optional[Violation]:
+        """Scan every outer row and recompute its aggregate — the
+        non-incremental comparator for the E6 bench."""
+        spec = self.spec
+        outer = db.table(spec.outer_table)
+        inner = db.table(spec.inner_table)
+        inner_positions = tuple(ip for ip, _ in spec.correlation)
+        inner_columns = tuple(
+            inner.schema.columns[p].name for p in inner_positions
+        )
+        witnesses = []
+        for outer_row in outer.scan():
+            if spec.outer_condition is not None:
+                if spec.outer_condition(outer_row, {}) is not True:
+                    continue
+            key = tuple(outer_row[op] for _, op in spec.correlation)
+            params = self._outer_params(db, outer_row)
+            count = 0
+            values: list = []
+            for row in inner.lookup_secondary(inner_columns, key):
+                if (
+                    spec.inner_condition is not None
+                    and spec.inner_condition(row, params) is not True
+                ):
+                    continue
+                if spec.argument is None:
+                    count += 1
+                else:
+                    values.append(spec.argument(row, params))
+            value = (
+                count if spec.argument is None else aggregate_value(spec.func, values)
+            )
+            if sql_compare(spec.op, value, spec.bound) is True:
+                witnesses.append(outer_row)
+        if not witnesses:
+            return None
+        return Violation(
+            assertion=spec.name,
+            edc_name=f"{spec.name}(aggregate, full)",
+            columns=list(outer.schema.column_names),
+            rows=witnesses,
+        )
+
+
+def _safe_inner_queries(assertion: Assertion):
+    try:
+        return assertion.inner_queries()
+    except AssertionDefinitionError:
+        return []
+
+
+def _selects(query: n.Query):
+    return query.selects if isinstance(query, n.Union) else (query,)
+
+
+def _contains_scalar(expr: n.Expr) -> bool:
+    return any(
+        isinstance(node, n.ScalarSubquery) for node in n.walk_expr(expr)
+    )

@@ -1,0 +1,109 @@
+"""The non-incremental comparator (paper §4's baseline).
+
+The baseline "directly queries the assertions on the database": it
+applies the pending update, executes each assertion's defining query in
+full over the post-state, and rolls the update back when a violation
+appears.  It shares the engine, the indexes and the event-capture
+machinery with TINTIN, so the only difference measured by the
+benchmarks is incremental vs. full evaluation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConstraintViolation
+from ..minidb.database import Database
+from ..sqlparser import nodes as n
+from .assertion import Assertion
+from .event_tables import EventTableManager
+from .safe_commit import CommitResult, Violation
+
+
+class NonIncrementalChecker:
+    """Applies the pending batch and re-runs the full assertion queries."""
+
+    def __init__(self, events: EventTableManager):
+        self.events = events
+        self._assertions: list[Assertion] = []
+
+    def register(self, assertion: Assertion) -> None:
+        self._assertions.append(assertion)
+
+    def unregister(self, name: str) -> None:
+        self._assertions = [a for a in self._assertions if a.name != name]
+
+    @property
+    def assertions(self) -> list[Assertion]:
+        return list(self._assertions)
+
+    def __call__(self, db: Database) -> CommitResult:
+        """The baseline equivalent of safeCommit.
+
+        Applies the update inside a transaction, evaluates every
+        assertion query over the whole post-state, and rolls back when
+        any returns rows.
+        """
+        for table in self.events.captured_tables:
+            db.disable_triggers(table)
+        db.begin()
+        try:
+            inserts = {
+                t: self.events.pending_insertions(t)
+                for t in self.events.captured_tables
+            }
+            deletes = {
+                t: self.events.pending_deletions(t)
+                for t in self.events.captured_tables
+            }
+            try:
+                applied = db.apply_batch(inserts, deletes)
+            except ConstraintViolation as exc:
+                db.rollback()
+                self.events.truncate_events()
+                return CommitResult(committed=False, constraint_error=str(exc))
+
+            start = time.perf_counter()
+            violations = self.check_current_state(db)
+            elapsed = time.perf_counter() - start
+
+            if violations:
+                db.rollback()
+                self.events.truncate_events()
+                return CommitResult(
+                    committed=False,
+                    violations=violations,
+                    checked_views=len(self._assertions),
+                    check_seconds=elapsed,
+                )
+            db.commit()
+            self.events.truncate_events()
+            return CommitResult(
+                committed=True,
+                applied_rows=applied,
+                checked_views=len(self._assertions),
+                check_seconds=elapsed,
+            )
+        finally:
+            for table in self.events.captured_tables:
+                db.enable_triggers(table)
+
+    def check_current_state(self, db: Database) -> list[Violation]:
+        """Evaluate every assertion's defining query over the current
+        state; non-empty answers are violations."""
+        violations: list[Violation] = []
+        for assertion in self._assertions:
+            for index, query in enumerate(assertion.inner_queries(), start=1):
+                result = db.query_ast(query)
+                if result.rows:
+                    violations.append(
+                        Violation(
+                            assertion=assertion.name,
+                            edc_name=f"{assertion.name}(full query {index})",
+                            columns=result.columns,
+                            rows=result.rows,
+                        )
+                    )
+        return violations

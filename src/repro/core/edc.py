@@ -1,0 +1,93 @@
+"""Event Dependency Constraints (EDCs).
+
+An EDC is a logic rule identifying one particular way a batch of
+insertion/deletion events can violate an assertion (paper §2).  Its
+body mixes:
+
+* positive :class:`~repro.logic.Atom`\\ s over base tables and event
+  tables (``ιp`` -> ``ins_p``, ``δp`` -> ``del_p``);
+* negated atoms (base, event, or derived ``aux`` predicates);
+* :class:`~repro.logic.Builtin` comparisons;
+* :class:`~repro.logic.NegatedConjunction`\\ s (flat negations carrying
+  their own builtins);
+* at most one :class:`EventGuard` — an uncorrelated "some event touched
+  these tables" condition used for complex negations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..logic import (
+    Atom,
+    Builtin,
+    DerivedPredicate,
+    NegatedConjunction,
+    Predicate,
+)
+from ..logic.literals import DEL, INS
+
+
+@dataclass(frozen=True)
+class EventGuard:
+    """``∃ event in any of these event predicates`` (uncorrelated).
+
+    Used as the firing trigger of coarse-mode EDCs for complex
+    negations: the EDC is only relevant when one of the tables under
+    the negation was touched by the update.
+    """
+
+    predicates: tuple[Predicate, ...]
+
+    def variables(self):
+        return set()
+
+    def rename(self, mapping):
+        return self
+
+    def __str__(self) -> str:
+        inner = " ∨ ".join(f"∃{p.display}" for p in self.predicates)
+        return f"({inner})"
+
+
+@dataclass
+class EDC:
+    """One Event Dependency Constraint of an assertion."""
+
+    name: str
+    assertion: str
+    body: tuple
+    aux: tuple[DerivedPredicate, ...] = ()
+
+    @property
+    def positive_atoms(self) -> tuple[Atom, ...]:
+        return tuple(
+            l for l in self.body if isinstance(l, Atom) and not l.negated
+        )
+
+    @property
+    def event_tables(self) -> tuple[str, ...]:
+        """SQL event tables positively referenced — if any is empty the
+        EDC query is trivially empty (the paper's skip condition)."""
+        return tuple(
+            a.predicate.sql_table()
+            for a in self.positive_atoms
+            if a.predicate.kind in (INS, DEL)
+        )
+
+    @property
+    def guard(self) -> EventGuard | None:
+        for literal in self.body:
+            if isinstance(literal, EventGuard):
+                return literal
+        return None
+
+    @property
+    def guard_tables(self) -> tuple[str, ...]:
+        guard = self.guard
+        if guard is None:
+            return ()
+        return tuple(p.sql_table() for p in guard.predicates)
+
+    def __str__(self) -> str:
+        return " ∧ ".join(str(l) for l in self.body) + " → ⊥"

@@ -1,0 +1,173 @@
+"""Event capture: auxiliary ``ins_T``/``del_T`` tables plus INSTEAD OF
+triggers (paper §4, "SQL Server Controller").
+
+For every base table ``T`` the installer creates two constraint-free
+event tables in the ``event`` namespace and two INSTEAD OF triggers
+that redirect the user's inserts/deletes into them, leaving ``T``
+untouched until ``safeCommit`` applies the batch.
+
+The capture maintains three invariants the EDC machinery relies on
+(paper eq. (2)-(3) assume ι/δ are *net* events):
+
+* ``ins_T ∩ T = ∅`` — inserting an existing tuple is a no-op;
+* ``del_T ⊆ T``   — deleting a non-existent tuple is a no-op;
+* ``ins_T ∩ del_T = ∅`` — delete-then-insert of the same tuple cancels
+  out (and so does insert-then-delete when rows are staged through the
+  row-level API; an SQL DELETE statement evaluates its WHERE against
+  the base table only, so it never sees pending inserts — faithful
+  INSTEAD OF trigger behaviour).
+"""
+
+from __future__ import annotations
+
+from ..errors import CatalogError
+from ..minidb.database import Database
+from ..minidb.schema import Column, TableSchema
+
+#: Namespace tag for event tables (the paper's separate ``event_DB``).
+EVENT_NAMESPACE = "event"
+
+
+def ins_table_name(table: str) -> str:
+    return f"ins_{table}"
+
+
+def del_table_name(table: str) -> str:
+    return f"del_{table}"
+
+
+class EventTableManager:
+    """Installs and operates the event-capture machinery on a database."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self._captured: list[str] = []
+
+    # -- installation -------------------------------------------------------
+
+    def install(self, tables: list[str] | None = None) -> list[str]:
+        """Create event tables + capture triggers for the given base
+        tables (default: every table in the ``main`` namespace).
+
+        Returns the list of instrumented table names.  Idempotent per
+        table: already-instrumented tables are skipped.
+        """
+        if tables is None:
+            targets = [
+                t.schema.name for t in self.db.catalog.tables(namespace="main")
+            ]
+        else:
+            targets = [self.db.catalog.require_table(t).schema.name for t in tables]
+        for name in targets:
+            if name in self._captured:
+                continue
+            self._create_event_tables(name)
+            self._create_triggers(name)
+            self._captured.append(name)
+        return list(self._captured)
+
+    @property
+    def captured_tables(self) -> list[str]:
+        return list(self._captured)
+
+    def _create_event_tables(self, table: str) -> None:
+        base = self.db.catalog.require_table(table)
+        for event_name in (ins_table_name(table), del_table_name(table)):
+            if self.db.catalog.has_table(event_name):
+                raise CatalogError(
+                    f"event table {event_name!r} already exists — is the "
+                    "capture already installed?"
+                )
+            columns = [
+                Column(c.name, c.sql_type, not_null=False)
+                for c in base.schema.columns
+            ]
+            schema = TableSchema(event_name, columns)
+            self.db.catalog.add_table(schema, namespace=EVENT_NAMESPACE)
+
+    def _create_triggers(self, table: str) -> None:
+        self.db.create_trigger(
+            f"capture_ins_{table}", table, "insert", _capture_insert
+        )
+        self.db.create_trigger(
+            f"capture_del_{table}", table, "delete", _capture_delete
+        )
+
+    # -- event access ------------------------------------------------------------
+
+    def pending_insertions(self, table: str) -> list[tuple]:
+        return self.db.table(ins_table_name(table)).rows_snapshot()
+
+    def pending_deletions(self, table: str) -> list[tuple]:
+        return self.db.table(del_table_name(table)).rows_snapshot()
+
+    def pending_counts(self) -> dict[str, tuple[int, int]]:
+        """``{table: (#insertions, #deletions)}`` for instrumented tables."""
+        return {
+            t: (
+                len(self.db.table(ins_table_name(t))),
+                len(self.db.table(del_table_name(t))),
+            )
+            for t in self._captured
+        }
+
+    def has_pending_events(self) -> bool:
+        return any(
+            ins or dels for ins, dels in self.pending_counts().values()
+        )
+
+    def truncate_events(self) -> int:
+        """Empty every event table; returns the number of rows discarded."""
+        removed = 0
+        for table in self._captured:
+            removed += self.db.table(ins_table_name(table)).truncate()
+            removed += self.db.table(del_table_name(table)).truncate()
+        return removed
+
+    # -- applying -------------------------------------------------------------------
+
+    def apply_pending(self) -> int:
+        """Apply the captured batch to the base tables (triggers
+        disabled), then truncate the event tables.  Constraint
+        violations propagate after rolling the batch back."""
+        inserts = {t: self.pending_insertions(t) for t in self._captured}
+        deletes = {t: self.pending_deletions(t) for t in self._captured}
+        for table in self._captured:
+            self.db.disable_triggers(table)
+        try:
+            changed = self.db.apply_batch(inserts, deletes)
+        finally:
+            for table in self._captured:
+                self.db.enable_triggers(table)
+        self.truncate_events()
+        return changed
+
+
+# -- trigger actions ----------------------------------------------------------
+
+
+def _capture_insert(db: Database, table: str, rows: list[tuple]) -> None:
+    base = db.table(table)
+    ins_table = db.table(ins_table_name(table))
+    del_table = db.table(del_table_name(table))
+    for row in rows:
+        if del_table.contains_row(row):
+            # delete-then-insert of the same tuple: net no-op
+            del_table.delete_row(row)
+        elif base.contains_row(row) or ins_table.contains_row(row):
+            continue  # set semantics: inserting an existing tuple is a no-op
+        else:
+            ins_table.insert(row)
+
+
+def _capture_delete(db: Database, table: str, rows: list[tuple]) -> None:
+    base = db.table(table)
+    ins_table = db.table(ins_table_name(table))
+    del_table = db.table(del_table_name(table))
+    for row in rows:
+        if ins_table.contains_row(row):
+            # insert-then-delete of the same tuple: net no-op
+            ins_table.delete_row(row)
+        elif base.contains_row(row) and not del_table.contains_row(row):
+            del_table.insert(row)
+        # deleting a tuple that never existed is a no-op

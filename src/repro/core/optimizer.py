@@ -1,0 +1,197 @@
+"""Semantic optimization of EDCs (paper §2, "TINTIN incorporates some
+semantic optimizations...").
+
+The optimizer prunes EDCs that can never fire and simplifies the ones
+that remain.  Soundness of each rule rests on invariants that this
+reproduction actually enforces:
+
+* **Event capture invariants** (see :mod:`repro.core.event_tables`):
+  ``ins_T`` is disjoint from ``T``, ``del_T ⊆ T``, and
+  ``ins_T ∩ del_T = ∅`` (insert-then-delete cancels).
+* **Constraint-checked apply**: ``safeCommit`` applies batches under
+  PK/FK enforcement, so a batch violating a declared key never commits
+  — EDCs that can only fire on such batches are useless and dropped
+  (this is exactly how the paper discards EDC 5 of the running example
+  via the lineitem -> orders foreign key).
+
+Every drop/simplification is recorded in an :class:`OptimizationReport`
+so the E3 ablation bench can show the effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..logic import Atom, Builtin, NegatedConjunction
+from ..logic.literals import BASE, DEL, INS
+from ..minidb.catalog import Catalog
+from ..minidb.schema import normalize
+from .edc import EDC
+
+
+@dataclass
+class OptimizationReport:
+    """What the optimizer did, for inspection and ablation benches."""
+
+    dropped: list[tuple[str, str]] = field(default_factory=list)
+    simplified: list[tuple[str, str]] = field(default_factory=list)
+
+    def record_drop(self, edc: EDC, reason: str) -> None:
+        self.dropped.append((edc.name, reason))
+
+    def record_simplification(self, edc: EDC, what: str) -> None:
+        self.simplified.append((edc.name, what))
+
+    @property
+    def dropped_count(self) -> int:
+        return len(self.dropped)
+
+
+class SemanticOptimizer:
+    """Prunes and simplifies a set of EDCs against the catalog schema."""
+
+    def __init__(self, catalog: Catalog, enabled: bool = True):
+        self.catalog = catalog
+        self.enabled = enabled
+
+    def optimize(self, edcs: list[EDC]) -> tuple[list[EDC], OptimizationReport]:
+        report = OptimizationReport()
+        if not self.enabled:
+            return list(edcs), report
+        kept: list[EDC] = []
+        seen_bodies: set[str] = set()
+        for edc in edcs:
+            reason = self._contradiction_reason(edc)
+            if reason is not None:
+                report.record_drop(edc, reason)
+                continue
+            simplified = self._simplify(edc, report)
+            canonical = str(simplified)
+            if canonical in seen_bodies:
+                report.record_drop(edc, "duplicate of an earlier EDC")
+                continue
+            seen_bodies.add(canonical)
+            kept.append(simplified)
+        return kept, report
+
+    # -- pruning rules -------------------------------------------------------
+
+    def _contradiction_reason(self, edc: EDC) -> str | None:
+        positives = edc.positive_atoms
+
+        # (1) ιp(t̄) ∧ p(t̄): insertions are disjoint from the current state
+        for atom in positives:
+            if atom.predicate.kind == INS:
+                for other in positives:
+                    if (
+                        other.predicate.kind == BASE
+                        and other.predicate.name == atom.predicate.name
+                        and other.terms == atom.terms
+                    ):
+                        return (
+                            f"ι{atom.predicate.name} and {atom.predicate.name} "
+                            "over the same tuple (insertions are new tuples)"
+                        )
+
+        # (2) ιp(t̄) ∧ δp(t̄): an update cannot insert and delete one tuple
+        for atom in positives:
+            if atom.predicate.kind == INS:
+                for other in positives:
+                    if (
+                        other.predicate.kind == DEL
+                        and other.predicate.name == atom.predicate.name
+                        and other.terms == atom.terms
+                    ):
+                        return (
+                            f"ι{atom.predicate.name} and δ{atom.predicate.name} "
+                            "over the same tuple (net-effect normalization)"
+                        )
+
+        # (3) p(t̄) ∧ ¬p(t̄) (or the same over event predicates)
+        for atom in positives:
+            for literal in edc.body:
+                negated_atom = None
+                if isinstance(literal, Atom) and literal.negated:
+                    negated_atom = literal
+                elif (
+                    isinstance(literal, NegatedConjunction)
+                    and len(literal.items) == 1
+                    and isinstance(literal.items[0], Atom)
+                ):
+                    negated_atom = literal.items[0].negate()
+                if (
+                    negated_atom is not None
+                    and negated_atom.predicate == atom.predicate
+                    and negated_atom.terms == atom.terms
+                ):
+                    return f"{atom} contradicts its own negation"
+
+        # (4) the paper's FK rule: ιp(t̄p) ∧ δq(t̄q) where q has an FK to
+        # p's primary key and the key terms align — δq implies the parent
+        # key existed, so inserting p with that key would violate p's PK
+        # and the batch would be rejected before checking assertions
+        reason = self._foreign_key_reason(positives)
+        if reason is not None:
+            return reason
+        return None
+
+    def _foreign_key_reason(self, positives) -> str | None:
+        inserts = [a for a in positives if a.predicate.kind == INS]
+        deletes = [a for a in positives if a.predicate.kind == DEL]
+        for ins_atom in inserts:
+            parent = self.catalog.get_table(ins_atom.predicate.name, default=None)
+            if parent is None or not parent.schema.primary_key:
+                continue
+            pk_positions = parent.schema.key_positions(parent.schema.primary_key)
+            parent_key = tuple(ins_atom.terms[p] for p in pk_positions)
+            for del_atom in deletes:
+                child = self.catalog.get_table(
+                    del_atom.predicate.name, default=None
+                )
+                if child is None:
+                    continue
+                for fk in child.schema.foreign_keys:
+                    if normalize(fk.ref_table) != normalize(parent.schema.name):
+                        continue
+                    if tuple(map(normalize, fk.ref_columns)) != tuple(
+                        map(normalize, parent.schema.primary_key)
+                    ):
+                        continue
+                    fk_positions = child.schema.key_positions(fk.columns)
+                    child_key = tuple(del_atom.terms[p] for p in fk_positions)
+                    if child_key == parent_key:
+                        return (
+                            f"foreign key {child.schema.name} -> "
+                            f"{parent.schema.name}: the deleted child row "
+                            "proves the parent key already exists, so the "
+                            "insertion would violate the parent's PRIMARY KEY"
+                        )
+        return None
+
+    # -- simplifications ----------------------------------------------------------
+
+    def _simplify(self, edc: EDC, report: OptimizationReport) -> EDC:
+        seen: set[str] = set()
+        body: list = []
+        changed = False
+        for literal in edc.body:
+            if isinstance(literal, Builtin):
+                ground = literal.evaluate_if_ground()
+                if ground is True:
+                    report.record_simplification(
+                        edc, f"dropped trivially true built-in {literal}"
+                    )
+                    changed = True
+                    continue
+            key = str(literal)
+            if key in seen:
+                report.record_simplification(
+                    edc, f"removed duplicate literal {literal}"
+                )
+                changed = True
+                continue
+            seen.add(key)
+            body.append(literal)
+        if not changed:
+            return edc
+        return EDC(edc.name, edc.assertion, tuple(body), edc.aux)

@@ -1,0 +1,186 @@
+"""The generated ``safeCommit`` procedure (paper §2 and §4).
+
+``safeCommit`` is called at the end of each transaction.  It:
+
+1. queries the stored violation views — skipping any view whose driving
+   event tables are empty (the paper's "trivially empty" shortcut);
+2. if every view is empty, disables the capture triggers, applies the
+   batch (inserts from ``ins_T``, deletes from ``del_T``) under PK/FK
+   enforcement, re-enables the triggers;
+3. truncates the event tables either way, so a new update can be
+   proposed;
+4. returns the violations (assertion name, EDC, offending tuples) when
+   the update is rejected.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConstraintViolation
+from ..minidb.database import Database
+from .edc import EDC
+from .event_tables import EventTableManager
+
+
+@dataclass
+class CompiledEDC:
+    """One installed violation view plus the metadata safeCommit needs."""
+
+    edc: EDC
+    view_name: str
+    #: event tables referenced positively: if any is empty the view is
+    #: trivially empty and is skipped without executing
+    event_tables: tuple[str, ...]
+    #: tables of the EDC's EventGuard: if all are empty the view is skipped
+    guard_tables: tuple[str, ...]
+
+
+@dataclass
+class Violation:
+    """One violated assertion with the witnessing tuples."""
+
+    assertion: str
+    edc_name: str
+    columns: list[str]
+    rows: list[tuple]
+
+    def __str__(self) -> str:
+        return (
+            f"assertion {self.assertion!r} violated ({self.edc_name}): "
+            f"{len(self.rows)} witness tuple(s)"
+        )
+
+
+@dataclass
+class CommitResult:
+    """Outcome of one safeCommit invocation."""
+
+    committed: bool
+    violations: list[Violation] = field(default_factory=list)
+    constraint_error: Optional[str] = None
+    applied_rows: int = 0
+    checked_views: int = 0
+    skipped_views: int = 0
+    check_seconds: float = 0.0
+
+    @property
+    def rejected(self) -> bool:
+        return not self.committed
+
+    def __str__(self) -> str:
+        if self.committed:
+            return (
+                f"committed {self.applied_rows} row change(s); checked "
+                f"{self.checked_views} view(s), skipped {self.skipped_views}"
+            )
+        if self.constraint_error:
+            return f"rejected: {self.constraint_error}"
+        parts = "; ".join(str(v) for v in self.violations)
+        return f"rejected: {parts}"
+
+
+class SafeCommit:
+    """Callable implementing the stored ``safeCommit`` procedure."""
+
+    def __init__(self, events: EventTableManager):
+        self.events = events
+        self.compiled: list[CompiledEDC] = []
+        #: aggregate-assertion checkers (the paper's future-work
+        #: extension); duck-typed: .check(db) -> Violation | None,
+        #: .driving_tables, .spec.name
+        self.aggregate_checkers: list = []
+
+    def register(self, compiled: CompiledEDC) -> None:
+        self.compiled.append(compiled)
+
+    def register_aggregate(self, checker) -> None:
+        self.aggregate_checkers.append(checker)
+
+    def unregister_assertion(self, assertion: str) -> None:
+        self.compiled = [
+            c for c in self.compiled if c.edc.assertion != assertion
+        ]
+        self.aggregate_checkers = [
+            c for c in self.aggregate_checkers if c.spec.name != assertion
+        ]
+
+    # -- the procedure body -------------------------------------------------
+
+    def __call__(self, db: Database) -> CommitResult:
+        start = time.perf_counter()
+        violations, checked, skipped = self.check_only(db)
+        elapsed = time.perf_counter() - start
+        if violations:
+            self.events.truncate_events()
+            return CommitResult(
+                committed=False,
+                violations=violations,
+                checked_views=checked,
+                skipped_views=skipped,
+                check_seconds=elapsed,
+            )
+        try:
+            applied = self.events.apply_pending()
+        except ConstraintViolation as exc:
+            self.events.truncate_events()
+            return CommitResult(
+                committed=False,
+                constraint_error=str(exc),
+                checked_views=checked,
+                skipped_views=skipped,
+                check_seconds=elapsed,
+            )
+        return CommitResult(
+            committed=True,
+            applied_rows=applied,
+            checked_views=checked,
+            skipped_views=skipped,
+            check_seconds=elapsed,
+        )
+
+    def check_only(self, db: Database) -> tuple[list[Violation], int, int]:
+        """Run the violation views without applying or truncating.
+
+        Returns ``(violations, executed_view_count, skipped_view_count)``.
+        """
+        violations: list[Violation] = []
+        checked = 0
+        skipped = 0
+        for compiled in self.compiled:
+            if self._trivially_empty(db, compiled):
+                skipped += 1
+                continue
+            checked += 1
+            result = db.query(f"SELECT * FROM {compiled.view_name}")
+            if result.rows:
+                violations.append(
+                    Violation(
+                        assertion=compiled.edc.assertion,
+                        edc_name=compiled.edc.name,
+                        columns=result.columns,
+                        rows=result.rows,
+                    )
+                )
+        for checker in self.aggregate_checkers:
+            if all(len(db.table(t)) == 0 for t in checker.driving_tables):
+                skipped += 1
+                continue
+            checked += 1
+            violation = checker.check(db)
+            if violation is not None:
+                violations.append(violation)
+        return violations, checked, skipped
+
+    @staticmethod
+    def _trivially_empty(db: Database, compiled: CompiledEDC) -> bool:
+        for table in compiled.event_tables:
+            if len(db.table(table)) == 0:
+                return True
+        if compiled.guard_tables and all(
+            len(db.table(t)) == 0 for t in compiled.guard_tables
+        ):
+            return True
+        return False

@@ -1,0 +1,199 @@
+"""The TINTIN facade — the tool's public API (paper Fig. 2).
+
+Usage mirrors the demo walkthrough in §3:
+
+>>> from repro.minidb import Database
+>>> from repro.core import Tintin
+>>> db = Database("TPC")
+>>> # ... CREATE TABLEs, load data ...
+>>> tintin = Tintin(db)
+>>> tintin.install()                       # event tables + triggers
+>>> tintin.add_assertion('''CREATE ASSERTION atLeastOneLineItem CHECK (
+...     NOT EXISTS (SELECT * FROM orders AS o WHERE NOT EXISTS (
+...         SELECT * FROM lineitem AS l
+...         WHERE l.l_orderkey = o.o_orderkey)))''')
+>>> # ... INSERT/DELETE as usual (captured, base tables untouched) ...
+>>> result = db.call("safeCommit")         # or tintin.safe_commit()
+
+The pipeline per assertion: SQL -> denials (``DenialCompiler``) ->
+EDCs (``EDCGenerator``) -> semantic optimization
+(``SemanticOptimizer``) -> SQL views (``SQLGenerator``), all stored in
+the database so TINTIN could disconnect afterwards (§3, feature 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import CompilationError
+from ..minidb.database import Database
+from .assertion import Assertion
+from .baseline import NonIncrementalChecker
+from .denial_compiler import DenialCompiler
+from .edc_generator import EDCGenerator
+from .event_tables import EventTableManager
+from .optimizer import OptimizationReport, SemanticOptimizer
+from .safe_commit import CommitResult, CompiledEDC, SafeCommit
+from .sql_generator import SQLGenerator
+
+SAFE_COMMIT_PROCEDURE = "safeCommit"
+
+
+class Tintin:
+    """Incremental integrity checking of SQL assertions on a database."""
+
+    def __init__(self, db: Database, optimize: bool = True):
+        self.db = db
+        self.events = EventTableManager(db)
+        self.safe_commit_proc = SafeCommit(self.events)
+        self.baseline = NonIncrementalChecker(self.events)
+        self.optimizer = SemanticOptimizer(db.catalog, enabled=optimize)
+        self.assertions: dict[str, Assertion] = {}
+        self.reports: dict[str, OptimizationReport] = {}
+        self._installed = False
+
+    # -- installation -------------------------------------------------------
+
+    def install(self, tables: Optional[list[str]] = None) -> list[str]:
+        """Create the event tables, capture triggers and the safeCommit
+        procedure.  Returns the instrumented table names."""
+        captured = self.events.install(tables)
+        self.db.create_procedure(
+            SAFE_COMMIT_PROCEDURE,
+            lambda db: self.safe_commit_proc(db),
+            description="TINTIN: check assertions, then commit or reject "
+            "the captured update",
+        )
+        self._installed = True
+        return captured
+
+    @property
+    def installed(self) -> bool:
+        return self._installed
+
+    # -- assertions -------------------------------------------------------------
+
+    def add_assertion(self, sql: str) -> Assertion:
+        """Compile and install one ``CREATE ASSERTION`` statement.
+
+        Returns the :class:`Assertion` with its denials, EDCs and view
+        names filled in for inspection.
+        """
+        if not self._installed:
+            raise CompilationError(
+                "call install() before adding assertions — the generated "
+                "views reference the event tables"
+            )
+        assertion = Assertion.parse(sql)
+        if assertion.name in self.assertions:
+            raise CompilationError(
+                f"assertion {assertion.name!r} already exists"
+            )
+
+        from .aggregates import AggregateAssertionCompiler, AggregateChecker
+
+        if AggregateAssertionCompiler.is_aggregate_assertion(assertion):
+            # the future-work extension (§5): aggregate assertions use a
+            # dedicated group-probe checker instead of EDC views
+            spec = AggregateAssertionCompiler(self.db.catalog).compile(assertion)
+            assertion.aggregate = spec
+            self.safe_commit_proc.register_aggregate(AggregateChecker(spec))
+            self.baseline.register(assertion)
+            self.assertions[assertion.name] = assertion
+            return assertion
+
+        compiler = DenialCompiler(self.db.catalog)
+        assertion.denials = compiler.compile(assertion)
+
+        generator = EDCGenerator()
+        sql_gen = SQLGenerator(self.db.catalog)
+        all_edcs = []
+        for denial in assertion.denials:
+            edcs, aux_predicates = generator.generate(denial)
+            edcs, report = self.optimizer.optimize(edcs)
+            self.reports[denial.name] = report
+            all_edcs.extend(edcs)
+            aux_index = {a.predicate.name.lower(): a for a in aux_predicates}
+            for aux in aux_predicates:
+                view = sql_gen.aux_view(aux, aux_index)
+                if view is not None and not self.db.catalog.has_view(view.name):
+                    self.db.create_view(view.name, view.query)
+        assertion.edcs = all_edcs
+
+        for edc in all_edcs:
+            query = sql_gen.edc_query(edc)
+            view_name = edc.name
+            self.db.create_view(view_name, query)
+            assertion.view_names.append(view_name)
+            self.safe_commit_proc.register(
+                CompiledEDC(
+                    edc=edc,
+                    view_name=view_name,
+                    event_tables=edc.event_tables,
+                    guard_tables=edc.guard_tables,
+                )
+            )
+
+        self.baseline.register(assertion)
+        self.assertions[assertion.name] = assertion
+        return assertion
+
+    def drop_assertion(self, name: str) -> None:
+        """Remove an assertion and its views."""
+        assertion = self.assertions.pop(name, None)
+        if assertion is None:
+            raise CompilationError(f"unknown assertion {name!r}")
+        for view in assertion.view_names:
+            self.db.catalog.drop_view(view, if_exists=True)
+        self.safe_commit_proc.unregister_assertion(name)
+        # denials beyond the first carry suffixed names; unregister those too
+        for denial in assertion.denials:
+            self.safe_commit_proc.unregister_assertion(denial.name)
+        self.baseline.unregister(name)
+
+    # -- checking ------------------------------------------------------------------
+
+    def safe_commit(self) -> CommitResult:
+        """Run the safeCommit procedure (same as ``db.call('safeCommit')``)."""
+        return self.db.call(SAFE_COMMIT_PROCEDURE)
+
+    def full_check_commit(self) -> CommitResult:
+        """The non-incremental comparator: apply, re-run full assertion
+        queries, roll back on violation (paper §4 baseline)."""
+        return self.baseline(self.db)
+
+    def check_pending(self) -> CommitResult:
+        """Check the captured update without committing or discarding it."""
+        violations, checked, skipped = self.safe_commit_proc.check_only(self.db)
+        return CommitResult(
+            committed=not violations,
+            violations=violations,
+            checked_views=checked,
+            skipped_views=skipped,
+        )
+
+    # -- introspection ----------------------------------------------------------------
+
+    def describe(self) -> str:
+        """A human-readable summary of installed assertions and EDCs."""
+        lines = [f"TINTIN on database {self.db.name!r}"]
+        lines.append(
+            f"  instrumented tables: {', '.join(self.events.captured_tables) or '-'}"
+        )
+        for assertion in self.assertions.values():
+            lines.append(f"  assertion {assertion.name}:")
+            if assertion.aggregate is not None:
+                spec = assertion.aggregate
+                arg = "*" if spec.argument is None else "..."
+                lines.append(
+                    f"    aggregate: {spec.func}({arg}) over "
+                    f"{spec.inner_table} per {spec.outer_table} "
+                    f"{spec.op} {spec.bound}"
+                )
+                continue
+            for denial in assertion.denials:
+                lines.append(f"    denial: {denial}")
+            for edc in assertion.edcs:
+                lines.append(f"    EDC {edc.name}: {edc}")
+        return "\n".join(lines)

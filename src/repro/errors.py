@@ -1,0 +1,132 @@
+"""Exception hierarchy for the TINTIN reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  The hierarchy mirrors the
+layers of the system: parsing (:class:`SQLSyntaxError`), the relational
+engine (:class:`DatabaseError` and subclasses), the logic layer
+(:class:`LogicError`), and the TINTIN compilation pipeline
+(:class:`CompilationError` and subclasses).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# SQL parsing
+
+
+class SQLSyntaxError(ReproError):
+    """Raised when SQL text cannot be tokenized or parsed.
+
+    Carries the offending position so callers can point at the input.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class UnsupportedSQLError(SQLSyntaxError):
+    """Raised for SQL that parses but falls outside the supported fragment.
+
+    The paper's fragment is relational algebra: selection, projection,
+    join, ``[NOT] EXISTS``, ``[NOT] IN``, ``UNION`` — no aggregates or
+    arithmetic functions inside assertions.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Relational engine
+
+
+class DatabaseError(ReproError):
+    """Base class for errors raised by the :mod:`repro.minidb` engine."""
+
+
+class CatalogError(DatabaseError):
+    """Unknown or duplicate table/view/trigger/procedure names."""
+
+
+class SchemaError(DatabaseError):
+    """Invalid schema definitions (bad column, duplicate column, bad key)."""
+
+
+class TypeCheckError(DatabaseError):
+    """A value does not conform to its declared SQL type."""
+
+
+class ConstraintViolation(DatabaseError):
+    """An integrity constraint enforced by the engine was violated.
+
+    This covers PRIMARY KEY, UNIQUE, NOT NULL and FOREIGN KEY violations
+    raised while *applying* updates.  Assertion violations detected by
+    TINTIN are reported through :class:`repro.core.safe_commit.CommitResult`
+    instead, mirroring the paper's safeCommit behaviour of reporting the
+    offending tuples rather than raising.
+    """
+
+    def __init__(self, message: str, constraint: str = "", table: str = ""):
+        self.constraint = constraint
+        self.table = table
+        super().__init__(message)
+
+
+class ExecutionError(DatabaseError):
+    """Runtime failure while executing a query plan."""
+
+
+class TransactionError(DatabaseError):
+    """Invalid transaction usage (nested begin, commit without begin...)."""
+
+
+# ---------------------------------------------------------------------------
+# Logic layer
+
+
+class LogicError(ReproError):
+    """Invalid logic constructions (unsafe rules, arity mismatches...)."""
+
+
+class SafetyError(LogicError):
+    """A rule or denial is not range-restricted / safe.
+
+    Safety requires every variable in a negated literal or built-in to
+    also appear in a positive database literal of the same rule body.
+    """
+
+
+# ---------------------------------------------------------------------------
+# TINTIN compilation pipeline
+
+
+class CompilationError(ReproError):
+    """Base class for assertion-compilation failures."""
+
+
+class AssertionDefinitionError(CompilationError):
+    """The CREATE ASSERTION statement is malformed or unsupported."""
+
+
+class UnknownTableError(CompilationError):
+    """An assertion references a table missing from the target schema."""
+
+    def __init__(self, table: str):
+        self.table = table
+        super().__init__(f"assertion references unknown table {table!r}")
+
+
+class UnknownColumnError(CompilationError):
+    """An assertion references a column missing from a referenced table."""
+
+    def __init__(self, column: str, table: str = ""):
+        self.column = column
+        self.table = table
+        where = f" of table {table!r}" if table else ""
+        super().__init__(f"assertion references unknown column {column!r}{where}")

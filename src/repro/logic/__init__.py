@@ -1,0 +1,48 @@
+"""Logic layer: terms, literals, denials and derived predicates.
+
+This is the intermediate representation between SQL assertions and the
+Event Dependency Constraints (EDCs): assertions are compiled to
+:class:`Denial` objects, EDC generation rewrites those over the event
+vocabulary (``ιp`` / ``δp`` predicates), and the SQL generator turns
+the result back into standard SQL queries.
+"""
+
+from .literals import (
+    BASE,
+    COMPARISON_OPS,
+    DEL,
+    DERIVED,
+    INS,
+    Atom,
+    Builtin,
+    Literal,
+    NegatedConjunction,
+    Predicate,
+    negate_comparison_op,
+)
+from .rules import Denial, DerivedPredicate, Rule, collect_predicates
+from .terms import Constant, Term, Variable, VariableFactory, substitute, substitute_all
+
+__all__ = [
+    "BASE",
+    "COMPARISON_OPS",
+    "DEL",
+    "DERIVED",
+    "INS",
+    "Atom",
+    "Builtin",
+    "Constant",
+    "Denial",
+    "DerivedPredicate",
+    "Literal",
+    "NegatedConjunction",
+    "Predicate",
+    "negate_comparison_op",
+    "Rule",
+    "Term",
+    "Variable",
+    "VariableFactory",
+    "collect_predicates",
+    "substitute",
+    "substitute_all",
+]

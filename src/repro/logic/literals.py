@@ -1,0 +1,227 @@
+"""Logic literals: predicate atoms and built-in comparisons.
+
+Predicates are structured (:class:`Predicate`): a base relation name
+plus a *kind* distinguishing the current-state relation from its
+insertion/deletion event relations and from derived (aux) predicates.
+This is the vocabulary the paper's formulas (2)-(3) work over:
+
+    pⁿ(x)  ↔  ιp(x) ∨ (p(x) ∧ ¬δp(x))
+   ¬pⁿ(x)  ↔  δp(x) ∨ (¬p(x) ∧ ¬ιp(x))
+
+``ιp`` is ``Predicate(p, INS)`` and ``δp`` is ``Predicate(p, DEL)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import LogicError
+from .terms import Constant, Term, Variable, substitute_all
+
+#: Predicate kinds.
+BASE = "base"
+INS = "ins"
+DEL = "del"
+DERIVED = "derived"
+
+_KINDS = (BASE, INS, DEL, DERIVED)
+
+#: Display prefixes matching the paper's notation.
+_PREFIX = {BASE: "", INS: "ι", DEL: "δ", DERIVED: ""}
+
+#: Comparison operators allowed in built-in literals.
+COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+_NEGATED_OP = {
+    "=": "<>",
+    "<>": "=",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+
+def negate_comparison_op(op: str) -> str:
+    """The comparison operator equivalent to ``NOT (a op b)``."""
+    return _NEGATED_OP[op]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A predicate symbol: base name + kind (base/ins/del/derived)."""
+
+    name: str
+    kind: str = BASE
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise LogicError(f"unknown predicate kind {self.kind!r}")
+
+    @property
+    def display(self) -> str:
+        return f"{_PREFIX[self.kind]}{self.name}"
+
+    def sql_table(self) -> str:
+        """The SQL table this predicate evaluates against."""
+        if self.kind == INS:
+            return f"ins_{self.name}"
+        if self.kind == DEL:
+            return f"del_{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A (possibly negated) predicate literal: ``[¬] p(t1, ..., tn)``.
+
+    Variables occurring *only* inside a negated atom are implicitly
+    existentially quantified within the negation (standard logic-
+    programming scoping) — that is what makes ``¬lineIt(l, o)`` in the
+    paper's denial (1) mean "o has no line item at all".
+    """
+
+    predicate: Predicate
+    terms: tuple[Term, ...]
+    negated: bool = False
+
+    def __post_init__(self):
+        for term in self.terms:
+            if not isinstance(term, (Variable, Constant)):
+                raise LogicError(f"invalid term {term!r} in atom")
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def negate(self) -> "Atom":
+        return Atom(self.predicate, self.terms, not self.negated)
+
+    def variables(self) -> set[Variable]:
+        return {t for t in self.terms if isinstance(t, Variable)}
+
+    def rename(self, mapping: dict[Variable, Term]) -> "Atom":
+        return Atom(self.predicate, substitute_all(self.terms, mapping), self.negated)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.terms)
+        text = f"{self.predicate.display}({args})"
+        return f"¬{text}" if self.negated else text
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """A built-in comparison literal: ``t1 op t2``."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self):
+        if self.op not in COMPARISON_OPS:
+            raise LogicError(f"unknown comparison operator {self.op!r}")
+
+    def negate(self) -> "Builtin":
+        return Builtin(_NEGATED_OP[self.op], self.left, self.right)
+
+    def variables(self) -> set[Variable]:
+        result = set()
+        if isinstance(self.left, Variable):
+            result.add(self.left)
+        if isinstance(self.right, Variable):
+            result.add(self.right)
+        return result
+
+    def rename(self, mapping: dict[Variable, Term]) -> "Builtin":
+        from .terms import substitute
+
+        return Builtin(self.op, substitute(self.left, mapping), substitute(self.right, mapping))
+
+    def evaluate_if_ground(self):
+        """For constant-constant builtins, return True/False; else None."""
+        if isinstance(self.left, Constant) and isinstance(self.right, Constant):
+            from ..minidb.expressions import sql_compare
+
+            return sql_compare(self.op, self.left.value, self.right.value)
+        return None
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class NegatedConjunction:
+    """``¬∃ē (c1 ∧ ... ∧ cr)`` — a negated existential conjunction.
+
+    This is how ``NOT EXISTS (subquery)`` enters a denial body before
+    EDC generation.  Variables that occur only inside the conjunction
+    are the existentials ``ē``; variables shared with the enclosing body
+    are the correlation.  A bare negated atom is the singleton case.
+
+    ``items`` may contain positive :class:`Atom`\\ s, :class:`Builtin`\\ s
+    and nested :class:`NegatedConjunction`\\ s (deeper NOT EXISTS).
+    """
+
+    items: tuple = ()
+
+    def __post_init__(self):
+        if not self.items:
+            raise LogicError("negated conjunction must not be empty")
+        for item in self.items:
+            if isinstance(item, Atom):
+                if item.negated:
+                    raise LogicError(
+                        "negated atoms inside a NegatedConjunction must be "
+                        "wrapped as nested NegatedConjunction"
+                    )
+            elif not isinstance(item, (Builtin, NegatedConjunction)):
+                raise LogicError(f"invalid item {item!r} in negated conjunction")
+
+    @property
+    def atoms(self) -> tuple[Atom, ...]:
+        return tuple(i for i in self.items if isinstance(i, Atom))
+
+    @property
+    def builtins(self) -> tuple[Builtin, ...]:
+        return tuple(i for i in self.items if isinstance(i, Builtin))
+
+    @property
+    def nested(self) -> tuple["NegatedConjunction", ...]:
+        return tuple(i for i in self.items if isinstance(i, NegatedConjunction))
+
+    @property
+    def is_simple(self) -> bool:
+        """True when this is ``¬∃ (single atom ∧ builtins)`` — the case
+        the paper's refined aux construction applies to."""
+        return len(self.atoms) == 1 and not self.nested
+
+    def variables(self) -> set[Variable]:
+        """All variables, including existentials of nested scopes."""
+        result: set[Variable] = set()
+        for item in self.items:
+            result |= item.variables()
+        return result
+
+    def positive_variables(self) -> set[Variable]:
+        """Variables bound by this conjunction's own positive atoms."""
+        result: set[Variable] = set()
+        for atom in self.atoms:
+            result |= atom.variables()
+        return result
+
+    def shared_with(self, outside: set[Variable]) -> tuple[Variable, ...]:
+        """Variables of this conjunction also bound outside (sorted by name)."""
+        return tuple(sorted(self.variables() & outside, key=lambda v: v.name))
+
+    def rename(self, mapping: dict[Variable, Term]) -> "NegatedConjunction":
+        return NegatedConjunction(tuple(i.rename(mapping) for i in self.items))
+
+    def __str__(self) -> str:
+        if len(self.items) == 1 and isinstance(self.items[0], Atom):
+            return f"¬{self.items[0]}"
+        inner = " ∧ ".join(str(i) for i in self.items)
+        return f"¬({inner})"
+
+
+Literal = Union[Atom, Builtin, NegatedConjunction]

@@ -1,0 +1,65 @@
+"""Logic terms: variables and constants.
+
+Denials and EDCs use positional predicates whose arguments are either
+:class:`Variable` (named, case-sensitive within a rule) or
+:class:`Constant` (a Python value matching the underlying SQL column
+type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A logic variable, identified by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant value (int, float, str, bool or None)."""
+
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return repr(self.value)
+        return str(self.value)
+
+
+Term = Union[Variable, Constant]
+
+
+class VariableFactory:
+    """Produces fresh, never-colliding variables (``x1``, ``x2``, ...)."""
+
+    def __init__(self, prefix: str = "x"):
+        self._prefix = prefix
+        self._counter = 0
+
+    def fresh(self, hint: str = "") -> Variable:
+        """A new variable; ``hint`` (e.g. a column name) aids readability."""
+        self._counter += 1
+        base = hint if hint else self._prefix
+        return Variable(f"{base}_{self._counter}")
+
+
+def substitute(term: Term, mapping: dict[Variable, Term]) -> Term:
+    """Apply a variable substitution to one term."""
+    if isinstance(term, Variable):
+        return mapping.get(term, term)
+    return term
+
+
+def substitute_all(
+    terms: tuple[Term, ...], mapping: dict[Variable, Term]
+) -> tuple[Term, ...]:
+    """Apply a substitution to a term tuple."""
+    return tuple(substitute(t, mapping) for t in terms)

@@ -1,0 +1,211 @@
+"""Database catalog: tables, views, triggers and stored procedures.
+
+All object names are case-insensitive.  Tables carry a ``namespace``
+tag: TINTIN's auxiliary event tables live in the ``"event"`` namespace
+(the paper uses a separate ``event_DB`` database; a tagged namespace in
+one catalog gives the same isolation for our purposes and keeps the SQL
+dialect free of cross-database qualifiers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import CatalogError
+from ..sqlparser import nodes as n
+from .schema import TableSchema, normalize
+from .storage import Table
+
+_RAISE = object()
+
+
+@dataclass
+class View:
+    """A stored view: name, defining query AST, output column names."""
+
+    name: str
+    query: n.Query
+    columns: tuple[str, ...]
+
+
+@dataclass
+class Trigger:
+    """An INSTEAD OF trigger on a table.
+
+    ``event`` is ``"insert"`` or ``"delete"``.  ``action`` receives
+    ``(database, table_name, rows)`` and fully replaces the base-table
+    modification while the trigger is enabled — exactly SQL Server's
+    INSTEAD OF semantics, which TINTIN uses to capture updates into the
+    event tables without touching the base data.
+    """
+
+    name: str
+    table: str
+    event: str
+    action: Callable
+    enabled: bool = True
+
+
+@dataclass
+class Procedure:
+    """A stored procedure: a named callable taking (database, *args)."""
+
+    name: str
+    body: Callable
+    description: str = ""
+
+
+class Catalog:
+    """Named collections of tables, views, triggers and procedures."""
+
+    def __init__(self):
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, View] = {}
+        self._triggers: dict[str, Trigger] = {}
+        self._procedures: dict[str, Procedure] = {}
+
+    # -- tables -----------------------------------------------------------
+
+    def add_table(self, schema: TableSchema, namespace: str = "main") -> Table:
+        key = normalize(schema.name)
+        if key in self._tables or key in self._views:
+            raise CatalogError(f"object {schema.name!r} already exists")
+        table = Table(schema, namespace)
+        self._tables[key] = table
+        return table
+
+    def get_table(self, name: str, default=_RAISE):
+        table = self._tables.get(normalize(name))
+        if table is None:
+            if default is not _RAISE:
+                return default
+            raise CatalogError(f"unknown table {name!r}")
+        return table
+
+    def require_table(self, name: str) -> Table:
+        table = self._tables.get(normalize(name))
+        if table is None:
+            raise CatalogError(f"unknown table {name!r}")
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> bool:
+        key = normalize(name)
+        if key not in self._tables:
+            if if_exists:
+                return False
+            raise CatalogError(f"unknown table {name!r}")
+        referencing = [
+            t.schema.name
+            for t in self._tables.values()
+            if any(normalize(fk.ref_table) == key for fk in t.schema.foreign_keys)
+            and normalize(t.schema.name) != key
+        ]
+        if referencing:
+            raise CatalogError(
+                f"cannot drop table {name!r}: referenced by foreign keys of "
+                f"{', '.join(sorted(referencing))}"
+            )
+        del self._tables[key]
+        for trigger_name in [
+            tn for tn, tr in self._triggers.items() if normalize(tr.table) == key
+        ]:
+            del self._triggers[trigger_name]
+        return True
+
+    def tables(self, namespace: Optional[str] = None) -> list[Table]:
+        result = [
+            t
+            for t in self._tables.values()
+            if namespace is None or t.namespace == namespace
+        ]
+        return sorted(result, key=lambda t: normalize(t.schema.name))
+
+    def has_table(self, name: str) -> bool:
+        return normalize(name) in self._tables
+
+    # -- views ---------------------------------------------------------------
+
+    def add_view(self, view: View) -> None:
+        key = normalize(view.name)
+        if key in self._views or key in self._tables:
+            raise CatalogError(f"object {view.name!r} already exists")
+        self._views[key] = view
+
+    def get_view(self, name: str, default=None) -> Optional[View]:
+        return self._views.get(normalize(name), default)
+
+    def drop_view(self, name: str, if_exists: bool = False) -> bool:
+        key = normalize(name)
+        if key not in self._views:
+            if if_exists:
+                return False
+            raise CatalogError(f"unknown view {name!r}")
+        del self._views[key]
+        return True
+
+    def views(self) -> list[View]:
+        return sorted(self._views.values(), key=lambda v: normalize(v.name))
+
+    def has_view(self, name: str) -> bool:
+        return normalize(name) in self._views
+
+    # -- triggers ---------------------------------------------------------------
+
+    def add_trigger(self, trigger: Trigger) -> None:
+        key = normalize(trigger.name)
+        if key in self._triggers:
+            raise CatalogError(f"trigger {trigger.name!r} already exists")
+        if trigger.event not in ("insert", "delete"):
+            raise CatalogError(f"unsupported trigger event {trigger.event!r}")
+        self.require_table(trigger.table)
+        self._triggers[key] = trigger
+
+    def drop_trigger(self, name: str) -> None:
+        key = normalize(name)
+        if key not in self._triggers:
+            raise CatalogError(f"unknown trigger {name!r}")
+        del self._triggers[key]
+
+    def triggers_for(self, table: str, event: str) -> list[Trigger]:
+        key = normalize(table)
+        return [
+            t
+            for t in self._triggers.values()
+            if normalize(t.table) == key and t.event == event
+        ]
+
+    def active_triggers_for(self, table: str, event: str) -> list[Trigger]:
+        return [t for t in self.triggers_for(table, event) if t.enabled]
+
+    def triggers(self) -> list[Trigger]:
+        return sorted(self._triggers.values(), key=lambda t: normalize(t.name))
+
+    def set_triggers_enabled(self, table: str, enabled: bool) -> None:
+        key = normalize(table)
+        for trigger in self._triggers.values():
+            if normalize(trigger.table) == key:
+                trigger.enabled = enabled
+
+    # -- procedures ----------------------------------------------------------------
+
+    def add_procedure(self, procedure: Procedure) -> None:
+        key = normalize(procedure.name)
+        if key in self._procedures:
+            raise CatalogError(f"procedure {procedure.name!r} already exists")
+        self._procedures[key] = procedure
+
+    def replace_procedure(self, procedure: Procedure) -> None:
+        self._procedures[normalize(procedure.name)] = procedure
+
+    def get_procedure(self, name: str) -> Procedure:
+        procedure = self._procedures.get(normalize(name))
+        if procedure is None:
+            raise CatalogError(f"unknown procedure {name!r}")
+        return procedure
+
+    def has_procedure(self, name: str) -> bool:
+        return normalize(name) in self._procedures
+
+    def procedures(self) -> list[Procedure]:
+        return sorted(self._procedures.values(), key=lambda p: normalize(p.name))

@@ -1,0 +1,511 @@
+"""The :class:`Database` facade: SQL execution against the catalog.
+
+This is the engine's public entry point.  It parses and executes SQL
+text (or pre-parsed ASTs), dispatches DML through INSTEAD OF triggers,
+enforces constraints, and exposes the transactional batch-apply that
+TINTIN's ``safeCommit`` uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..errors import (
+    CatalogError,
+    ConstraintViolation,
+    ExecutionError,
+    SchemaError,
+)
+from ..sqlparser import nodes as n
+from ..sqlparser.parser import parse_statement
+from .catalog import Catalog, Procedure, Trigger, View
+from .constraints import ConstraintChecker, validate_foreign_keys
+from .expressions import Scope, compile_expr
+from .planner import Planner
+from .schema import Column, TableSchema
+from .storage import Table
+from .transactions import TransactionManager
+from .types import resolve_type
+
+
+class ResultSet:
+    """An executed query result: column names plus materialized rows."""
+
+    def __init__(self, columns: list[str], rows: list[tuple]):
+        self.columns = columns
+        self.rows = rows
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def first(self) -> Optional[tuple]:
+        return self.rows[0] if self.rows else None
+
+    def column(self, name: str) -> list:
+        """All values of one output column."""
+        try:
+            index = [c.lower() for c in self.columns].index(name.lower())
+        except ValueError:
+            raise ExecutionError(f"result has no column {name!r}") from None
+        return [row[index] for row in self.rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultSet({self.columns}, {len(self.rows)} rows)"
+
+
+class Database:
+    """An in-memory relational database with SQL Server-style features.
+
+    The subset implemented is exactly what the TINTIN reproduction
+    needs: typed tables with PK/UNIQUE/NOT NULL/FK constraints, views,
+    INSTEAD OF triggers, stored procedures, transactions, and a planner
+    whose incremental-friendly access paths mirror what a production
+    optimizer would do with the paper's generated queries.
+    """
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self.catalog = Catalog()
+        self.checker = ConstraintChecker(self.catalog)
+        self.transactions = TransactionManager()
+
+    # -- SQL entry points ---------------------------------------------------
+
+    def execute(self, sql: str):
+        """Parse and execute one SQL statement.
+
+        Returns a :class:`ResultSet` for queries, an affected-row count
+        for DML, and ``None`` for DDL.
+        """
+        return self.execute_statement(parse_statement(sql))
+
+    def execute_script(self, sql: str) -> list:
+        """Execute a ``;``-separated script; returns per-statement results."""
+        from ..sqlparser.parser import parse_script
+
+        return [self.execute_statement(stmt) for stmt in parse_script(sql)]
+
+    def execute_statement(self, stmt: n.Statement):
+        if isinstance(stmt, n.SelectStatement):
+            return self.query_ast(stmt.query)
+        if isinstance(stmt, n.CreateTable):
+            self.create_table_ast(stmt)
+            return None
+        if isinstance(stmt, n.CreateView):
+            self.create_view(stmt.name, stmt.query)
+            return None
+        if isinstance(stmt, n.CreateAssertion):
+            raise ExecutionError(
+                "CREATE ASSERTION must go through repro.core.Tintin — the "
+                "engine itself does not implement assertions (that is the "
+                "paper's point)"
+            )
+        if isinstance(stmt, n.DropTable):
+            self.catalog.drop_table(stmt.name, stmt.if_exists)
+            return None
+        if isinstance(stmt, n.DropView):
+            self.catalog.drop_view(stmt.name, stmt.if_exists)
+            return None
+        if isinstance(stmt, n.Insert):
+            return self._execute_insert(stmt)
+        if isinstance(stmt, n.Delete):
+            return self._execute_delete(stmt)
+        if isinstance(stmt, n.Update):
+            return self._execute_update(stmt)
+        if isinstance(stmt, n.Truncate):
+            return self.catalog.require_table(stmt.table).truncate()
+        if isinstance(stmt, n.Call):
+            args = [self._literal_value(a) for a in stmt.args]
+            return self.call(stmt.name, *args)
+        raise ExecutionError(f"cannot execute statement {type(stmt).__name__}")
+
+    def query(self, sql: str) -> ResultSet:
+        """Parse and run a SELECT/UNION, returning a ResultSet."""
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, n.SelectStatement):
+            raise ExecutionError("query() requires a SELECT statement")
+        return self.query_ast(stmt.query)
+
+    def query_ast(self, query: n.Query) -> ResultSet:
+        planner = Planner(self.catalog)
+        plan = planner.plan_query(query)
+        columns = planner.output_columns(query)
+        return ResultSet(columns, list(plan.execute({})))
+
+    def explain(self, sql: str) -> str:
+        """The physical plan for a query, as an indented tree."""
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, n.SelectStatement):
+            raise ExecutionError("explain() requires a SELECT statement")
+        return Planner(self.catalog).plan_query(stmt.query).explain()
+
+    # -- DDL -------------------------------------------------------------------
+
+    def create_table_ast(self, stmt: n.CreateTable, namespace: str = "main") -> Table:
+        columns = [
+            Column(
+                c.name,
+                resolve_type(c.type_name, c.type_params),
+                c.not_null,
+            )
+            for c in stmt.columns
+        ]
+        primary_key = stmt.primary_key
+        inline_pk = [c.name for c in stmt.columns if c.primary_key]
+        if inline_pk:
+            if primary_key:
+                raise SchemaError(
+                    f"table {stmt.name!r}: both inline and table-level PRIMARY KEY"
+                )
+            if len(inline_pk) > 1:
+                raise SchemaError(
+                    f"table {stmt.name!r}: multiple inline PRIMARY KEY columns"
+                )
+            primary_key = tuple(inline_pk)
+        from .schema import ForeignKey
+
+        schema = TableSchema(
+            stmt.name,
+            columns,
+            primary_key,
+            tuple(
+                ForeignKey(fk.columns, fk.ref_table, fk.ref_columns)
+                for fk in stmt.foreign_keys
+            ),
+            stmt.uniques,
+        )
+        validate_foreign_keys(self.catalog, schema)
+        return self.catalog.add_table(schema, namespace)
+
+    def create_table(self, sql: str, namespace: str = "main") -> Table:
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, n.CreateTable):
+            raise ExecutionError("create_table() requires CREATE TABLE")
+        return self.create_table_ast(stmt, namespace)
+
+    def create_view(self, name: str, query: n.Query) -> View:
+        planner = Planner(self.catalog)
+        columns = tuple(planner.output_columns(query))
+        # plan now to validate references eagerly
+        planner.plan_query(query)
+        view = View(name, query, columns)
+        self.catalog.add_view(view)
+        return view
+
+    # -- transactions --------------------------------------------------------------
+
+    def begin(self) -> None:
+        self.transactions.begin()
+
+    def commit(self) -> int:
+        return self.transactions.commit()
+
+    def rollback(self) -> int:
+        return self.transactions.rollback()
+
+    # -- DML: inserts -----------------------------------------------------------------
+
+    def _execute_insert(self, stmt: n.Insert) -> int:
+        table = self.catalog.require_table(stmt.table)
+        if stmt.query is not None:
+            source = self.query_ast(stmt.query)
+            raw_rows: list[tuple] = list(source.rows)
+        else:
+            raw_rows = [
+                tuple(self._literal_value(value) for value in row)
+                for row in stmt.rows
+            ]
+        rows = [self._arrange_columns(table, stmt.columns, r) for r in raw_rows]
+        return self.insert_rows(table.name, rows)
+
+    def _arrange_columns(
+        self, table: Table, columns: Sequence[str], values: tuple
+    ) -> tuple:
+        if not columns:
+            return values
+        if len(columns) != len(values):
+            raise ExecutionError(
+                f"INSERT into {table.name!r}: {len(columns)} columns but "
+                f"{len(values)} values"
+            )
+        positions = table.schema.key_positions(tuple(columns))
+        if len(set(positions)) != len(positions):
+            raise ExecutionError(
+                f"INSERT into {table.name!r}: duplicate column in column list"
+            )
+        full = [None] * table.schema.arity
+        for position, value in zip(positions, values):
+            full[position] = value
+        return tuple(full)
+
+    def insert_rows(
+        self,
+        table_name: str,
+        rows: Iterable[tuple],
+        bypass_triggers: bool = False,
+    ) -> int:
+        """Insert rows, dispatching to INSTEAD OF triggers when enabled."""
+        table = self.catalog.require_table(table_name)
+        validated = [table.validate_row(tuple(row)) for row in rows]
+        if not validated:
+            return 0
+        if not bypass_triggers:
+            triggers = self.catalog.active_triggers_for(table.name, "insert")
+            if triggers:
+                for trigger in triggers:
+                    trigger.action(self, table.name, validated)
+                return len(validated)
+        count = 0
+        for row in validated:
+            self._physical_insert(table, row)
+            count += 1
+        return count
+
+    def _physical_insert(self, table: Table, row: tuple) -> None:
+        self.checker.check_not_null(table, row)
+        self.checker.check_fk_insert(table, row)
+        rowid = table.insert(row)
+        txn = self.transactions.current
+        if txn is not None and txn.active:
+            txn.record_insert(table, row, rowid)
+
+    # -- DML: deletes --------------------------------------------------------------------
+
+    def _execute_delete(self, stmt: n.Delete) -> int:
+        table = self.catalog.require_table(stmt.table)
+        victims = self._matching_rows(table, stmt.alias, stmt.where)
+        return self.delete_rows(table.name, victims)
+
+    def delete_rows(
+        self,
+        table_name: str,
+        rows: Iterable[tuple],
+        bypass_triggers: bool = False,
+    ) -> int:
+        """Delete the given rows, dispatching to INSTEAD OF triggers."""
+        table = self.catalog.require_table(table_name)
+        victims = [tuple(row) for row in rows]
+        if not victims:
+            return 0
+        if not bypass_triggers:
+            triggers = self.catalog.active_triggers_for(table.name, "delete")
+            if triggers:
+                for trigger in triggers:
+                    trigger.action(self, table.name, victims)
+                return len(victims)
+        count = 0
+        for row in victims:
+            if self._physical_delete(table, row):
+                count += 1
+        return count
+
+    def _physical_delete(self, table: Table, row: tuple) -> bool:
+        rowid = table.find_rowid(row)
+        if rowid is None:
+            return False
+        self.checker.check_fk_delete(table, row)
+        table.delete_rowid(rowid)
+        txn = self.transactions.current
+        if txn is not None and txn.active:
+            txn.record_delete(table, row, rowid)
+        return True
+
+    # -- DML: updates -----------------------------------------------------------------------
+
+    def _execute_update(self, stmt: n.Update) -> int:
+        """UPDATE is executed as delete-old + insert-new.
+
+        This matches TINTIN's model where an update is a set of tuple
+        insertions and deletions (the paper handles exactly those two
+        event kinds).
+        """
+        table = self.catalog.require_table(stmt.table)
+        binding = stmt.alias or table.name
+        scope = Scope([(binding, c) for c in table.schema.column_names])
+        assignments: dict[int, object] = {}
+        for column, expr in stmt.assignments:
+            position = table.schema.column_index(column)
+            if position in assignments:
+                raise ExecutionError(
+                    f"UPDATE {table.name!r} assigns column {column!r} twice"
+                )
+            assignments[position] = compile_expr(expr, scope)
+        old_rows = self._matching_rows(table, stmt.alias, stmt.where)
+        if not old_rows:
+            return 0
+        new_rows = []
+        for row in old_rows:
+            values = list(row)
+            for position, fn in assignments.items():
+                values[position] = fn(row, {})
+            new_rows.append(table.validate_row(tuple(values)))
+        has_triggers = bool(
+            self.catalog.active_triggers_for(table.name, "insert")
+            or self.catalog.active_triggers_for(table.name, "delete")
+        )
+        if has_triggers:
+            # an update is a set of deletions plus insertions — exactly the
+            # event model TINTIN captures
+            self.delete_rows(table.name, old_rows)
+            self.insert_rows(table.name, new_rows)
+        else:
+            for old_row, new_row in zip(old_rows, new_rows):
+                self._physical_update(table, old_row, new_row)
+        return len(old_rows)
+
+    def _physical_update(self, table: Table, old_row: tuple, new_row: tuple) -> None:
+        if old_row == new_row:
+            return
+        self.checker.check_not_null(table, new_row)
+        self.checker.check_fk_insert(table, new_row)
+        self.checker.check_fk_update(table, old_row, new_row)
+        rowid = table.find_rowid(old_row)
+        if rowid is None:
+            raise ExecutionError(
+                f"row disappeared during UPDATE of {table.name!r}"
+            )
+        table.delete_rowid(rowid)
+        try:
+            new_rowid = table.insert(new_row)
+        except ConstraintViolation:
+            table.insert(old_row)
+            raise
+        txn = self.transactions.current
+        if txn is not None and txn.active:
+            txn.record_delete(table, old_row, rowid)
+            txn.record_insert(table, new_row, new_rowid)
+
+    def _matching_rows(
+        self, table: Table, alias: Optional[str], where: Optional[n.Expr]
+    ) -> list[tuple]:
+        binding = alias or table.name
+        if where is None:
+            return table.rows_snapshot()
+        select = n.Select(
+            items=(n.Star(),),
+            from_items=(n.TableRef(table.name, alias),),
+            where=where,
+        )
+        return list(self.query_ast(select).rows)
+
+    # -- batch apply (used by safeCommit) ---------------------------------------------------
+
+    def apply_batch(
+        self,
+        inserts: dict[str, list[tuple]],
+        deletes: dict[str, list[tuple]],
+    ) -> int:
+        """Apply a batch of physical inserts and deletes atomically.
+
+        Foreign keys are checked in **deferred** mode: deletes run first
+        (so delete+reinsert of the same key — a captured UPDATE — works),
+        then inserts, and referential integrity is verified against the
+        final state.  Any batch whose *net effect* is FK-consistent
+        applies cleanly.  Triggers are bypassed (this is the engine-level
+        primitive that ``safeCommit`` calls with triggers disabled).  On
+        any constraint violation the whole batch is rolled back and the
+        violation re-raised.
+        """
+        own_transaction = not self.transactions.in_transaction
+        if own_transaction:
+            self.begin()
+        changed = 0
+        deleted_rows: list[tuple[Table, tuple]] = []
+        inserted_rows: list[tuple[Table, tuple]] = []
+        try:
+            delete_names = [name for name, rows in deletes.items() if rows]
+            for name in reversed(self.checker.fk_topological_order(delete_names)):
+                table = self.catalog.require_table(name)
+                for row in deletes[name]:
+                    validated = table.validate_row(tuple(row))
+                    if self._physical_delete_deferred(table, validated):
+                        deleted_rows.append((table, validated))
+                        changed += 1
+            insert_names = [name for name, rows in inserts.items() if rows]
+            for name in self.checker.fk_topological_order(insert_names):
+                table = self.catalog.require_table(name)
+                for row in inserts[name]:
+                    validated = table.validate_row(tuple(row))
+                    self._physical_insert_deferred(table, validated)
+                    inserted_rows.append((table, validated))
+                    changed += 1
+            # deferred referential-integrity verification on the final state
+            for table, row in inserted_rows:
+                self.checker.check_fk_insert(table, row)
+            for table, row in deleted_rows:
+                self.checker.check_fk_after_delete(table, row)
+        except ConstraintViolation:
+            if own_transaction:
+                self.rollback()
+            raise
+        if own_transaction:
+            self.commit()
+        return changed
+
+    def _physical_insert_deferred(self, table: Table, row: tuple) -> None:
+        """Insert without FK checks (NOT NULL and unique keys still apply)."""
+        self.checker.check_not_null(table, row)
+        rowid = table.insert(row)
+        txn = self.transactions.current
+        if txn is not None and txn.active:
+            txn.record_insert(table, row, rowid)
+
+    def _physical_delete_deferred(self, table: Table, row: tuple) -> bool:
+        """Delete without FK checks."""
+        rowid = table.find_rowid(row)
+        if rowid is None:
+            return False
+        table.delete_rowid(rowid)
+        txn = self.transactions.current
+        if txn is not None and txn.active:
+            txn.record_delete(table, row, rowid)
+        return True
+
+    # -- triggers and procedures ---------------------------------------------------------------
+
+    def create_trigger(
+        self, name: str, table: str, event: str, action
+    ) -> Trigger:
+        trigger = Trigger(name, table, event, action)
+        self.catalog.add_trigger(trigger)
+        return trigger
+
+    def enable_triggers(self, table: str) -> None:
+        self.catalog.set_triggers_enabled(table, True)
+
+    def disable_triggers(self, table: str) -> None:
+        self.catalog.set_triggers_enabled(table, False)
+
+    def create_procedure(self, name: str, body, description: str = "") -> Procedure:
+        procedure = Procedure(name, body, description)
+        self.catalog.replace_procedure(procedure)
+        return procedure
+
+    def call(self, name: str, *args):
+        """Invoke a stored procedure."""
+        return self.catalog.get_procedure(name).body(self, *args)
+
+    # -- helpers -------------------------------------------------------------------------------
+
+    @staticmethod
+    def _literal_value(expr: n.Expr):
+        """Evaluate a row-less expression (INSERT values, CALL args)."""
+        fn = compile_expr(expr, Scope([]))
+        return fn((), {})
+
+    def table(self, name: str) -> Table:
+        """Direct access to a table's storage (tests and tooling)."""
+        return self.catalog.require_table(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database({self.name!r}, {len(self.catalog.tables())} tables)"

@@ -1,0 +1,371 @@
+"""Physical plan operators (iterator model).
+
+Each operator exposes ``execute(params)`` yielding output tuples, plus a
+``scope`` (:class:`repro.minidb.expressions.Scope`) describing the tuple
+layout, and an ``estimate`` used by the planner's greedy join ordering.
+
+``params`` carries correlation values from enclosing queries — operators
+pass it through unchanged; only compiled expressions read it.
+
+The operator set is deliberately small:
+
+* :class:`SeqScan` — full scan of a base table;
+* :class:`IndexJoin` — stream the outer child, probe a base table's hash
+  index per row (the operator that makes incremental checks touch only
+  update-adjacent data);
+* :class:`HashJoin` — classic build/probe equi-join for when both sides
+  must be materialized anyway;
+* :class:`NestedLoopCross` — cartesian product (rare: only for
+  disconnected join graphs);
+* :class:`Filter`, :class:`Project`, :class:`Distinct`,
+  :class:`UnionAll`, :class:`UnionDistinct`.
+
+Subqueries (``[NOT] EXISTS`` / ``[NOT] IN``) never appear as join
+operators: the planner compiles them into *probe closures* evaluated
+inside :class:`Filter` predicates (see :mod:`repro.minidb.planner`),
+which probe table indexes directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from .expressions import Compiled, Scope
+from .storage import Table
+
+
+class PlanNode:
+    """Base class for physical operators."""
+
+    scope: Scope
+    estimate: float
+
+    def execute(self, params: dict) -> Iterator[tuple]:  # pragma: no cover
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        """Human-readable plan tree (used in tests and debugging)."""
+        lines = [("  " * indent) + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def children(self) -> list["PlanNode"]:
+        return []
+
+
+class SeqScan(PlanNode):
+    """Full scan of a base table under a binding name."""
+
+    def __init__(self, table: Table, binding: str):
+        self.table = table
+        self.binding = binding
+        self.scope = Scope(
+            [(binding, column) for column in table.schema.column_names]
+        )
+        self.estimate = float(max(len(table), 1))
+
+    def execute(self, params: dict) -> Iterator[tuple]:
+        return self.table.scan()
+
+    def describe(self) -> str:
+        return f"SeqScan({self.table.name} AS {self.binding}, ~{len(self.table)} rows)"
+
+
+class Filter(PlanNode):
+    """Keep rows where the compiled predicate evaluates to exactly True."""
+
+    def __init__(self, child: PlanNode, predicate: Compiled, selectivity: float = 0.25):
+        self.child = child
+        self.predicate = predicate
+        self.scope = child.scope
+        self.estimate = max(child.estimate * selectivity, 1.0)
+
+    def execute(self, params: dict) -> Iterator[tuple]:
+        predicate = self.predicate
+        for row in self.child.execute(params):
+            if predicate(row, params) is True:
+                yield row
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class Project(PlanNode):
+    """Compute output expressions per row."""
+
+    def __init__(
+        self,
+        child: PlanNode,
+        exprs: list[Compiled],
+        out_scope: Scope,
+    ):
+        self.child = child
+        self.exprs = exprs
+        self.scope = out_scope
+        self.estimate = child.estimate
+
+    def execute(self, params: dict) -> Iterator[tuple]:
+        exprs = self.exprs
+        for row in self.child.execute(params):
+            yield tuple(expr(row, params) for expr in exprs)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class Distinct(PlanNode):
+    """Remove duplicate rows (hash-based)."""
+
+    def __init__(self, child: PlanNode):
+        self.child = child
+        self.scope = child.scope
+        self.estimate = child.estimate
+
+    def execute(self, params: dict) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for row in self.child.execute(params):
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+def _concat_scopes(left: Scope, right: Scope) -> Scope:
+    entries = list(left.entries) + list(right.entries)
+    return Scope(entries, outer=left.outer)
+
+
+class IndexJoin(PlanNode):
+    """Stream the outer child; probe a base table hash index per row.
+
+    ``outer_positions`` select the probe key from the outer tuple;
+    ``table_columns`` name the indexed columns of the inner table.  An
+    optional ``residual`` predicate (compiled against the concatenated
+    scope) filters probed matches — this is where non-equi or nested
+    subquery conditions on the inner table land.
+
+    NULL probe keys never match (SQL equality semantics).
+    """
+
+    def __init__(
+        self,
+        outer: PlanNode,
+        table: Table,
+        binding: str,
+        table_columns: tuple[str, ...],
+        outer_positions: tuple[int, ...],
+        residual: Optional[Compiled] = None,
+    ):
+        self.outer = outer
+        self.table = table
+        self.binding = binding
+        self.table_columns = table_columns
+        self.outer_positions = outer_positions
+        self.residual = residual
+        inner_scope = Scope(
+            [(binding, column) for column in table.schema.column_names]
+        )
+        self.scope = _concat_scopes(outer.scope, inner_scope)
+        self.estimate = max(outer.estimate, 1.0)
+
+    def execute(self, params: dict) -> Iterator[tuple]:
+        table = self.table
+        columns = self.table_columns
+        positions = self.outer_positions
+        residual = self.residual
+        # build the index once up front so probes are O(1)
+        table.ensure_secondary_index(columns)
+        for outer_row in self.outer.execute(params):
+            key = tuple(outer_row[p] for p in positions)
+            if any(v is None for v in key):
+                continue
+            for inner_row in table.lookup_secondary(columns, key):
+                combined = outer_row + inner_row
+                if residual is None or residual(combined, params) is True:
+                    yield combined
+
+    def children(self) -> list[PlanNode]:
+        return [self.outer]
+
+    def describe(self) -> str:
+        cols = ", ".join(self.table_columns)
+        return (
+            f"IndexJoin(probe {self.table.name} AS {self.binding} "
+            f"on ({cols}))"
+        )
+
+
+class HashJoin(PlanNode):
+    """Equi-join materializing the build side into a hash table.
+
+    The build side is the *right* child; the planner puts the smaller
+    estimated side there.  NULL keys never match.
+    """
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_positions: tuple[int, ...],
+        right_positions: tuple[int, ...],
+        residual: Optional[Compiled] = None,
+    ):
+        self.left = left
+        self.right = right
+        self.left_positions = left_positions
+        self.right_positions = right_positions
+        self.residual = residual
+        self.scope = _concat_scopes(left.scope, right.scope)
+        self.estimate = max(left.estimate, right.estimate)
+
+    def execute(self, params: dict) -> Iterator[tuple]:
+        build: dict[tuple, list[tuple]] = {}
+        for row in self.right.execute(params):
+            key = tuple(row[p] for p in self.right_positions)
+            if any(v is None for v in key):
+                continue
+            build.setdefault(key, []).append(row)
+        residual = self.residual
+        for left_row in self.left.execute(params):
+            key = tuple(left_row[p] for p in self.left_positions)
+            if any(v is None for v in key):
+                continue
+            for right_row in build.get(key, ()):
+                combined = left_row + right_row
+                if residual is None or residual(combined, params) is True:
+                    yield combined
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+
+class NestedLoopCross(PlanNode):
+    """Cartesian product; the right side is materialized once."""
+
+    def __init__(self, left: PlanNode, right: PlanNode):
+        self.left = left
+        self.right = right
+        self.scope = _concat_scopes(left.scope, right.scope)
+        self.estimate = left.estimate * right.estimate
+
+    def execute(self, params: dict) -> Iterator[tuple]:
+        right_rows = list(self.right.execute(params))
+        for left_row in self.left.execute(params):
+            for right_row in right_rows:
+                yield left_row + right_row
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+
+class UnionAll(PlanNode):
+    """Bag union of children (schemas must be position-compatible)."""
+
+    def __init__(self, parts: list[PlanNode]):
+        self.parts = parts
+        self.scope = parts[0].scope
+        self.estimate = sum(p.estimate for p in parts)
+
+    def execute(self, params: dict) -> Iterator[tuple]:
+        for part in self.parts:
+            yield from part.execute(params)
+
+    def children(self) -> list[PlanNode]:
+        return list(self.parts)
+
+
+class UnionDistinct(PlanNode):
+    """Set union of children."""
+
+    def __init__(self, parts: list[PlanNode]):
+        self.parts = parts
+        self.scope = parts[0].scope
+        self.estimate = sum(p.estimate for p in parts)
+
+    def execute(self, params: dict) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for part in self.parts:
+            for row in part.execute(params):
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+
+    def children(self) -> list[PlanNode]:
+        return list(self.parts)
+
+
+def aggregate_value(func: str, values: list) -> object:
+    """Fold a list of non-NULL-filtered values with an SQL aggregate.
+
+    SQL semantics: NULL inputs are ignored; an empty input yields 0 for
+    COUNT and NULL for SUM/MIN/MAX/AVG.
+    """
+    present = [v for v in values if v is not None]
+    if func == "COUNT":
+        return len(present)
+    if not present:
+        return None
+    if func == "SUM":
+        return sum(present)
+    if func == "MIN":
+        return min(present)
+    if func == "MAX":
+        return max(present)
+    if func == "AVG":
+        return sum(present) / len(present)
+    raise ValueError(f"unknown aggregate {func!r}")
+
+
+class Aggregate(PlanNode):
+    """Ungrouped aggregation: consumes the child, emits exactly one row.
+
+    ``specs`` is a list of ``(func, compiled_arg_or_None)`` — a None
+    argument means COUNT(*).  (Engine extension used by the
+    aggregate-assertion feature; the paper's fragment has no
+    aggregates.)
+    """
+
+    def __init__(self, child: PlanNode, specs: list, out_scope: Scope):
+        self.child = child
+        self.specs = specs
+        self.scope = out_scope
+        self.estimate = 1.0
+
+    def execute(self, params: dict) -> Iterator[tuple]:
+        counts = [0] * len(self.specs)
+        collected: list[list] = [[] for _ in self.specs]
+        for row in self.child.execute(params):
+            for position, (func, arg) in enumerate(self.specs):
+                if arg is None:
+                    counts[position] += 1
+                else:
+                    collected[position].append(arg(row, params))
+        out = []
+        for position, (func, arg) in enumerate(self.specs):
+            if arg is None:
+                out.append(counts[position])
+            else:
+                out.append(aggregate_value(func, collected[position]))
+        yield tuple(out)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class Empty(PlanNode):
+    """Produces no rows; used when the planner proves a branch is empty
+    (e.g. a view over an event table known to be empty is *not* assumed
+    empty — this is only for structurally impossible branches)."""
+
+    def __init__(self, scope: Scope):
+        self.scope = scope
+        self.estimate = 0.0
+
+    def execute(self, params: dict) -> Iterator[tuple]:
+        return iter(())

@@ -1,0 +1,156 @@
+"""Table schema objects: columns, keys and foreign keys.
+
+Schemas are immutable after construction and validated eagerly, so any
+inconsistency (duplicate column, key over a missing column...) fails at
+``CREATE TABLE`` time rather than at query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import SchemaError
+from .types import SQLType
+
+
+def normalize(name: str) -> str:
+    """Case-insensitive identifier normalization (SQL semantics)."""
+    return name.lower()
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table."""
+
+    name: str
+    sql_type: SQLType
+    not_null: bool = False
+
+    def __str__(self) -> str:
+        suffix = " NOT NULL" if self.not_null else ""
+        return f"{self.name} {self.sql_type}{suffix}"
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign key from ``columns`` to ``ref_table.ref_columns``.
+
+    ``ref_columns`` always names the parent key explicitly (resolution
+    against the parent's primary key happens at CREATE TABLE time).
+    """
+
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return (
+            f"FOREIGN KEY ({', '.join(self.columns)}) REFERENCES "
+            f"{self.ref_table} ({', '.join(self.ref_columns)})"
+        )
+
+
+class TableSchema:
+    """The schema of one table: columns plus declared keys.
+
+    All name lookups are case-insensitive.  ``primary_key`` columns are
+    implicitly NOT NULL (enforced here by upgrading the column flags).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: list[Column],
+        primary_key: tuple[str, ...] = (),
+        foreign_keys: tuple[ForeignKey, ...] = (),
+        uniques: tuple[tuple[str, ...], ...] = (),
+    ):
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        self.name = name
+        seen: set[str] = set()
+        for column in columns:
+            key = normalize(column.name)
+            if key in seen:
+                raise SchemaError(
+                    f"table {name!r} declares duplicate column {column.name!r}"
+                )
+            seen.add(key)
+
+        self.primary_key = tuple(self._resolve_name(name, columns, c) for c in primary_key)
+        pk_set = {normalize(c) for c in self.primary_key}
+        self.columns = tuple(
+            Column(c.name, c.sql_type, c.not_null or normalize(c.name) in pk_set)
+            for c in columns
+        )
+        self._index_by_name = {
+            normalize(c.name): i for i, c in enumerate(self.columns)
+        }
+        self.uniques = tuple(
+            tuple(self._resolve_name(name, columns, c) for c in unique)
+            for unique in uniques
+        )
+        for unique in self.uniques:
+            if len(set(map(normalize, unique))) != len(unique):
+                raise SchemaError(
+                    f"table {name!r}: UNIQUE clause repeats a column"
+                )
+        if len(pk_set) != len(self.primary_key):
+            raise SchemaError(f"table {name!r}: PRIMARY KEY repeats a column")
+        self.foreign_keys = tuple(
+            ForeignKey(
+                tuple(self._resolve_name(name, columns, c) for c in fk.columns),
+                fk.ref_table,
+                fk.ref_columns,
+            )
+            for fk in foreign_keys
+        )
+        for fk in self.foreign_keys:
+            # empty ref_columns means "the parent's primary key" and is
+            # resolved by constraints.validate_foreign_keys at CREATE time
+            if fk.ref_columns and len(fk.columns) != len(fk.ref_columns):
+                raise SchemaError(
+                    f"table {name!r}: foreign key column count mismatch in {fk}"
+                )
+
+    @staticmethod
+    def _resolve_name(table: str, columns: list[Column], name: str) -> str:
+        for column in columns:
+            if normalize(column.name) == normalize(name):
+                return column.name
+        raise SchemaError(f"table {table!r}: key references unknown column {name!r}")
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return normalize(name) in self._index_by_name
+
+    def column_index(self, name: str) -> int:
+        """Position of a column, case-insensitively; raises SchemaError."""
+        try:
+            return self._index_by_name[normalize(name)]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    def key_positions(self, columns: tuple[str, ...]) -> tuple[int, ...]:
+        """Positions of the given columns, in order."""
+        return tuple(self.column_index(c) for c in columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TableSchema({self.name!r}, {len(self.columns)} columns)"

@@ -1,0 +1,271 @@
+"""Row storage with hash indexes.
+
+A :class:`Table` stores rows as tuples keyed by a monotonically
+increasing rowid.  Unique indexes (primary key, UNIQUE) map key tuples
+to a single rowid; secondary (non-unique) indexes map key tuples to a
+set of rowids.  Secondary indexes are created on demand by the planner
+(e.g. for foreign-key lookups and correlated `NOT EXISTS` probes) —
+this mirrors the indexes a production DBA would keep on join columns
+and is what gives the incremental checks their locality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from ..errors import ConstraintViolation, ExecutionError
+from .schema import TableSchema
+from .types import coerce
+
+
+class UniqueIndex:
+    """Maps a key tuple to the rowid of the single row holding it.
+
+    Rows with a NULL in any key column are not indexed (SQL: NULLs are
+    distinct for uniqueness purposes).
+    """
+
+    def __init__(self, name: str, positions: tuple[int, ...]):
+        self.name = name
+        self.positions = positions
+        self._map: dict[tuple, int] = {}
+
+    def key_of(self, row: tuple) -> Optional[tuple]:
+        key = tuple(row[p] for p in self.positions)
+        if any(v is None for v in key):
+            return None
+        return key
+
+    def lookup(self, key: tuple) -> Optional[int]:
+        return self._map.get(key)
+
+    def add(self, row: tuple, rowid: int) -> None:
+        key = self.key_of(row)
+        if key is None:
+            return
+        existing = self._map.get(key)
+        if existing is not None and existing != rowid:
+            raise ConstraintViolation(
+                f"duplicate key {key!r} violates {self.name}",
+                constraint=self.name,
+            )
+        self._map[key] = rowid
+
+    def remove(self, row: tuple, rowid: int) -> None:
+        key = self.key_of(row)
+        if key is not None and self._map.get(key) == rowid:
+            del self._map[key]
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+class SecondaryIndex:
+    """Non-unique hash index: key tuple -> set of rowids."""
+
+    def __init__(self, name: str, positions: tuple[int, ...]):
+        self.name = name
+        self.positions = positions
+        self._map: dict[tuple, set[int]] = {}
+
+    def key_of(self, row: tuple) -> tuple:
+        return tuple(row[p] for p in self.positions)
+
+    def lookup(self, key: tuple) -> frozenset[int]:
+        rowids = self._map.get(key)
+        return frozenset(rowids) if rowids else frozenset()
+
+    def lookup_rowids(self, key: tuple) -> set[int]:
+        """Internal variant avoiding a copy; callers must not mutate."""
+        return self._map.get(key, _EMPTY_SET)
+
+    def add(self, row: tuple, rowid: int) -> None:
+        self._map.setdefault(self.key_of(row), set()).add(rowid)
+
+    def remove(self, row: tuple, rowid: int) -> None:
+        key = self.key_of(row)
+        rowids = self._map.get(key)
+        if rowids is not None:
+            rowids.discard(rowid)
+            if not rowids:
+                del self._map[key]
+
+
+_EMPTY_SET: set[int] = set()
+
+
+class Table:
+    """Physical storage for one table: rows, unique and secondary indexes."""
+
+    def __init__(self, schema: TableSchema, namespace: str = "main"):
+        self.schema = schema
+        self.namespace = namespace
+        self._rows: dict[int, tuple] = {}
+        self._next_rowid = 0
+        self.unique_indexes: list[UniqueIndex] = []
+        self.secondary_indexes: dict[tuple[int, ...], SecondaryIndex] = {}
+        if schema.primary_key:
+            self.unique_indexes.append(
+                UniqueIndex(
+                    f"PRIMARY KEY of {schema.name}",
+                    schema.key_positions(schema.primary_key),
+                )
+            )
+        for unique in schema.uniques:
+            self.unique_indexes.append(
+                UniqueIndex(
+                    f"UNIQUE({', '.join(unique)}) of {schema.name}",
+                    schema.key_positions(unique),
+                )
+            )
+
+    # -- basic stats ---------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- reading ---------------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple]:
+        """Iterate over all rows.  Do not mutate the table while scanning."""
+        return iter(self._rows.values())
+
+    def rows_snapshot(self) -> list[tuple]:
+        """A stable copy of all rows (safe to mutate the table afterwards)."""
+        return list(self._rows.values())
+
+    def row_by_id(self, rowid: int) -> tuple:
+        return self._rows[rowid]
+
+    def contains_row(self, row: tuple) -> bool:
+        """Whole-tuple membership test (used by event-capture semantics).
+
+        Uses the primary key index when available, falling back to a scan
+        for keyless tables.
+        """
+        pk = self.primary_key_index
+        if pk is not None:
+            key = pk.key_of(row)
+            if key is not None:
+                rowid = pk.lookup(key)
+                return rowid is not None and self._rows[rowid] == row
+        return any(existing == row for existing in self._rows.values())
+
+    @property
+    def primary_key_index(self) -> Optional[UniqueIndex]:
+        if self.schema.primary_key and self.unique_indexes:
+            return self.unique_indexes[0]
+        return None
+
+    # -- writing ---------------------------------------------------------------
+
+    def validate_row(self, values: tuple) -> tuple:
+        """Type-check and coerce a candidate row (no constraint checks)."""
+        schema = self.schema
+        if len(values) != schema.arity:
+            raise ExecutionError(
+                f"table {schema.name!r} expects {schema.arity} values, "
+                f"got {len(values)}"
+            )
+        return tuple(
+            coerce(value, column.sql_type, f"{schema.name}.{column.name}")
+            for value, column in zip(values, schema.columns)
+        )
+
+    def insert(self, row: tuple) -> int:
+        """Insert a validated row, maintaining all indexes.
+
+        Raises :class:`ConstraintViolation` on duplicate unique keys; the
+        row is not inserted in that case.  NOT NULL and FK enforcement
+        live in the constraint layer (:mod:`repro.minidb.constraints`).
+        """
+        rowid = self._next_rowid
+        added: list[UniqueIndex] = []
+        try:
+            for index in self.unique_indexes:
+                index.add(row, rowid)
+                added.append(index)
+        except ConstraintViolation:
+            for index in added:
+                index.remove(row, rowid)
+            raise
+        for index in self.secondary_indexes.values():
+            index.add(row, rowid)
+        self._rows[rowid] = row
+        self._next_rowid += 1
+        return rowid
+
+    def delete_rowid(self, rowid: int) -> tuple:
+        """Delete one row by rowid, maintaining indexes; returns the row."""
+        row = self._rows.pop(rowid)
+        for index in self.unique_indexes:
+            index.remove(row, rowid)
+        for index in self.secondary_indexes.values():
+            index.remove(row, rowid)
+        return row
+
+    def delete_row(self, row: tuple) -> bool:
+        """Delete one row equal to ``row``; returns False if absent."""
+        rowid = self.find_rowid(row)
+        if rowid is None:
+            return False
+        self.delete_rowid(rowid)
+        return True
+
+    def find_rowid(self, row: tuple) -> Optional[int]:
+        pk = self.primary_key_index
+        if pk is not None:
+            key = pk.key_of(row)
+            if key is not None:
+                rowid = pk.lookup(key)
+                if rowid is not None and self._rows[rowid] == row:
+                    return rowid
+                return None
+        for rowid, existing in self._rows.items():
+            if existing == row:
+                return rowid
+        return None
+
+    def truncate(self) -> int:
+        """Remove all rows; returns how many were removed."""
+        count = len(self._rows)
+        self._rows.clear()
+        for index in self.unique_indexes:
+            index._map.clear()
+        for index in self.secondary_indexes.values():
+            index._map.clear()
+        return count
+
+    # -- secondary indexes --------------------------------------------------------
+
+    def ensure_secondary_index(self, columns: tuple[str, ...]) -> SecondaryIndex:
+        """Get or build a secondary hash index on the given columns."""
+        positions = self.schema.key_positions(columns)
+        index = self.secondary_indexes.get(positions)
+        if index is None:
+            index = SecondaryIndex(
+                f"idx_{self.schema.name}_{'_'.join(columns)}", positions
+            )
+            for rowid, row in self._rows.items():
+                index.add(row, rowid)
+            self.secondary_indexes[positions] = index
+        return index
+
+    def lookup_secondary(
+        self, columns: tuple[str, ...], key: tuple
+    ) -> Iterator[tuple]:
+        """Yield rows whose ``columns`` equal ``key`` via a hash index."""
+        index = self.ensure_secondary_index(columns)
+        for rowid in index.lookup_rowids(key):
+            yield self._rows[rowid]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.schema.name!r}, {len(self)} rows)"

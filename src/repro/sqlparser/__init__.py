@@ -1,0 +1,36 @@
+"""SQL parsing substrate: lexer, AST, recursive-descent parser, printer.
+
+The supported fragment matches the TINTIN paper (§2): selection,
+projection, join, ``[NOT] EXISTS``, ``[NOT] IN``, ``UNION``, plus the
+DDL/DML the engine needs.  See :mod:`repro.sqlparser.parser` for the
+grammar.
+"""
+
+from . import nodes
+from .lexer import Lexer, tokenize
+from .parser import (
+    Parser,
+    parse_expression,
+    parse_query,
+    parse_script,
+    parse_statement,
+)
+from .printer import print_expr, print_query, print_select, print_statement
+from .tokens import Token, TokenType
+
+__all__ = [
+    "Lexer",
+    "Parser",
+    "Token",
+    "TokenType",
+    "nodes",
+    "parse_expression",
+    "parse_query",
+    "parse_script",
+    "parse_statement",
+    "print_expr",
+    "print_query",
+    "print_select",
+    "print_statement",
+    "tokenize",
+]

@@ -1,0 +1,686 @@
+"""Recursive-descent parser for the supported SQL fragment.
+
+The grammar covers exactly what the TINTIN paper needs:
+
+* queries: ``SELECT [DISTINCT] ... FROM ... [WHERE ...]`` with comma
+  joins and ``[INNER|CROSS] JOIN ... ON``, ``[NOT] EXISTS``,
+  ``[NOT] IN`` (subquery or value list), ``IS [NOT] NULL``,
+  ``BETWEEN`` (desugared to two comparisons), and ``UNION [ALL]``;
+* DDL: ``CREATE TABLE`` (with PRIMARY KEY / FOREIGN KEY / UNIQUE /
+  NOT NULL), ``CREATE VIEW``, ``CREATE ASSERTION ... CHECK (...)``,
+  ``DROP TABLE/VIEW``;
+* DML: ``INSERT .. VALUES | SELECT``, ``DELETE``, ``UPDATE``,
+  ``TRUNCATE``, ``CALL``.
+
+Aggregates, GROUP BY, ORDER BY and outer joins are intentionally
+rejected — the paper's assertion fragment excludes them, and the engine
+does not need them for any experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SQLSyntaxError, UnsupportedSQLError
+from . import nodes as n
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+_COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+#: Keywords we recognize well enough to reject with a clear message.
+#: (COUNT/SUM/... are not listed: ungrouped aggregates are supported.)
+_UNSUPPORTED_KEYWORDS = {
+    "GROUP", "ORDER", "HAVING", "LEFT", "RIGHT", "FULL", "OUTER",
+    "LIMIT", "OFFSET",
+}
+
+
+class Parser:
+    """Parses a token stream into AST nodes."""
+
+    def __init__(self, text: str):
+        self._tokens = tokenize(text)
+        self._pos = 0
+
+    # -- public entry points ------------------------------------------------
+
+    def parse_statement(self) -> n.Statement:
+        """Parse a single statement, requiring end of input afterwards."""
+        stmt = self._statement()
+        self._accept_operator(";")
+        self._expect_eof()
+        return stmt
+
+    def parse_script(self) -> list[n.Statement]:
+        """Parse a ``;``-separated sequence of statements."""
+        statements: list[n.Statement] = []
+        while not self._at_eof():
+            statements.append(self._statement())
+            if not self._accept_operator(";"):
+                break
+        self._expect_eof()
+        return statements
+
+    def parse_query(self) -> n.Query:
+        """Parse a bare query (SELECT or UNION), requiring end of input."""
+        query = self._query()
+        self._accept_operator(";")
+        self._expect_eof()
+        return query
+
+    def parse_expression(self) -> n.Expr:
+        """Parse a bare scalar/boolean expression, requiring end of input."""
+        expr = self._expression()
+        self._expect_eof()
+        return expr
+
+    # -- token stream helpers ------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        pos = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _at_eof(self) -> bool:
+        return self._peek().type is TokenType.EOF
+
+    def _error(self, message: str) -> SQLSyntaxError:
+        token = self._peek()
+        return SQLSyntaxError(message, token.line, token.column)
+
+    def _accept_keyword(self, *words: str) -> Optional[Token]:
+        if self._peek().is_keyword(*words):
+            return self._advance()
+        return None
+
+    def _expect_keyword(self, *words: str) -> Token:
+        token = self._accept_keyword(*words)
+        if token is None:
+            expected = " or ".join(words)
+            raise self._error(f"expected {expected}, found {self._peek().value!r}")
+        return token
+
+    def _accept_operator(self, *symbols: str) -> Optional[Token]:
+        if self._peek().is_operator(*symbols):
+            return self._advance()
+        return None
+
+    def _expect_operator(self, *symbols: str) -> Token:
+        token = self._accept_operator(*symbols)
+        if token is None:
+            expected = " or ".join(repr(s) for s in symbols)
+            raise self._error(f"expected {expected}, found {self._peek().value!r}")
+        return token
+
+    def _expect_identifier(self, what: str = "identifier") -> str:
+        token = self._peek()
+        if token.type is TokenType.IDENT:
+            self._advance()
+            return token.value
+        raise self._error(f"expected {what}, found {token.value!r}")
+
+    def _expect_eof(self) -> None:
+        if not self._at_eof():
+            raise self._error(f"unexpected trailing input {self._peek().value!r}")
+
+    def _check_unsupported(self) -> None:
+        token = self._peek()
+        if token.type is TokenType.IDENT and token.value.upper() in _UNSUPPORTED_KEYWORDS:
+            raise UnsupportedSQLError(
+                f"{token.value.upper()} is outside the supported SQL fragment",
+                token.line,
+                token.column,
+            )
+
+    # -- statements -----------------------------------------------------------
+
+    def _statement(self) -> n.Statement:
+        token = self._peek()
+        if token.is_keyword("CREATE"):
+            return self._create_statement()
+        if token.is_keyword("DROP"):
+            return self._drop_statement()
+        if token.is_keyword("INSERT"):
+            return self._insert_statement()
+        if token.is_keyword("DELETE"):
+            return self._delete_statement()
+        if token.is_keyword("UPDATE"):
+            return self._update_statement()
+        if token.is_keyword("TRUNCATE"):
+            return self._truncate_statement()
+        if token.is_keyword("CALL"):
+            return self._call_statement()
+        if token.is_keyword("SELECT"):
+            return n.SelectStatement(self._query())
+        raise self._error(f"expected a statement, found {token.value!r}")
+
+    def _create_statement(self) -> n.Statement:
+        self._expect_keyword("CREATE")
+        if self._accept_keyword("TABLE"):
+            return self._create_table_body()
+        if self._accept_keyword("VIEW"):
+            name = self._expect_identifier("view name")
+            self._expect_keyword("AS")
+            return n.CreateView(name, self._query())
+        if self._accept_keyword("ASSERTION"):
+            name = self._expect_identifier("assertion name")
+            self._expect_keyword("CHECK")
+            self._expect_operator("(")
+            check = self._expression()
+            self._expect_operator(")")
+            return n.CreateAssertion(name, check)
+        raise self._error("expected TABLE, VIEW or ASSERTION after CREATE")
+
+    def _create_table_body(self) -> n.CreateTable:
+        name = self._expect_identifier("table name")
+        self._expect_operator("(")
+        columns: list[n.ColumnDef] = []
+        primary_key: tuple[str, ...] = ()
+        foreign_keys: list[n.ForeignKeySpec] = []
+        uniques: list[tuple[str, ...]] = []
+        while True:
+            if self._accept_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                if primary_key:
+                    raise self._error("duplicate PRIMARY KEY clause")
+                primary_key = self._column_name_list()
+            elif self._accept_keyword("FOREIGN"):
+                self._expect_keyword("KEY")
+                cols = self._column_name_list()
+                self._expect_keyword("REFERENCES")
+                ref_table = self._expect_identifier("referenced table")
+                ref_cols: tuple[str, ...] = ()
+                if self._peek().is_operator("("):
+                    ref_cols = self._column_name_list()
+                foreign_keys.append(n.ForeignKeySpec(cols, ref_table, ref_cols))
+            elif self._accept_keyword("UNIQUE"):
+                uniques.append(self._column_name_list())
+            elif self._accept_keyword("CONSTRAINT"):
+                # named constraints: swallow the name, re-loop on the body
+                self._expect_identifier("constraint name")
+                continue
+            else:
+                columns.append(self._column_def())
+            if not self._accept_operator(","):
+                break
+        self._expect_operator(")")
+        return n.CreateTable(
+            name,
+            tuple(columns),
+            primary_key,
+            tuple(foreign_keys),
+            tuple(uniques),
+        )
+
+    def _column_def(self) -> n.ColumnDef:
+        name = self._expect_identifier("column name")
+        type_name = self._expect_identifier("type name").upper()
+        params: tuple[int, ...] = ()
+        if self._accept_operator("("):
+            values: list[int] = []
+            while True:
+                token = self._peek()
+                if token.type is not TokenType.NUMBER:
+                    raise self._error("expected numeric type parameter")
+                self._advance()
+                values.append(int(token.value))
+                if not self._accept_operator(","):
+                    break
+            self._expect_operator(")")
+            params = tuple(values)
+        not_null = False
+        primary_key = False
+        while True:
+            if self._accept_keyword("NOT"):
+                self._expect_keyword("NULL")
+                not_null = True
+            elif self._accept_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                primary_key = True
+            elif self._accept_keyword("UNIQUE"):
+                primary_key = primary_key  # UNIQUE on a column: recorded below
+                # represent single-column UNIQUE by a marker the caller folds;
+                # simplest correct behaviour: treat as column-level unique
+                # via table-level uniques is handled in ddl; here we accept
+                # and record through a sentinel param-free approach:
+                # (kept simple: column-level UNIQUE is equivalent to a
+                # table-level UNIQUE(name) which ddl derives from not_null
+                # flags; to avoid hidden state we raise for now)
+                raise UnsupportedSQLError(
+                    "use a table-level UNIQUE (col) clause instead of a "
+                    "column-level UNIQUE"
+                )
+            else:
+                break
+        return n.ColumnDef(name, type_name, params, not_null, primary_key)
+
+    def _column_name_list(self) -> tuple[str, ...]:
+        self._expect_operator("(")
+        names = [self._expect_identifier("column name")]
+        while self._accept_operator(","):
+            names.append(self._expect_identifier("column name"))
+        self._expect_operator(")")
+        return tuple(names)
+
+    def _drop_statement(self) -> n.Statement:
+        self._expect_keyword("DROP")
+        if self._accept_keyword("TABLE"):
+            if_exists = self._accept_if_exists()
+            return n.DropTable(self._expect_identifier("table name"), if_exists)
+        if self._accept_keyword("VIEW"):
+            if_exists = self._accept_if_exists()
+            return n.DropView(self._expect_identifier("view name"), if_exists)
+        raise self._error("expected TABLE or VIEW after DROP")
+
+    def _accept_if_exists(self) -> bool:
+        token = self._peek()
+        if token.type is TokenType.IDENT and token.value.upper() == "IF":
+            self._advance()
+            self._expect_keyword("EXISTS")
+            return True
+        return False
+
+    def _insert_statement(self) -> n.Insert:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_identifier("table name")
+        columns: tuple[str, ...] = ()
+        if self._peek().is_operator("("):
+            columns = self._column_name_list()
+        if self._accept_keyword("VALUES"):
+            rows: list[tuple[n.Expr, ...]] = []
+            while True:
+                self._expect_operator("(")
+                values = [self._expression()]
+                while self._accept_operator(","):
+                    values.append(self._expression())
+                self._expect_operator(")")
+                rows.append(tuple(values))
+                if not self._accept_operator(","):
+                    break
+            return n.Insert(table, columns, tuple(rows))
+        if self._peek().is_keyword("SELECT"):
+            return n.Insert(table, columns, (), self._query())
+        raise self._error("expected VALUES or SELECT in INSERT")
+
+    def _delete_statement(self) -> n.Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_identifier("table name")
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("alias")
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._advance().value
+        where = self._expression() if self._accept_keyword("WHERE") else None
+        return n.Delete(table, alias, where)
+
+    def _update_statement(self) -> n.Update:
+        self._expect_keyword("UPDATE")
+        table = self._expect_identifier("table name")
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("alias")
+        elif self._peek().type is TokenType.IDENT and not self._peek().is_keyword("SET"):
+            alias = self._advance().value
+        self._expect_keyword("SET")
+        assignments: list[tuple[str, n.Expr]] = []
+        while True:
+            column = self._expect_identifier("column name")
+            self._expect_operator("=")
+            assignments.append((column, self._expression()))
+            if not self._accept_operator(","):
+                break
+        where = self._expression() if self._accept_keyword("WHERE") else None
+        return n.Update(table, alias, tuple(assignments), where)
+
+    def _truncate_statement(self) -> n.Truncate:
+        self._expect_keyword("TRUNCATE")
+        self._accept_keyword("TABLE")
+        return n.Truncate(self._expect_identifier("table name"))
+
+    def _call_statement(self) -> n.Call:
+        self._expect_keyword("CALL")
+        name = self._expect_identifier("procedure name")
+        args: list[n.Expr] = []
+        if self._accept_operator("("):
+            if not self._peek().is_operator(")"):
+                args.append(self._expression())
+                while self._accept_operator(","):
+                    args.append(self._expression())
+            self._expect_operator(")")
+        return n.Call(name, tuple(args))
+
+    # -- queries ---------------------------------------------------------------
+
+    def _query(self) -> n.Query:
+        selects = [self._select()]
+        union_all: Optional[bool] = None
+        while self._accept_keyword("UNION"):
+            this_all = bool(self._accept_keyword("ALL"))
+            if union_all is None:
+                union_all = this_all
+            elif union_all != this_all:
+                raise UnsupportedSQLError(
+                    "mixing UNION and UNION ALL in one query is not supported"
+                )
+            selects.append(self._select())
+        if len(selects) == 1:
+            return selects[0]
+        return n.Union(tuple(selects), all=bool(union_all))
+
+    def _select(self) -> n.Select:
+        self._expect_keyword("SELECT")
+        self._check_unsupported()
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        self._accept_keyword("ALL")
+        items = self._select_items()
+        self._expect_keyword("FROM")
+        from_items, join_where = self._from_clause()
+        where: Optional[n.Expr] = None
+        if self._accept_keyword("WHERE"):
+            where = self._expression()
+        self._check_unsupported()
+        combined = n.conjoin(join_where + ([where] if where is not None else []))
+        return n.Select(tuple(items), tuple(from_items), combined, distinct)
+
+    def _select_items(self) -> list:
+        items: list = [self._select_item()]
+        while self._accept_operator(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self):
+        if self._accept_operator("*"):
+            return n.Star()
+        # alias.*
+        token = self._peek()
+        if (
+            token.type is TokenType.IDENT
+            and self._peek(1).is_operator(".")
+            and self._peek(2).is_operator("*")
+        ):
+            self._advance()
+            self._advance()
+            self._advance()
+            return n.Star(token.value)
+        expr = self._expression()
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("column alias")
+        elif self._peek().type is TokenType.IDENT:
+            self._check_unsupported()
+            alias = self._advance().value
+        return n.SelectItem(expr, alias)
+
+    def _from_clause(self) -> tuple[list[n.TableRef], list[n.Expr]]:
+        refs = [self._table_ref()]
+        join_conditions: list[n.Expr] = []
+        while True:
+            self._check_unsupported()
+            if self._accept_operator(","):
+                refs.append(self._table_ref())
+            elif self._peek().is_keyword("JOIN", "INNER", "CROSS"):
+                cross = bool(self._accept_keyword("CROSS"))
+                self._accept_keyword("INNER")
+                self._expect_keyword("JOIN")
+                refs.append(self._table_ref())
+                if self._accept_keyword("ON"):
+                    if cross:
+                        raise self._error("CROSS JOIN does not take ON")
+                    join_conditions.append(self._expression())
+                elif not cross:
+                    raise self._error("expected ON after JOIN")
+            else:
+                break
+        return refs, join_conditions
+
+    def _table_ref(self) -> n.TableRef:
+        name = self._expect_identifier("table name")
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("table alias")
+        elif self._peek().type is TokenType.IDENT:
+            self._check_unsupported()
+            alias = self._advance().value
+        return n.TableRef(name, alias)
+
+    # -- expressions --------------------------------------------------------------
+
+    def _expression(self) -> n.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> n.Expr:
+        items = [self._and_expr()]
+        while self._accept_keyword("OR"):
+            items.append(self._and_expr())
+        if len(items) == 1:
+            return items[0]
+        return n.Or(tuple(items))
+
+    def _and_expr(self) -> n.Expr:
+        items = [self._not_expr()]
+        while self._accept_keyword("AND"):
+            items.append(self._not_expr())
+        if len(items) == 1:
+            return items[0]
+        return n.And(tuple(items))
+
+    def _not_expr(self) -> n.Expr:
+        if self._peek().is_keyword("NOT"):
+            # NOT EXISTS is handled in _predicate via the primary; NOT IN is
+            # postfix.  A leading NOT here is a plain logical negation.
+            if self._peek(1).is_keyword("EXISTS"):
+                self._advance()
+                self._expect_keyword("EXISTS")
+                return self._exists_tail(negated=True)
+            self._advance()
+            return n.Not(self._not_expr())
+        return self._predicate()
+
+    def _exists_tail(self, negated: bool) -> n.Exists:
+        self._expect_operator("(")
+        query = self._query()
+        self._expect_operator(")")
+        return n.Exists(query, negated=negated)
+
+    def _predicate(self) -> n.Expr:
+        if self._accept_keyword("EXISTS"):
+            return self._exists_tail(negated=False)
+        left = self._additive()
+        return self._predicate_tail(left)
+
+    def _predicate_tail(self, left: n.Expr) -> n.Expr:
+        token = self._peek()
+        if token.is_operator(*_COMPARISON_OPS):
+            op = self._advance().value
+            right = self._additive()
+            return n.Comparison(op, left, right)
+        negated = False
+        if token.is_keyword("NOT"):
+            nxt = self._peek(1)
+            if nxt.is_keyword("IN", "BETWEEN", "LIKE"):
+                self._advance()
+                negated = True
+                token = self._peek()
+        if token.is_keyword("IN"):
+            self._advance()
+            return self._in_tail(left, negated)
+        if token.is_keyword("BETWEEN"):
+            self._advance()
+            low = self._additive()
+            self._expect_keyword("AND")
+            high = self._additive()
+            between = n.And(
+                (n.Comparison(">=", left, low), n.Comparison("<=", left, high))
+            )
+            return n.Not(between) if negated else between
+        if token.is_keyword("LIKE"):
+            raise UnsupportedSQLError(
+                "LIKE is outside the supported SQL fragment",
+                token.line,
+                token.column,
+            )
+        if token.is_keyword("IS"):
+            self._advance()
+            neg = bool(self._accept_keyword("NOT"))
+            self._expect_keyword("NULL")
+            return n.IsNull(left, negated=neg)
+        return left
+
+    def _in_tail(self, left: n.Expr, negated: bool) -> n.Expr:
+        self._expect_operator("(")
+        if self._peek().is_keyword("SELECT"):
+            query = self._query()
+            self._expect_operator(")")
+            return n.InSubquery(left, query, negated)
+        values = [self._expression()]
+        while self._accept_operator(","):
+            values.append(self._expression())
+        self._expect_operator(")")
+        return n.InList(left, tuple(values), negated)
+
+    def _additive(self) -> n.Expr:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.is_operator("+", "-"):
+                op = self._advance().value
+                left = n.Arithmetic(op, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> n.Expr:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.is_operator("*", "/"):
+                op = self._advance().value
+                left = n.Arithmetic(op, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> n.Expr:
+        if self._accept_operator("-"):
+            operand = self._unary()
+            if isinstance(operand, n.Literal) and isinstance(
+                operand.value, (int, float)
+            ):
+                return n.Literal(-operand.value)
+            return n.Arithmetic("-", n.Literal(0), operand)
+        self._accept_operator("+")
+        return self._primary()
+
+    def _primary(self) -> n.Expr:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.value
+            if "." in text or "e" in text or "E" in text:
+                return n.Literal(float(text))
+            return n.Literal(int(text))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return n.Literal(token.value)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return n.Literal(None)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return n.Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return n.Literal(False)
+        if token.is_operator("("):
+            self._advance()
+            if self._peek().is_keyword("SELECT"):
+                query = self._query()
+                self._expect_operator(")")
+                return self._scalar_subquery(query, token)
+            expr = self._expression()
+            self._expect_operator(")")
+            return expr
+        if token.type is TokenType.IDENT:
+            if self._peek(1).is_operator("("):
+                if token.value.upper() in n.AGGREGATE_FUNCTIONS:
+                    return self._aggregate_call()
+                raise UnsupportedSQLError(
+                    f"function calls ({token.value}) are outside the supported "
+                    "SQL fragment",
+                    token.line,
+                    token.column,
+                )
+            self._advance()
+            if self._accept_operator("."):
+                column = self._expect_identifier("column name")
+                return n.ColumnRef(column, token.value)
+            return n.ColumnRef(token.value)
+        raise self._error(f"expected an expression, found {token.value!r}")
+
+    def _aggregate_call(self) -> n.AggregateCall:
+        func = self._advance().value.upper()
+        self._expect_operator("(")
+        if self._accept_operator("*"):
+            if func != "COUNT":
+                raise self._error(f"{func}(*) is not valid; only COUNT(*)")
+            self._expect_operator(")")
+            return n.AggregateCall("COUNT", None)
+        argument = self._expression()
+        self._expect_operator(")")
+        return n.AggregateCall(func, argument)
+
+    def _scalar_subquery(self, query: n.Query, token: Token) -> n.ScalarSubquery:
+        """Scalar subqueries are allowed only as a single aggregate —
+        enough for the aggregate-assertion extension without admitting
+        general scalar subqueries (outside the paper's fragment)."""
+        if isinstance(query, n.Union):
+            raise UnsupportedSQLError(
+                "scalar subqueries over UNION are not supported",
+                token.line,
+                token.column,
+            )
+        for select in (query,):
+            items = select.items
+            if (
+                len(items) != 1
+                or isinstance(items[0], n.Star)
+                or not isinstance(items[0].expr, n.AggregateCall)
+            ):
+                raise UnsupportedSQLError(
+                    "scalar subqueries must consist of a single aggregate "
+                    "(e.g. (SELECT COUNT(*) FROM ...)); use [NOT] EXISTS or "
+                    "[NOT] IN otherwise",
+                    token.line,
+                    token.column,
+                )
+        return n.ScalarSubquery(query)
+
+
+# ---------------------------------------------------------------------------
+# Module-level conveniences
+
+
+def parse_statement(text: str) -> n.Statement:
+    """Parse a single SQL statement."""
+    return Parser(text).parse_statement()
+
+
+def parse_script(text: str) -> list[n.Statement]:
+    """Parse a ``;``-separated SQL script."""
+    return Parser(text).parse_script()
+
+
+def parse_query(text: str) -> n.Query:
+    """Parse a bare SELECT/UNION query."""
+    return Parser(text).parse_query()
+
+
+def parse_expression(text: str) -> n.Expr:
+    """Parse a bare expression."""
+    return Parser(text).parse_expression()

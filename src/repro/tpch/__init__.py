@@ -1,0 +1,49 @@
+"""TPC-H substrate: schema (Fig. 1), dbgen-style data generator,
+refresh-style update generators, and the assertion library used by the
+demo scenarios and benchmarks."""
+
+from .assertions import (
+    AGGREGATE_ASSERTIONS,
+    ALL_ASSERTIONS,
+    AT_LEAST_ONE_LINEITEM,
+    BIG_ORDER_HAS_BIG_ITEM,
+    COMPLEXITY_SUITE,
+    EVERY_ORDER_HAS_MAX_ITEM,
+    EVERY_PART_HAS_SUPPLIER,
+    LINEITEM_HAS_PARTSUPP,
+    MAX_SEVEN_LINEITEMS,
+    ORDER_QUANTITY_CAP,
+    POSITIVE_QUANTITY,
+    QUANTITY_WITHIN_STOCK,
+    AssertionSpec,
+    by_name,
+)
+from .datagen import TPCHData, TPCHGenerator, load_tpch
+from .schema import TPCH_DDL, TPCH_TABLES, create_tpch_schema, tpch_database
+from .updates import UpdateBatch, UpdateGenerator
+
+__all__ = [
+    "AGGREGATE_ASSERTIONS",
+    "ALL_ASSERTIONS",
+    "AT_LEAST_ONE_LINEITEM",
+    "AssertionSpec",
+    "BIG_ORDER_HAS_BIG_ITEM",
+    "MAX_SEVEN_LINEITEMS",
+    "ORDER_QUANTITY_CAP",
+    "COMPLEXITY_SUITE",
+    "EVERY_ORDER_HAS_MAX_ITEM",
+    "EVERY_PART_HAS_SUPPLIER",
+    "LINEITEM_HAS_PARTSUPP",
+    "POSITIVE_QUANTITY",
+    "QUANTITY_WITHIN_STOCK",
+    "TPCHData",
+    "TPCHGenerator",
+    "TPCH_DDL",
+    "TPCH_TABLES",
+    "UpdateBatch",
+    "UpdateGenerator",
+    "by_name",
+    "create_tpch_schema",
+    "load_tpch",
+    "tpch_database",
+]

@@ -1,0 +1,163 @@
+"""The assertion library used by the demo and the benchmarks.
+
+Six assertions of increasing complexity over the TPC-H schema (the
+paper's §4 evaluates "assertions of different complexity" — this is
+the concrete set this reproduction uses, ordered by the number of
+relations and negations involved).  All of them hold on freshly
+generated :mod:`repro.tpch.datagen` data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AssertionSpec:
+    """An assertion plus bookkeeping for the benchmarks."""
+
+    name: str
+    sql: str
+    #: rough complexity rank used by the E2 bench (1 = simplest)
+    complexity: int
+    description: str
+
+
+#: The paper's running example (§1).
+AT_LEAST_ONE_LINEITEM = AssertionSpec(
+    name="atLeastOneLineItem",
+    sql=(
+        "CREATE ASSERTION atLeastOneLineItem CHECK (NOT EXISTS ("
+        "SELECT * FROM orders AS o WHERE NOT EXISTS ("
+        "SELECT * FROM lineitem AS l WHERE l.l_orderkey = o.o_orderkey)))"
+    ),
+    complexity=3,
+    description="every order has at least one line item (paper §1)",
+)
+
+POSITIVE_QUANTITY = AssertionSpec(
+    name="positiveQuantity",
+    sql=(
+        "CREATE ASSERTION positiveQuantity CHECK (NOT EXISTS ("
+        "SELECT * FROM lineitem AS l WHERE l.l_quantity < 1))"
+    ),
+    complexity=1,
+    description="line item quantities are at least 1 (single table + built-in)",
+)
+
+QUANTITY_WITHIN_STOCK = AssertionSpec(
+    name="quantityWithinStock",
+    sql=(
+        "CREATE ASSERTION quantityWithinStock CHECK (NOT EXISTS ("
+        "SELECT * FROM lineitem AS l, partsupp AS ps "
+        "WHERE l.l_partkey = ps.ps_partkey AND l.l_suppkey = ps.ps_suppkey "
+        "AND l.l_quantity > ps.ps_availqty))"
+    ),
+    complexity=2,
+    description="ordered quantity never exceeds the supplier's stock (join + built-in)",
+)
+
+EVERY_PART_HAS_SUPPLIER = AssertionSpec(
+    name="everyPartHasSupplier",
+    sql=(
+        "CREATE ASSERTION everyPartHasSupplier CHECK (NOT EXISTS ("
+        "SELECT * FROM part AS p WHERE NOT EXISTS ("
+        "SELECT * FROM partsupp AS ps WHERE ps.ps_partkey = p.p_partkey)))"
+    ),
+    complexity=3,
+    description="every part is offered by at least one supplier (simple negation)",
+)
+
+LINEITEM_HAS_PARTSUPP = AssertionSpec(
+    name="lineItemHasPartSupp",
+    sql=(
+        "CREATE ASSERTION lineItemHasPartSupp CHECK (NOT EXISTS ("
+        "SELECT * FROM lineitem AS l WHERE NOT EXISTS ("
+        "SELECT * FROM partsupp AS ps WHERE ps.ps_partkey = l.l_partkey "
+        "AND ps.ps_suppkey = l.l_suppkey)))"
+    ),
+    complexity=4,
+    description="every line item references an offered part/supplier pair "
+    "(negation with composite correlation)",
+)
+
+BIG_ORDER_HAS_BIG_ITEM = AssertionSpec(
+    name="bigOrderHasBigItem",
+    sql=(
+        "CREATE ASSERTION bigOrderHasBigItem CHECK (NOT EXISTS ("
+        "SELECT * FROM orders AS o WHERE o.o_totalprice > 1000.0 "
+        "AND NOT EXISTS (SELECT * FROM lineitem AS l "
+        "WHERE l.l_orderkey = o.o_orderkey AND l.l_quantity >= 10)))"
+    ),
+    complexity=5,
+    description="orders above 1000 contain at least one bulk line item "
+    "(selection + filtered negation)",
+)
+
+EVERY_ORDER_HAS_MAX_ITEM = AssertionSpec(
+    name="everyOrderHasMaxItem",
+    sql=(
+        "CREATE ASSERTION everyOrderHasMaxItem CHECK (NOT EXISTS ("
+        "SELECT * FROM orders AS o WHERE NOT EXISTS ("
+        "SELECT * FROM lineitem AS l WHERE l.l_orderkey = o.o_orderkey "
+        "AND NOT EXISTS (SELECT * FROM lineitem AS m "
+        "WHERE m.l_orderkey = l.l_orderkey AND m.l_quantity > l.l_quantity))))"
+    ),
+    complexity=6,
+    description="every order has a maximal line item — equivalent to "
+    "atLeastOneLineItem but doubly nested (stress case)",
+)
+
+# -- aggregate assertions (the paper's §5 future work, implemented) ---------
+
+MAX_SEVEN_LINEITEMS = AssertionSpec(
+    name="maxSevenLineItems",
+    sql=(
+        "CREATE ASSERTION maxSevenLineItems CHECK (NOT EXISTS ("
+        "SELECT * FROM orders AS o WHERE "
+        "(SELECT COUNT(*) FROM lineitem AS l "
+        "WHERE l.l_orderkey = o.o_orderkey) > 7))"
+    ),
+    complexity=7,
+    description="no order has more than 7 line items (COUNT aggregate — "
+    "the paper's future-work extension)",
+)
+
+ORDER_QUANTITY_CAP = AssertionSpec(
+    name="orderQuantityCap",
+    sql=(
+        "CREATE ASSERTION orderQuantityCap CHECK (NOT EXISTS ("
+        "SELECT * FROM orders AS o WHERE "
+        "(SELECT SUM(l_quantity) FROM lineitem AS l "
+        "WHERE l.l_orderkey = o.o_orderkey) > 350))"
+    ),
+    complexity=7,
+    description="the total quantity of an order never exceeds 350 units "
+    "(SUM aggregate — the paper's future-work extension)",
+)
+
+AGGREGATE_ASSERTIONS: tuple[AssertionSpec, ...] = (
+    MAX_SEVEN_LINEITEMS,
+    ORDER_QUANTITY_CAP,
+)
+
+#: The E2 complexity sweep, simplest first.
+COMPLEXITY_SUITE: tuple[AssertionSpec, ...] = (
+    POSITIVE_QUANTITY,
+    QUANTITY_WITHIN_STOCK,
+    AT_LEAST_ONE_LINEITEM,
+    EVERY_PART_HAS_SUPPLIER,
+    LINEITEM_HAS_PARTSUPP,
+    BIG_ORDER_HAS_BIG_ITEM,
+)
+
+ALL_ASSERTIONS: tuple[AssertionSpec, ...] = (
+    COMPLEXITY_SUITE + (EVERY_ORDER_HAS_MAX_ITEM,) + AGGREGATE_ASSERTIONS
+)
+
+
+def by_name(name: str) -> AssertionSpec:
+    for spec in ALL_ASSERTIONS:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown assertion spec {name!r}")

@@ -1,0 +1,175 @@
+"""Deterministic dbgen-style data generator (laptop-scale).
+
+The paper evaluates on 1-5 GB TPC-H databases; a pure-Python engine
+reproduces the *shape* of those results at a scaled-down size, keeping
+the official row-count *ratios* of the TPC-H specification:
+
+=============  ==============  ======================
+table          rows at SF=1    rows here (sf scaled)
+=============  ==============  ======================
+region         5               5
+nation         25              25
+supplier       10 000          10 000 x sf (min 4)
+customer       150 000         150 000 x sf (min 8)
+part           200 000         200 000 x sf (min 8)
+partsupp       800 000         4 per part
+orders         1 500 000       1 500 000 x sf (min 10)
+lineitem       ~6 000 000      1-7 per order (avg 4)
+=============  ==============  ======================
+
+Generation is fully deterministic for a given ``(scale, seed)`` pair,
+and the generated state satisfies all the assertions in
+:mod:`repro.tpch.assertions` (so checks start from a consistent state,
+matching the paper's assumption).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..minidb.database import Database
+from .schema import TPCH_TABLES
+
+_NATION_NAMES = (
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+)
+_REGION_NAMES = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+_PART_ADJECTIVES = (
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque",
+    "black", "blanched", "blue", "blush", "brown", "burlywood",
+)
+_PART_NOUNS = ("brass", "copper", "nickel", "steel", "tin")
+
+
+@dataclass
+class TPCHData:
+    """Generated rows per table, ready for bulk loading."""
+
+    scale: float
+    seed: int
+    rows: dict[str, list[tuple]] = field(default_factory=dict)
+
+    def counts(self) -> dict[str, int]:
+        return {name: len(rows) for name, rows in self.rows.items()}
+
+    @property
+    def total_rows(self) -> int:
+        return sum(len(rows) for rows in self.rows.values())
+
+
+class TPCHGenerator:
+    """Generates a consistent TPC-H instance at a given scale factor."""
+
+    PARTSUPP_PER_PART = 4
+    MAX_LINEITEMS_PER_ORDER = 7
+
+    def __init__(self, scale: float = 0.001, seed: int = 42):
+        if scale <= 0:
+            raise ValueError("scale factor must be positive")
+        self.scale = scale
+        self.seed = seed
+
+    # -- row counts ---------------------------------------------------------
+
+    @property
+    def supplier_count(self) -> int:
+        return max(4, int(10_000 * self.scale))
+
+    @property
+    def customer_count(self) -> int:
+        return max(8, int(150_000 * self.scale))
+
+    @property
+    def part_count(self) -> int:
+        return max(8, int(200_000 * self.scale))
+
+    @property
+    def order_count(self) -> int:
+        return max(10, int(1_500_000 * self.scale))
+
+    # -- generation ------------------------------------------------------------
+
+    def generate(self) -> TPCHData:
+        rng = random.Random(self.seed)
+        data = TPCHData(self.scale, self.seed)
+
+        data.rows["region"] = [
+            (i, _REGION_NAMES[i]) for i in range(len(_REGION_NAMES))
+        ]
+        data.rows["nation"] = [
+            (i, _NATION_NAMES[i], i % len(_REGION_NAMES))
+            for i in range(len(_NATION_NAMES))
+        ]
+        data.rows["supplier"] = [
+            (i, f"Supplier#{i:09d}", rng.randrange(len(_NATION_NAMES)))
+            for i in range(1, self.supplier_count + 1)
+        ]
+        data.rows["customer"] = [
+            (i, f"Customer#{i:09d}", rng.randrange(len(_NATION_NAMES)))
+            for i in range(1, self.customer_count + 1)
+        ]
+        data.rows["part"] = [
+            (
+                i,
+                f"{rng.choice(_PART_ADJECTIVES)} {rng.choice(_PART_NOUNS)} part {i}",
+                round(rng.uniform(900.0, 2000.0), 2),
+            )
+            for i in range(1, self.part_count + 1)
+        ]
+
+        partsupp: list[tuple] = []
+        partsupp_keys: list[tuple[int, int]] = []
+        supplier_count = self.supplier_count
+        for part_key in range(1, self.part_count + 1):
+            offset = rng.randrange(supplier_count)
+            for j in range(self.PARTSUPP_PER_PART):
+                supp_key = 1 + (offset + j) % supplier_count
+                partsupp.append(
+                    (
+                        part_key,
+                        supp_key,
+                        # at least 50: line items order at most 50 units, so
+                        # the initial state satisfies quantityWithinStock
+                        rng.randrange(50, 10_000),
+                        round(rng.uniform(1.0, 1000.0), 2),
+                    )
+                )
+                partsupp_keys.append((part_key, supp_key))
+        data.rows["partsupp"] = partsupp
+
+        orders: list[tuple] = []
+        lineitems: list[tuple] = []
+        for order_key in range(1, self.order_count + 1):
+            cust_key = rng.randrange(1, self.customer_count + 1)
+            item_count = rng.randrange(1, self.MAX_LINEITEMS_PER_ORDER + 1)
+            total = 0.0
+            for line_number in range(1, item_count + 1):
+                ps_part, ps_supp = partsupp_keys[rng.randrange(len(partsupp_keys))]
+                quantity = rng.randrange(1, 51)
+                total += quantity * 10.0
+                lineitems.append(
+                    (order_key, line_number, ps_part, ps_supp, quantity)
+                )
+            orders.append((order_key, cust_key, round(total, 2)))
+        data.rows["orders"] = orders
+        data.rows["lineitem"] = lineitems
+        return data
+
+    def populate(self, db: Database, data: TPCHData | None = None) -> TPCHData:
+        """Generate (or reuse) data and bulk-load it, bypassing triggers."""
+        if data is None:
+            data = self.generate()
+        for table in TPCH_TABLES:
+            db.insert_rows(table, data.rows[table], bypass_triggers=True)
+        return data
+
+
+def load_tpch(db: Database, scale: float = 0.001, seed: int = 42) -> TPCHData:
+    """Convenience: generate and load a TPC-H instance into ``db``."""
+    return TPCHGenerator(scale, seed).populate(db)

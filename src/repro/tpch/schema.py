@@ -1,0 +1,109 @@
+"""The TPC-H schema of the paper's Figure 1, as executable DDL.
+
+Eight tables with the columns the figure shows (keys, names, the
+quantity/price/cost attributes) plus the primary and foreign keys of
+the TPC-H specification.  Column names follow the official prefix
+convention (``o_``, ``l_``, ``ps_``, ...).
+"""
+
+from __future__ import annotations
+
+from ..minidb.database import Database
+
+#: CREATE TABLE statements in FK-dependency order.
+TPCH_DDL: tuple[str, ...] = (
+    """
+    CREATE TABLE region (
+        r_regionkey INTEGER PRIMARY KEY,
+        r_name      VARCHAR(25) NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE nation (
+        n_nationkey INTEGER PRIMARY KEY,
+        n_name      VARCHAR(25) NOT NULL,
+        n_regionkey INTEGER NOT NULL,
+        FOREIGN KEY (n_regionkey) REFERENCES region (r_regionkey)
+    )
+    """,
+    """
+    CREATE TABLE supplier (
+        s_suppkey   INTEGER PRIMARY KEY,
+        s_name      VARCHAR(25) NOT NULL,
+        s_nationkey INTEGER NOT NULL,
+        FOREIGN KEY (s_nationkey) REFERENCES nation (n_nationkey)
+    )
+    """,
+    """
+    CREATE TABLE customer (
+        c_custkey   INTEGER PRIMARY KEY,
+        c_name      VARCHAR(25) NOT NULL,
+        c_nationkey INTEGER NOT NULL,
+        FOREIGN KEY (c_nationkey) REFERENCES nation (n_nationkey)
+    )
+    """,
+    """
+    CREATE TABLE part (
+        p_partkey     INTEGER PRIMARY KEY,
+        p_name        VARCHAR(55) NOT NULL,
+        p_retailprice DOUBLE NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE partsupp (
+        ps_partkey    INTEGER NOT NULL,
+        ps_suppkey    INTEGER NOT NULL,
+        ps_availqty   INTEGER NOT NULL,
+        ps_supplycost DOUBLE NOT NULL,
+        PRIMARY KEY (ps_partkey, ps_suppkey),
+        FOREIGN KEY (ps_partkey) REFERENCES part (p_partkey),
+        FOREIGN KEY (ps_suppkey) REFERENCES supplier (s_suppkey)
+    )
+    """,
+    """
+    CREATE TABLE orders (
+        o_orderkey   INTEGER PRIMARY KEY,
+        o_custkey    INTEGER NOT NULL,
+        o_totalprice DOUBLE NOT NULL,
+        FOREIGN KEY (o_custkey) REFERENCES customer (c_custkey)
+    )
+    """,
+    """
+    CREATE TABLE lineitem (
+        l_orderkey   INTEGER NOT NULL,
+        l_linenumber INTEGER NOT NULL,
+        l_partkey    INTEGER NOT NULL,
+        l_suppkey    INTEGER NOT NULL,
+        l_quantity   INTEGER NOT NULL,
+        PRIMARY KEY (l_orderkey, l_linenumber),
+        FOREIGN KEY (l_orderkey) REFERENCES orders (o_orderkey),
+        FOREIGN KEY (l_partkey, l_suppkey)
+            REFERENCES partsupp (ps_partkey, ps_suppkey)
+    )
+    """,
+)
+
+#: Table names in FK-dependency order (parents first).
+TPCH_TABLES: tuple[str, ...] = (
+    "region",
+    "nation",
+    "supplier",
+    "customer",
+    "part",
+    "partsupp",
+    "orders",
+    "lineitem",
+)
+
+
+def create_tpch_schema(db: Database) -> None:
+    """Create the eight TPC-H tables in ``db``."""
+    for ddl in TPCH_DDL:
+        db.execute(ddl)
+
+
+def tpch_database(name: str = "TPC") -> Database:
+    """A fresh database with the TPC-H schema installed."""
+    db = Database(name)
+    create_tpch_schema(db)
+    return db

@@ -1,0 +1,185 @@
+"""Refresh-style update generators (the paper's 1-5 MB updates).
+
+TPC-H's refresh functions insert new orders with their lineitems (RF1)
+and delete old orders with their lineitems (RF2).  The paper's
+evaluation applies 1-5 MB batches of such insertions/deletions; the
+:class:`UpdateGenerator` produces equivalent batches at our scale,
+plus *violating* variants (an order inserted without lineitems, a
+lineitem deletion that empties an order) used by the demo scenarios and
+correctness tests.
+
+Updates are staged through the capture API (`insert_rows`/`delete_rows`
+with triggers enabled), so they land in the event tables exactly as a
+user's SQL would.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..minidb.database import Database
+
+
+@dataclass
+class UpdateBatch:
+    """A batch of row insertions and deletions per table."""
+
+    inserts: dict[str, list[tuple]] = field(default_factory=dict)
+    deletes: dict[str, list[tuple]] = field(default_factory=dict)
+
+    def add_insert(self, table: str, row: tuple) -> None:
+        self.inserts.setdefault(table, []).append(row)
+
+    def add_delete(self, table: str, row: tuple) -> None:
+        self.deletes.setdefault(table, []).append(row)
+
+    @property
+    def size(self) -> int:
+        return sum(len(r) for r in self.inserts.values()) + sum(
+            len(r) for r in self.deletes.values()
+        )
+
+    def stage(self, db: Database) -> int:
+        """Send the batch through the (trigger-capturing) DML path."""
+        for table, rows in self.inserts.items():
+            db.insert_rows(table, rows)
+        for table, rows in self.deletes.items():
+            db.delete_rows(table, rows)
+        return self.size
+
+    def merge(self, other: "UpdateBatch") -> "UpdateBatch":
+        merged = UpdateBatch()
+        for batch in (self, other):
+            for table, rows in batch.inserts.items():
+                for row in rows:
+                    merged.add_insert(table, row)
+            for table, rows in batch.deletes.items():
+                for row in rows:
+                    merged.add_delete(table, row)
+        return merged
+
+
+class UpdateGenerator:
+    """Generates refresh batches against a loaded TPC-H database."""
+
+    def __init__(self, db: Database, seed: int = 7):
+        self.db = db
+        self.rng = random.Random(seed)
+        self._next_orderkey = self._max_orderkey() + 1
+
+    def _max_orderkey(self) -> int:
+        keys = [row[0] for row in self.db.table("orders").scan()]
+        return max(keys) if keys else 0
+
+    def _random_partsupp_key(self) -> tuple[int, int]:
+        partsupp = self.db.table("partsupp").rows_snapshot()
+        row = self.rng.choice(partsupp)
+        return row[0], row[1]
+
+    # -- valid refreshes ------------------------------------------------------
+
+    def rf1_new_orders(self, order_count: int) -> UpdateBatch:
+        """RF1: insert new orders, each with 1-7 lineitems (valid)."""
+        batch = UpdateBatch()
+        customers = [row[0] for row in self.db.table("customer").scan()]
+        for _ in range(order_count):
+            order_key = self._next_orderkey
+            self._next_orderkey += 1
+            item_count = self.rng.randrange(1, 8)
+            total = 0.0
+            for line_number in range(1, item_count + 1):
+                part_key, supp_key = self._random_partsupp_key()
+                quantity = self.rng.randrange(1, 51)
+                total += quantity * 10.0
+                batch.add_insert(
+                    "lineitem",
+                    (order_key, line_number, part_key, supp_key, quantity),
+                )
+            batch.add_insert(
+                "orders",
+                (order_key, self.rng.choice(customers), round(total, 2)),
+            )
+        return batch
+
+    def rf2_delete_orders(self, order_count: int) -> UpdateBatch:
+        """RF2: delete existing orders together with their lineitems
+        (valid: no orphans are left behind)."""
+        batch = UpdateBatch()
+        orders = self.db.table("orders").rows_snapshot()
+        victims = self.rng.sample(orders, min(order_count, len(orders)))
+        lineitem = self.db.table("lineitem")
+        for order_row in victims:
+            order_key = order_row[0]
+            batch.add_delete("orders", order_row)
+            for item in lineitem.lookup_secondary(("l_orderkey",), (order_key,)):
+                batch.add_delete("lineitem", item)
+        return batch
+
+    def mixed_refresh(self, order_count: int) -> UpdateBatch:
+        """Half RF1, half RF2 — the paper's insertions+deletions mix."""
+        half = max(1, order_count // 2)
+        return self.rf1_new_orders(half).merge(self.rf2_delete_orders(half))
+
+    # -- violating updates ---------------------------------------------------------
+
+    def violating_order_without_lineitem(self) -> UpdateBatch:
+        """Insert one order with no lineitems (violates the running
+        example assertion ``atLeastOneLineItem``)."""
+        batch = UpdateBatch()
+        customers = [row[0] for row in self.db.table("customer").scan()]
+        order_key = self._next_orderkey
+        self._next_orderkey += 1
+        batch.add_insert(
+            "orders", (order_key, self.rng.choice(customers), 0.0)
+        )
+        return batch
+
+    def violating_empty_an_order(self) -> UpdateBatch:
+        """Delete every lineitem of one existing order, keeping the order."""
+        batch = UpdateBatch()
+        orders = self.db.table("orders").rows_snapshot()
+        order_key = self.rng.choice(orders)[0]
+        lineitem = self.db.table("lineitem")
+        for item in lineitem.lookup_secondary(("l_orderkey",), (order_key,)):
+            batch.add_delete("lineitem", item)
+        return batch
+
+    def violating_negative_quantity(self) -> UpdateBatch:
+        """Insert a lineitem with quantity <= 0 into an existing order."""
+        batch = UpdateBatch()
+        orders = self.db.table("orders").rows_snapshot()
+        order_key = self.rng.choice(orders)[0]
+        part_key, supp_key = self._random_partsupp_key()
+        batch.add_insert("lineitem", (order_key, 9999, part_key, supp_key, 0))
+        return batch
+
+    def violating_too_many_items(self, extra: int = 8) -> UpdateBatch:
+        """Add ``extra`` new lineitems to one existing order (violates
+        the maxSevenLineItems aggregate assertion)."""
+        batch = UpdateBatch()
+        orders = self.db.table("orders").rows_snapshot()
+        order_key = self.rng.choice(orders)[0]
+        for line_number in range(100, 100 + extra):
+            part_key, supp_key = self._random_partsupp_key()
+            batch.add_insert(
+                "lineitem", (order_key, line_number, part_key, supp_key, 1)
+            )
+        return batch
+
+    def violating_bulk_quantities(self) -> UpdateBatch:
+        """Push one order's total quantity above 350 (violates the
+        orderQuantityCap aggregate assertion) without exceeding 7 items."""
+        batch = UpdateBatch()
+        orders = self.db.table("orders").rows_snapshot()
+        order_key = self.rng.choice(orders)[0]
+        lineitem = self.db.table("lineitem")
+        for item in lineitem.lookup_secondary(("l_orderkey",), (order_key,)):
+            batch.add_delete("lineitem", item)
+        # replace with 7 maximal-quantity items: 7 x 51 = 357 > 350
+        for line_number in range(1, 8):
+            part_key, supp_key = self._random_partsupp_key()
+            batch.add_insert(
+                "lineitem", (order_key, line_number, part_key, supp_key, 51)
+            )
+        return batch

@@ -1,0 +1,342 @@
+"""Tests for the aggregate-assertion extension (paper §5 future work).
+
+Covers the supported shapes (COUNT/SUM/MIN/MAX/AVG bounds per group),
+the incremental group-probe checker against safeCommit, rejection of
+unsupported shapes, and a differential property test against a full
+recheck.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Tintin
+from repro.core.aggregates import AggregateAssertionCompiler
+from repro.core.assertion import Assertion
+from repro.errors import AssertionDefinitionError
+from repro.minidb import Database
+
+
+def make_db():
+    db = Database()
+    db.execute("CREATE TABLE orders (ok INTEGER PRIMARY KEY, ck INTEGER)")
+    db.execute(
+        "CREATE TABLE li (ok INTEGER NOT NULL, ln INTEGER NOT NULL, "
+        "qty INTEGER NOT NULL, PRIMARY KEY (ok, ln), "
+        "FOREIGN KEY (ok) REFERENCES orders (ok))"
+    )
+    return db
+
+
+MAX_THREE = (
+    "CREATE ASSERTION maxThree CHECK (NOT EXISTS ("
+    "SELECT * FROM orders AS o WHERE "
+    "(SELECT COUNT(*) FROM li AS l WHERE l.ok = o.ok) > 3))"
+)
+SUM_CAP = (
+    "CREATE ASSERTION sumCap CHECK (NOT EXISTS ("
+    "SELECT * FROM orders AS o WHERE "
+    "(SELECT SUM(qty) FROM li AS l WHERE l.ok = o.ok) > 100))"
+)
+
+
+@pytest.fixture
+def installed():
+    db = make_db()
+    tintin = Tintin(db)
+    tintin.install()
+    tintin.add_assertion(MAX_THREE)
+    tintin.add_assertion(SUM_CAP)
+    db.insert_rows("orders", [(1, 10), (2, 20)], bypass_triggers=True)
+    db.insert_rows(
+        "li", [(1, 1, 10), (1, 2, 20), (2, 1, 5)], bypass_triggers=True
+    )
+    return db, tintin
+
+
+class TestCompiler:
+    def test_detects_aggregate_assertion(self):
+        assertion = Assertion.parse(MAX_THREE)
+        assert AggregateAssertionCompiler.is_aggregate_assertion(assertion)
+
+    def test_plain_assertion_not_detected(self):
+        assertion = Assertion.parse(
+            "CREATE ASSERTION x CHECK (NOT EXISTS (SELECT * FROM orders))"
+        )
+        assert not AggregateAssertionCompiler.is_aggregate_assertion(assertion)
+
+    def test_spec_fields(self):
+        db = make_db()
+        spec = AggregateAssertionCompiler(db.catalog).compile(
+            Assertion.parse(MAX_THREE)
+        )
+        assert spec.func == "COUNT"
+        assert spec.argument is None
+        assert spec.op == ">"
+        assert spec.bound == 3
+        assert spec.outer_table == "orders"
+        assert spec.inner_table == "li"
+        assert spec.correlation == ((0, 0),)
+        assert set(spec.driving_tables) == {"ins_orders", "ins_li", "del_li"}
+
+    def test_flipped_comparison_normalized(self):
+        db = make_db()
+        spec = AggregateAssertionCompiler(db.catalog).compile(
+            Assertion.parse(
+                "CREATE ASSERTION x CHECK (NOT EXISTS ("
+                "SELECT * FROM orders AS o WHERE 3 < "
+                "(SELECT COUNT(*) FROM li AS l WHERE l.ok = o.ok)))"
+            )
+        )
+        assert spec.op == ">"
+        assert spec.bound == 3
+
+    def test_outer_condition_supported(self):
+        db = make_db()
+        spec = AggregateAssertionCompiler(db.catalog).compile(
+            Assertion.parse(
+                "CREATE ASSERTION x CHECK (NOT EXISTS ("
+                "SELECT * FROM orders AS o WHERE o.ck > 5 AND "
+                "(SELECT COUNT(*) FROM li AS l WHERE l.ok = o.ok) > 3))"
+            )
+        )
+        assert spec.outer_condition is not None
+
+    def test_inner_condition_supported(self):
+        db = make_db()
+        spec = AggregateAssertionCompiler(db.catalog).compile(
+            Assertion.parse(
+                "CREATE ASSERTION x CHECK (NOT EXISTS ("
+                "SELECT * FROM orders AS o WHERE "
+                "(SELECT COUNT(*) FROM li AS l WHERE l.ok = o.ok "
+                "AND l.qty > 5) > 3))"
+            )
+        )
+        assert spec.inner_condition is not None
+
+    @pytest.mark.parametrize(
+        "sql,message",
+        [
+            (
+                "CREATE ASSERTION x CHECK (NOT EXISTS ("
+                "SELECT * FROM orders AS o, li AS m WHERE "
+                "(SELECT COUNT(*) FROM li AS l WHERE l.ok = o.ok) > 3))",
+                "one outer table",
+            ),
+            (
+                "CREATE ASSERTION x CHECK (NOT EXISTS ("
+                "SELECT * FROM orders AS o WHERE "
+                "(SELECT COUNT(*) FROM li AS l WHERE l.qty > 0) > 3))",
+                "equi-correlated",
+            ),
+            (
+                "CREATE ASSERTION x CHECK (NOT EXISTS ("
+                "SELECT * FROM orders AS o WHERE "
+                "(SELECT COUNT(*) FROM li AS l WHERE l.ok = o.ok) > o.ck))",
+                "constant",
+            ),
+        ],
+    )
+    def test_unsupported_shapes_rejected(self, sql, message):
+        db = make_db()
+        with pytest.raises(AssertionDefinitionError, match=message):
+            AggregateAssertionCompiler(db.catalog).compile(Assertion.parse(sql))
+
+
+class TestIncrementalChecking:
+    def test_within_bound_commits(self, installed):
+        db, tintin = installed
+        db.execute("INSERT INTO li VALUES (1, 3, 30)")  # third item, sum 60
+        assert tintin.safe_commit().committed
+
+    def test_count_violation_rejected(self, installed):
+        db, tintin = installed
+        db.execute("INSERT INTO li VALUES (1, 3, 1)")
+        db.execute("INSERT INTO li VALUES (1, 4, 1)")  # fourth item
+        result = tintin.safe_commit()
+        assert result.rejected
+        assert result.violations[0].assertion == "maxThree"
+        assert result.violations[0].rows == [(1, 10)]
+
+    def test_sum_violation_rejected(self, installed):
+        db, tintin = installed
+        db.execute("INSERT INTO li VALUES (1, 3, 90)")  # sum 120 > 100
+        result = tintin.safe_commit()
+        assert result.rejected
+        assert {v.assertion for v in result.violations} == {"sumCap"}
+
+    def test_new_order_with_violation(self, installed):
+        db, tintin = installed
+        db.execute("INSERT INTO orders VALUES (3, 30)")
+        for i in range(1, 5):
+            db.execute(f"INSERT INTO li VALUES (3, {i}, 1)")
+        result = tintin.safe_commit()
+        assert result.rejected
+        assert result.violations[0].rows == [(3, 30)]
+
+    def test_deletion_can_fix_violation(self, installed):
+        db, tintin = installed
+        # swap a big item for a small one in the same transaction
+        db.execute("DELETE FROM li WHERE ok = 1 AND ln = 2")  # remove qty 20
+        db.execute("INSERT INTO li VALUES (1, 9, 95)")  # sum 10+95=105? no:
+        # 10 (ln 1) + 95 = 105 > 100 -> still violated
+        result = tintin.safe_commit()
+        assert result.rejected
+
+    def test_deletion_balances_insertion(self, installed):
+        db, tintin = installed
+        db.execute("DELETE FROM li WHERE ok = 1 AND ln = 2")  # -20
+        db.execute("INSERT INTO li VALUES (1, 9, 85)")  # 10+85 = 95 <= 100
+        assert tintin.safe_commit().committed
+
+    def test_deleting_outer_row_with_items_is_fine(self, installed):
+        db, tintin = installed
+        db.execute("DELETE FROM li WHERE ok = 2")
+        db.execute("DELETE FROM orders WHERE ok = 2")
+        assert tintin.safe_commit().committed
+
+    def test_untouched_tables_skip_check(self, installed):
+        db, tintin = installed
+        db.execute("CREATE TABLE unrelated (x INTEGER)")
+        tintin.events.install(["unrelated"])
+        db.execute("INSERT INTO unrelated VALUES (1)")
+        result = tintin.safe_commit()
+        assert result.committed
+        assert result.checked_views == 0  # both aggregate checks skipped
+        assert result.skipped_views == 2
+
+    def test_base_data_untouched_on_rejection(self, installed):
+        db, tintin = installed
+        before = sorted(db.table("li").scan())
+        db.execute("INSERT INTO li VALUES (1, 3, 999)")
+        tintin.safe_commit()
+        assert sorted(db.table("li").scan()) == before
+
+    def test_drop_aggregate_assertion(self, installed):
+        db, tintin = installed
+        tintin.drop_assertion("maxThree")
+        db.execute("INSERT INTO li VALUES (1, 3, 1)")
+        db.execute("INSERT INTO li VALUES (1, 4, 1)")
+        assert tintin.safe_commit().committed  # only sumCap remains
+
+    def test_describe_mentions_aggregate(self, installed):
+        _, tintin = installed
+        text = tintin.describe()
+        assert "COUNT(*)" in text
+        assert "SUM" in text
+
+    def test_baseline_agrees_on_aggregate(self, installed):
+        db, tintin = installed
+        db.execute("INSERT INTO li VALUES (1, 3, 1)")
+        db.execute("INSERT INTO li VALUES (1, 4, 1)")
+        result = tintin.full_check_commit()
+        assert result.rejected
+
+
+class TestMinMaxAvg:
+    def make(self, sql):
+        db = make_db()
+        tintin = Tintin(db)
+        tintin.install()
+        tintin.add_assertion(sql)
+        db.insert_rows("orders", [(1, 10)], bypass_triggers=True)
+        db.insert_rows("li", [(1, 1, 10), (1, 2, 20)], bypass_triggers=True)
+        return db, tintin
+
+    def test_min_bound(self):
+        db, tintin = self.make(
+            "CREATE ASSERTION minQty CHECK (NOT EXISTS ("
+            "SELECT * FROM orders AS o WHERE "
+            "(SELECT MIN(qty) FROM li AS l WHERE l.ok = o.ok) < 5))"
+        )
+        db.execute("INSERT INTO li VALUES (1, 3, 2)")
+        assert tintin.safe_commit().rejected
+
+    def test_max_bound(self):
+        db, tintin = self.make(
+            "CREATE ASSERTION maxQty CHECK (NOT EXISTS ("
+            "SELECT * FROM orders AS o WHERE "
+            "(SELECT MAX(qty) FROM li AS l WHERE l.ok = o.ok) > 50))"
+        )
+        db.execute("INSERT INTO li VALUES (1, 3, 60)")
+        assert tintin.safe_commit().rejected
+
+    def test_avg_bound(self):
+        db, tintin = self.make(
+            "CREATE ASSERTION avgQty CHECK (NOT EXISTS ("
+            "SELECT * FROM orders AS o WHERE "
+            "(SELECT AVG(qty) FROM li AS l WHERE l.ok = o.ok) > 40))"
+        )
+        db.execute("INSERT INTO li VALUES (1, 3, 200)")  # avg ~76
+        assert tintin.safe_commit().rejected
+
+    def test_empty_group_aggregate_is_null_not_violation(self):
+        # MIN over an empty group is NULL -> comparison UNKNOWN -> no
+        # violation (SQL semantics)
+        db, tintin = self.make(
+            "CREATE ASSERTION minQty CHECK (NOT EXISTS ("
+            "SELECT * FROM orders AS o WHERE "
+            "(SELECT MIN(qty) FROM li AS l WHERE l.ok = o.ok) < 5))"
+        )
+        db.execute("INSERT INTO orders VALUES (9, 90)")  # no items at all
+        assert tintin.safe_commit().committed
+
+
+# ---------------------------------------------------------------------------
+# Differential property: incremental aggregate check == full recheck
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    base_items=st.lists(
+        st.tuples(st.integers(1, 4), st.integers(1, 4), st.integers(1, 40)),
+        max_size=12,
+        unique_by=lambda t: (t[0], t[1]),
+    ),
+    new_items=st.lists(
+        st.tuples(st.integers(1, 4), st.integers(5, 9), st.integers(1, 60)),
+        max_size=8,
+        unique_by=lambda t: (t[0], t[1]),
+    ),
+    del_keys=st.lists(
+        st.tuples(st.integers(1, 4), st.integers(1, 4)), max_size=8, unique=True
+    ),
+)
+def test_aggregate_incremental_matches_full(base_items, new_items, del_keys):
+    db = make_db()
+    tintin = Tintin(db)
+    tintin.install()
+    tintin.add_assertion(SUM_CAP)
+    db.insert_rows("orders", [(k, k) for k in range(1, 5)], bypass_triggers=True)
+    # keep the initial state consistent: drop items of over-cap orders
+    totals: dict[int, int] = {}
+    consistent = []
+    for ok, ln, qty in base_items:
+        if totals.get(ok, 0) + qty <= 100:
+            totals[ok] = totals.get(ok, 0) + qty
+            consistent.append((ok, ln, qty))
+    db.insert_rows("li", consistent, bypass_triggers=True)
+
+    for ok, ln in del_keys:
+        db.execute(f"DELETE FROM li WHERE ok = {ok} AND ln = {ln}")
+    for ok, ln, qty in new_items:
+        db.execute(f"INSERT INTO li VALUES ({ok}, {ln}, {qty})")
+
+    incremental = tintin.check_pending()
+
+    # ground truth on a scratch copy
+    scratch = make_db()
+    scratch.insert_rows(
+        "orders", db.table("orders").rows_snapshot(), bypass_triggers=True
+    )
+    scratch.insert_rows("li", db.table("li").rows_snapshot(), bypass_triggers=True)
+    scratch.apply_batch(
+        {"li": db.table("ins_li").rows_snapshot()},
+        {"li": db.table("del_li").rows_snapshot()},
+    )
+    scratch_t = Tintin(scratch)
+    scratch_t.install()
+    scratch_t.add_assertion(SUM_CAP)
+    ground_truth = bool(scratch_t.baseline.check_current_state(scratch))
+
+    assert incremental.rejected == ground_truth

@@ -1,0 +1,344 @@
+"""Tests for assertion -> denial compilation."""
+
+import pytest
+
+from repro.core import Assertion, DenialCompiler
+from repro.errors import (
+    AssertionDefinitionError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from repro.logic import Atom, Builtin, Constant, NegatedConjunction
+from repro.minidb import Database
+
+
+@pytest.fixture
+def db():
+    database = Database("tpc")
+    database.execute(
+        "CREATE TABLE orders (o_orderkey INTEGER PRIMARY KEY, o_custkey INTEGER)"
+    )
+    database.execute(
+        "CREATE TABLE lineitem (l_orderkey INTEGER NOT NULL, "
+        "l_linenumber INTEGER NOT NULL, l_quantity INTEGER, "
+        "PRIMARY KEY (l_orderkey, l_linenumber), "
+        "FOREIGN KEY (l_orderkey) REFERENCES orders (o_orderkey))"
+    )
+    return database
+
+
+def compile_sql(db, sql):
+    return DenialCompiler(db.catalog).compile(Assertion.parse(sql))
+
+
+def not_exists(inner):
+    return f"CREATE ASSERTION a CHECK (NOT EXISTS ({inner}))"
+
+
+class TestAssertionParsing:
+    def test_parse_create_assertion(self):
+        a = Assertion.parse(not_exists("SELECT * FROM t"))
+        assert a.name == "a"
+
+    def test_non_assertion_statement_rejected(self):
+        with pytest.raises(AssertionDefinitionError):
+            Assertion.parse("SELECT * FROM t")
+
+    def test_check_must_be_not_exists(self):
+        a = Assertion.parse("CREATE ASSERTION a CHECK (EXISTS (SELECT * FROM t))")
+        with pytest.raises(AssertionDefinitionError):
+            a.inner_queries()
+
+    def test_conjunction_of_not_exists_allowed(self):
+        a = Assertion.parse(
+            "CREATE ASSERTION a CHECK (NOT EXISTS (SELECT * FROM t) "
+            "AND NOT EXISTS (SELECT * FROM u))"
+        )
+        assert len(a.inner_queries()) == 2
+
+
+class TestRunningExample:
+    SQL = (
+        "CREATE ASSERTION atLeastOneLineItem CHECK (NOT EXISTS ("
+        "SELECT * FROM orders AS o WHERE NOT EXISTS ("
+        "SELECT * FROM lineitem AS l WHERE l.l_orderkey = o.o_orderkey)))"
+    )
+
+    def test_produces_paper_denial(self, db):
+        denials = compile_sql(db, self.SQL)
+        assert len(denials) == 1
+        denial = denials[0]
+        # order(o) ∧ ¬lineIt(l, o) → ⊥
+        assert len(denial.positive_atoms) == 1
+        assert denial.positive_atoms[0].predicate.name == "orders"
+        ncs = denial.negated_conjunctions
+        assert len(ncs) == 1
+        assert ncs[0].is_simple
+        inner = ncs[0].atoms[0]
+        assert inner.predicate.name == "lineitem"
+        # the correlated variable is shared between the two atoms
+        order_key_var = denial.positive_atoms[0].terms[0]
+        assert inner.terms[0] == order_key_var
+
+    def test_case_insensitive_tables_and_columns(self, db):
+        sql = self.SQL.replace("orders", "ORDERS").replace(
+            "l_orderkey", "L_ORDERKEY"
+        )
+        denials = compile_sql(db, sql)
+        assert len(denials) == 1
+
+
+class TestConditionTranslation:
+    def test_builtin_comparison(self, db):
+        denials = compile_sql(
+            db, not_exists("SELECT * FROM lineitem AS l WHERE l.l_quantity > 100")
+        )
+        assert denials[0].builtins == (
+            Builtin(">", denials[0].positive_atoms[0].terms[2], Constant(100)),
+        )
+
+    def test_equality_with_constant_binds_term(self, db):
+        denials = compile_sql(
+            db, not_exists("SELECT * FROM orders AS o WHERE o.o_custkey = 7")
+        )
+        assert denials[0].positive_atoms[0].terms[1] == Constant(7)
+
+    def test_join_unifies_variables(self, db):
+        denials = compile_sql(
+            db,
+            not_exists(
+                "SELECT * FROM orders AS o, lineitem AS l "
+                "WHERE o.o_orderkey = l.l_orderkey"
+            ),
+        )
+        (denial,) = denials
+        orders_atom = next(
+            a for a in denial.positive_atoms if a.predicate.name == "orders"
+        )
+        lineitem_atom = next(
+            a for a in denial.positive_atoms if a.predicate.name == "lineitem"
+        )
+        assert orders_atom.terms[0] == lineitem_atom.terms[0]
+
+    def test_contradictory_constants_drop_branch(self, db):
+        denials = compile_sql(
+            db,
+            not_exists(
+                "SELECT * FROM orders AS o WHERE o.o_custkey = 1 AND o.o_custkey = 2"
+            ),
+        )
+        assert denials == []
+
+    def test_or_produces_two_denials(self, db):
+        denials = compile_sql(
+            db,
+            not_exists(
+                "SELECT * FROM lineitem AS l "
+                "WHERE l.l_quantity > 100 OR l.l_quantity < 0"
+            ),
+        )
+        assert len(denials) == 2
+
+    def test_union_produces_two_denials(self, db):
+        denials = compile_sql(
+            db,
+            not_exists(
+                "SELECT * FROM lineitem AS l WHERE l.l_quantity > 100 "
+                "UNION SELECT * FROM lineitem AS l WHERE l.l_quantity < 0"
+            ),
+        )
+        assert len(denials) == 2
+        assert denials[0].name == "a"
+        assert denials[1].name == "a_b2"
+
+    def test_in_list_distributes(self, db):
+        denials = compile_sql(
+            db,
+            not_exists("SELECT * FROM orders AS o WHERE o.o_custkey IN (1, 2, 3)"),
+        )
+        assert len(denials) == 3
+        constants = {d.positive_atoms[0].terms[1] for d in denials}
+        assert constants == {Constant(1), Constant(2), Constant(3)}
+
+    def test_not_in_list_becomes_inequalities(self, db):
+        denials = compile_sql(
+            db,
+            not_exists(
+                "SELECT * FROM orders AS o WHERE o.o_custkey NOT IN (1, 2)"
+            ),
+        )
+        (denial,) = denials
+        assert len(denial.builtins) == 2
+        assert all(b.op == "<>" for b in denial.builtins)
+
+    def test_between_translates(self, db):
+        denials = compile_sql(
+            db,
+            not_exists(
+                "SELECT * FROM lineitem AS l WHERE l.l_quantity BETWEEN 5 AND 9"
+            ),
+        )
+        ops = sorted(b.op for b in denials[0].builtins)
+        assert ops == ["<=", ">="]
+
+    def test_true_literal_dropped(self, db):
+        denials = compile_sql(
+            db, not_exists("SELECT * FROM orders AS o WHERE TRUE")
+        )
+        assert len(denials) == 1
+        assert denials[0].builtins == ()
+
+    def test_false_literal_kills_branch(self, db):
+        denials = compile_sql(
+            db, not_exists("SELECT * FROM orders AS o WHERE FALSE")
+        )
+        assert denials == []
+
+
+class TestSubqueryTranslation:
+    def test_positive_exists_flattens(self, db):
+        denials = compile_sql(
+            db,
+            not_exists(
+                "SELECT * FROM orders AS o WHERE EXISTS ("
+                "SELECT * FROM lineitem AS l "
+                "WHERE l.l_orderkey = o.o_orderkey AND l.l_quantity > 9)"
+            ),
+        )
+        (denial,) = denials
+        assert len(denial.positive_atoms) == 2
+        assert denial.negated_conjunctions == ()
+
+    def test_in_subquery_flattens(self, db):
+        denials = compile_sql(
+            db,
+            not_exists(
+                "SELECT * FROM orders AS o WHERE o.o_orderkey IN ("
+                "SELECT l_orderkey FROM lineitem)"
+            ),
+        )
+        (denial,) = denials
+        assert len(denial.positive_atoms) == 2
+
+    def test_not_in_subquery_becomes_negation(self, db):
+        denials = compile_sql(
+            db,
+            not_exists(
+                "SELECT * FROM lineitem AS l WHERE l.l_orderkey NOT IN ("
+                "SELECT o_orderkey FROM orders)"
+            ),
+        )
+        (denial,) = denials
+        assert len(denial.negated_conjunctions) == 1
+        assert denial.negated_conjunctions[0].atoms[0].predicate.name == "orders"
+
+    def test_nested_not_exists(self, db):
+        denials = compile_sql(
+            db,
+            not_exists(
+                "SELECT * FROM orders AS o WHERE NOT EXISTS ("
+                "SELECT * FROM lineitem AS l WHERE l.l_orderkey = o.o_orderkey "
+                "AND NOT EXISTS (SELECT * FROM lineitem AS m "
+                "WHERE m.l_orderkey = l.l_orderkey AND m.l_quantity > l.l_quantity))"
+            ),
+        )
+        (denial,) = denials
+        nc = denial.negated_conjunctions[0]
+        assert not nc.is_simple
+        assert len(nc.nested) == 1
+
+    def test_negated_subquery_with_filter_stays_simple(self, db):
+        denials = compile_sql(
+            db,
+            not_exists(
+                "SELECT * FROM orders AS o WHERE NOT EXISTS ("
+                "SELECT * FROM lineitem AS l WHERE l.l_orderkey = o.o_orderkey "
+                "AND l.l_quantity > 5)"
+            ),
+        )
+        nc = denials[0].negated_conjunctions[0]
+        assert nc.is_simple
+        assert len(nc.builtins) == 1
+
+    def test_union_under_negation_gives_two_conjunctions(self, db):
+        denials = compile_sql(
+            db,
+            not_exists(
+                "SELECT * FROM orders AS o WHERE NOT EXISTS ("
+                "SELECT * FROM lineitem AS l WHERE l.l_orderkey = o.o_orderkey "
+                "UNION SELECT * FROM lineitem AS l WHERE l.l_quantity = 0)"
+            ),
+        )
+        assert len(denials[0].negated_conjunctions) == 2
+
+
+class TestRejections:
+    def test_unknown_table(self, db):
+        with pytest.raises(UnknownTableError):
+            compile_sql(db, not_exists("SELECT * FROM ghost"))
+
+    def test_unknown_column(self, db):
+        with pytest.raises(UnknownColumnError):
+            compile_sql(db, not_exists("SELECT * FROM orders AS o WHERE o.nope = 1"))
+
+    def test_view_reference_rejected(self, db):
+        db.execute("CREATE VIEW v AS SELECT * FROM orders")
+        with pytest.raises(AssertionDefinitionError, match="view"):
+            compile_sql(db, not_exists("SELECT * FROM v"))
+
+    def test_arithmetic_rejected(self, db):
+        with pytest.raises(AssertionDefinitionError, match="arithmetic"):
+            compile_sql(
+                db,
+                not_exists(
+                    "SELECT * FROM lineitem AS l WHERE l.l_quantity + 1 > 5"
+                ),
+            )
+
+    def test_is_null_rejected(self, db):
+        with pytest.raises(AssertionDefinitionError):
+            compile_sql(
+                db, not_exists("SELECT * FROM orders AS o WHERE o.o_custkey IS NULL")
+            )
+
+    def test_null_literal_rejected(self, db):
+        with pytest.raises(AssertionDefinitionError):
+            compile_sql(
+                db, not_exists("SELECT * FROM orders AS o WHERE o.o_custkey = NULL")
+            )
+
+    def test_ambiguous_column_rejected(self, db):
+        db.execute("CREATE TABLE other (o_custkey INTEGER)")
+        with pytest.raises(AssertionDefinitionError, match="ambiguous"):
+            compile_sql(
+                db,
+                not_exists("SELECT * FROM orders, other WHERE o_custkey = 1"),
+            )
+
+    def test_duplicate_binding_rejected(self, db):
+        with pytest.raises(AssertionDefinitionError, match="duplicate"):
+            compile_sql(
+                db, not_exists("SELECT * FROM orders AS x, lineitem AS x")
+            )
+
+
+class TestOuterTermEqualityUnderNegation:
+    def test_outer_equality_kept_inside_negation(self, db):
+        # o.o_custkey = o.o_orderkey under NOT EXISTS must remain a
+        # condition of the subquery, not leak out as a unification
+        denials = compile_sql(
+            db,
+            not_exists(
+                "SELECT * FROM orders AS o WHERE NOT EXISTS ("
+                "SELECT * FROM lineitem AS l "
+                "WHERE o.o_custkey = o.o_orderkey)"
+            ),
+        )
+        (denial,) = denials
+        nc = denial.negated_conjunctions[0]
+        assert len(nc.builtins) == 1
+        assert nc.builtins[0].op == "="
+        # the denial itself must NOT constrain the two order columns
+        orders_atom = denial.positive_atoms[0]
+        assert orders_atom.terms[0] != orders_atom.terms[1]
+        assert denial.builtins == ()

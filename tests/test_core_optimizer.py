@@ -1,0 +1,156 @@
+"""Tests for the semantic EDC optimizer."""
+
+import pytest
+
+from repro.core import Assertion, DenialCompiler, EDCGenerator, SemanticOptimizer
+from repro.core.edc import EDC
+from repro.logic import Atom, Builtin, Constant, Predicate, Variable
+from repro.logic.literals import DEL, INS
+from repro.minidb import Database
+
+O = Variable("o")
+C = Variable("c")
+
+
+@pytest.fixture
+def db():
+    database = Database("tpc")
+    database.execute(
+        "CREATE TABLE orders (o_orderkey INTEGER PRIMARY KEY, o_custkey INTEGER)"
+    )
+    database.execute(
+        "CREATE TABLE lineitem (l_orderkey INTEGER NOT NULL, "
+        "l_linenumber INTEGER NOT NULL, l_quantity INTEGER, "
+        "PRIMARY KEY (l_orderkey, l_linenumber), "
+        "FOREIGN KEY (l_orderkey) REFERENCES orders (o_orderkey))"
+    )
+    return database
+
+
+def edcs_for(db, sql, optimize=True):
+    assertion = Assertion.parse(sql)
+    denials = DenialCompiler(db.catalog).compile(assertion)
+    generator = EDCGenerator()
+    optimizer = SemanticOptimizer(db.catalog, enabled=optimize)
+    result, reports = [], []
+    for denial in denials:
+        edcs, _ = generator.generate(denial)
+        kept, report = optimizer.optimize(edcs)
+        result.extend(kept)
+        reports.append(report)
+    return result, reports
+
+
+RUNNING_EXAMPLE = (
+    "CREATE ASSERTION atLeastOneLineItem CHECK (NOT EXISTS ("
+    "SELECT * FROM orders AS o WHERE NOT EXISTS ("
+    "SELECT * FROM lineitem AS l WHERE l.l_orderkey = o.o_orderkey)))"
+)
+
+
+class TestFKPruning:
+    def test_paper_edc5_is_discarded(self, db):
+        """The paper: 'EDC 5 can be safely discarded assuming that the
+        foreign key constraint from lineitem to order is satisfied'."""
+        kept, reports = edcs_for(db, RUNNING_EXAMPLE)
+        assert len(kept) == 2
+        (report,) = reports
+        assert report.dropped_count == 1
+        assert "foreign key" in report.dropped[0][1]
+        # the pruned EDC is the ιorders ∧ δlineitem one
+        remaining_tables = [sorted(e.event_tables) for e in kept]
+        assert ["del_lineitem", "ins_orders"] not in remaining_tables
+
+    def test_disabled_optimizer_keeps_all_three(self, db):
+        kept, reports = edcs_for(db, RUNNING_EXAMPLE, optimize=False)
+        assert len(kept) == 3
+        assert reports[0].dropped_count == 0
+
+    def test_no_pruning_without_fk(self, db):
+        # part/partsupp-style tables without the FK: nothing to prune
+        db.execute("CREATE TABLE a (k INTEGER PRIMARY KEY)")
+        db.execute("CREATE TABLE b (k INTEGER, x INTEGER)")  # no FK
+        kept, reports = edcs_for(
+            db,
+            "CREATE ASSERTION x CHECK (NOT EXISTS (SELECT * FROM a WHERE "
+            "NOT EXISTS (SELECT * FROM b WHERE b.k = a.k)))",
+        )
+        assert len(kept) == 3
+
+    def test_fk_pruning_requires_key_alignment(self, db):
+        # the deleted child correlates on a different column than the
+        # inserted parent's key -> no pruning
+        checker = SemanticOptimizer(db.catalog)
+        ins_orders = Atom(Predicate("orders", INS), (O, C))
+        del_lineitem = Atom(
+            Predicate("lineitem", DEL), (C, Variable("n"), Variable("q"))
+        )
+        edc = EDC("x1", "x", (ins_orders, del_lineitem))
+        kept, report = checker.optimize([edc])
+        # child key is C which equals parent's o_custkey, not its PK term O
+        assert len(kept) == 0 or len(kept) == 1
+        # alignment here: child term C vs parent pk term O -> differ -> kept
+        assert len(kept) == 1
+
+
+class TestContradictionPruning:
+    def test_ins_and_base_same_tuple(self, db):
+        ins = Atom(Predicate("orders", INS), (O, C))
+        base = Atom(Predicate("orders"), (O, C))
+        edc = EDC("x1", "x", (ins, base))
+        kept, report = SemanticOptimizer(db.catalog).optimize([edc])
+        assert kept == []
+        assert "new tuples" in report.dropped[0][1]
+
+    def test_ins_and_del_same_tuple(self, db):
+        ins = Atom(Predicate("orders", INS), (O, C))
+        dele = Atom(Predicate("orders", DEL), (O, C))
+        edc = EDC("x1", "x", (ins, dele))
+        kept, report = SemanticOptimizer(db.catalog).optimize([edc])
+        assert kept == []
+        assert "net-effect" in report.dropped[0][1]
+
+    def test_atom_and_its_negation(self, db):
+        base = Atom(Predicate("orders"), (O, C))
+        neg = Atom(Predicate("orders"), (O, C), negated=True)
+        edc = EDC("x1", "x", (base, neg))
+        kept, _ = SemanticOptimizer(db.catalog).optimize([edc])
+        assert kept == []
+
+    def test_different_terms_not_pruned(self, db):
+        ins = Atom(Predicate("orders", INS), (O, C))
+        dele = Atom(Predicate("orders", DEL), (Variable("o2"), C))
+        edc = EDC("x1", "x", (ins, dele))
+        kept, _ = SemanticOptimizer(db.catalog).optimize([edc])
+        assert len(kept) == 1
+
+
+class TestSimplifications:
+    def test_duplicate_literal_removed(self, db):
+        base = Atom(Predicate("orders"), (O, C))
+        ins = Atom(Predicate("orders", INS), (Variable("o2"), Variable("c2")))
+        edc = EDC("x1", "x", (ins, base, base))
+        kept, report = SemanticOptimizer(db.catalog).optimize([edc])
+        assert len(kept[0].body) == 2
+        assert report.simplified
+
+    def test_true_builtin_removed(self, db):
+        ins = Atom(Predicate("orders", INS), (O, C))
+        edc = EDC("x1", "x", (ins, Builtin("<", Constant(1), Constant(2))))
+        kept, report = SemanticOptimizer(db.catalog).optimize([edc])
+        assert len(kept[0].body) == 1
+
+    def test_duplicate_edcs_removed(self, db):
+        ins = Atom(Predicate("orders", INS), (O, C))
+        a = EDC("x1", "x", (ins,))
+        b = EDC("x2", "x", (ins,))
+        kept, report = SemanticOptimizer(db.catalog).optimize([a, b])
+        assert len(kept) == 1
+        assert ("x2", "duplicate of an earlier EDC") in report.dropped
+
+    def test_disabled_optimizer_is_identity(self, db):
+        ins = Atom(Predicate("orders", INS), (O, C))
+        edcs = [EDC("x1", "x", (ins, ins))]
+        kept, report = SemanticOptimizer(db.catalog, enabled=False).optimize(edcs)
+        assert kept == edcs
+        assert report.dropped_count == 0

@@ -1,0 +1,139 @@
+"""Engine-level aggregate queries (COUNT/SUM/MIN/MAX/AVG and scalar
+aggregate subqueries) — the substrate for the aggregate-assertion
+extension."""
+
+import pytest
+
+from repro.errors import ExecutionError, SQLSyntaxError
+from repro.minidb import Database
+from repro.minidb.plan import aggregate_value
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE o (ok INTEGER PRIMARY KEY, ck INTEGER)")
+    database.execute(
+        "CREATE TABLE i (ok INTEGER, ln INTEGER, qty INTEGER, PRIMARY KEY (ok, ln))"
+    )
+    database.execute("INSERT INTO o VALUES (1, 10), (2, 20), (3, NULL)")
+    database.execute(
+        "INSERT INTO i VALUES (1, 1, 5), (1, 2, 7), (2, 1, 9), (2, 2, NULL)"
+    )
+    return database
+
+
+class TestAggregateValue:
+    def test_count(self):
+        assert aggregate_value("COUNT", [1, None, 2]) == 2
+
+    def test_sum_skips_nulls(self):
+        assert aggregate_value("SUM", [1, None, 2]) == 3
+
+    def test_min_max(self):
+        assert aggregate_value("MIN", [3, 1, None]) == 1
+        assert aggregate_value("MAX", [3, 1, None]) == 3
+
+    def test_avg(self):
+        assert aggregate_value("AVG", [2, 4]) == 3.0
+
+    def test_empty_semantics(self):
+        assert aggregate_value("COUNT", []) == 0
+        assert aggregate_value("SUM", [None]) is None
+        assert aggregate_value("MIN", []) is None
+        assert aggregate_value("AVG", []) is None
+
+
+class TestAggregateQueries:
+    def test_count_star(self, db):
+        assert db.query("SELECT COUNT(*) FROM i").rows == [(4,)]
+
+    def test_count_column_skips_nulls(self, db):
+        assert db.query("SELECT COUNT(qty) FROM i").rows == [(3,)]
+
+    def test_all_aggregates_together(self, db):
+        rows = db.query(
+            "SELECT COUNT(*), SUM(qty), MIN(qty), MAX(qty), AVG(qty) FROM i"
+        ).rows
+        assert rows == [(4, 21, 5, 9, 7.0)]
+
+    def test_aggregate_with_where(self, db):
+        assert db.query("SELECT SUM(qty) FROM i WHERE ok = 1").rows == [(12,)]
+
+    def test_aggregate_over_empty_relation(self, db):
+        rows = db.query("SELECT COUNT(*), SUM(qty) FROM i WHERE ok = 99").rows
+        assert rows == [(0, None)]
+
+    def test_aggregate_over_join(self, db):
+        rows = db.query(
+            "SELECT COUNT(*) FROM o, i WHERE o.ok = i.ok AND o.ck > 15"
+        ).rows
+        assert rows == [(2,)]
+
+    def test_output_column_names(self, db):
+        result = db.query("SELECT COUNT(*) AS n, SUM(qty) FROM i")
+        assert result.columns == ["n", "sum"]
+
+    def test_mixing_aggregate_and_plain_rejected(self, db):
+        with pytest.raises(ExecutionError, match="mix"):
+            db.query("SELECT ok, COUNT(*) FROM i")
+
+    def test_group_by_rejected(self, db):
+        with pytest.raises(SQLSyntaxError):
+            db.query("SELECT COUNT(*) FROM i GROUP BY ok")
+
+    def test_distinct_aggregate_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("SELECT DISTINCT COUNT(*) FROM i")
+
+    def test_aggregate_outside_select_list_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("SELECT * FROM i WHERE COUNT(*) > 1")
+
+
+class TestScalarSubqueries:
+    def test_correlated_count(self, db):
+        rows = db.query(
+            "SELECT ok FROM o WHERE (SELECT COUNT(*) FROM i WHERE i.ok = o.ok) = 2"
+        ).rows
+        assert sorted(rows) == [(1,), (2,)]
+
+    def test_correlated_sum_with_null(self, db):
+        # order 2's quantities are 9 and NULL -> SUM = 9
+        rows = db.query(
+            "SELECT ok FROM o WHERE (SELECT SUM(qty) FROM i WHERE i.ok = o.ok) = 9"
+        ).rows
+        assert rows == [(2,)]
+
+    def test_empty_group_sum_is_unknown(self, db):
+        # order 3 has no items: SUM = NULL -> comparison UNKNOWN -> excluded
+        rows = db.query(
+            "SELECT ok FROM o WHERE (SELECT SUM(qty) FROM i WHERE i.ok = o.ok) > 0"
+        ).rows
+        assert sorted(rows) == [(1,), (2,)]
+
+    def test_empty_group_count_is_zero(self, db):
+        rows = db.query(
+            "SELECT ok FROM o WHERE (SELECT COUNT(*) FROM i WHERE i.ok = o.ok) = 0"
+        ).rows
+        assert rows == [(3,)]
+
+    def test_scalar_with_inner_condition(self, db):
+        rows = db.query(
+            "SELECT ok FROM o WHERE (SELECT COUNT(*) FROM i "
+            "WHERE i.ok = o.ok AND i.qty > 6) = 1"
+        ).rows
+        assert sorted(rows) == [(1,), (2,)]
+
+    def test_uncorrelated_scalar(self, db):
+        rows = db.query(
+            "SELECT ok FROM o WHERE (SELECT COUNT(*) FROM i) = 4"
+        ).rows
+        assert len(rows) == 3
+
+    def test_scalar_in_view(self, db):
+        db.execute(
+            "CREATE VIEW busy AS SELECT ok FROM o WHERE "
+            "(SELECT COUNT(*) FROM i WHERE i.ok = o.ok) > 1"
+        )
+        assert sorted(db.query("SELECT * FROM busy").rows) == [(1,), (2,)]

@@ -1,0 +1,422 @@
+"""DML, constraint enforcement, transactions, triggers and procedures."""
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    ConstraintViolation,
+    ExecutionError,
+    SchemaError,
+    TransactionError,
+)
+from repro.minidb import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE customer (c_custkey INTEGER PRIMARY KEY, "
+        "c_name VARCHAR(25) NOT NULL)"
+    )
+    database.execute(
+        "CREATE TABLE orders (o_orderkey INTEGER PRIMARY KEY, "
+        "o_custkey INTEGER NOT NULL, o_totalprice DOUBLE, "
+        "FOREIGN KEY (o_custkey) REFERENCES customer (c_custkey))"
+    )
+    database.execute("INSERT INTO customer VALUES (1, 'alice'), (2, 'bob')")
+    return database
+
+
+class TestInsert:
+    def test_basic_insert(self, db):
+        count = db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        assert count == 1
+        assert len(db.query("SELECT * FROM orders")) == 1
+
+    def test_multi_row_insert(self, db):
+        count = db.execute("INSERT INTO orders VALUES (10, 1, 5.0), (11, 2, 6.0)")
+        assert count == 2
+
+    def test_insert_with_column_list_reorders(self, db):
+        db.execute(
+            "INSERT INTO orders (o_totalprice, o_orderkey, o_custkey) "
+            "VALUES (5.0, 10, 1)"
+        )
+        assert db.query("SELECT * FROM orders").rows == [(10, 1, 5.0)]
+
+    def test_insert_partial_columns_fills_null(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+        db.execute("INSERT INTO t (a) VALUES (1)")
+        assert db.query("SELECT * FROM t").rows == [(1, None)]
+
+    def test_insert_column_count_mismatch(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("INSERT INTO orders (o_orderkey) VALUES (1, 2)")
+
+    def test_insert_duplicate_column_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("INSERT INTO orders (o_orderkey, o_orderkey) VALUES (1, 2)")
+
+    def test_insert_select(self, db):
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        db.execute("CREATE TABLE archive (k INTEGER, c INTEGER, p DOUBLE)")
+        count = db.execute("INSERT INTO archive SELECT * FROM orders")
+        assert count == 1
+        assert db.query("SELECT * FROM archive").rows == [(10, 1, 5.0)]
+
+    def test_insert_select_from_self_is_safe(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        db.execute("INSERT INTO t SELECT * FROM t")
+        assert len(db.query("SELECT * FROM t")) == 4
+
+    def test_pk_violation(self, db):
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        with pytest.raises(ConstraintViolation):
+            db.execute("INSERT INTO orders VALUES (10, 2, 6.0)")
+
+    def test_not_null_violation(self, db):
+        with pytest.raises(ConstraintViolation, match="NOT NULL"):
+            db.execute("INSERT INTO customer VALUES (3, NULL)")
+
+    def test_fk_violation_on_insert(self, db):
+        with pytest.raises(ConstraintViolation, match="foreign key"):
+            db.execute("INSERT INTO orders VALUES (10, 99, 5.0)")
+
+    def test_null_fk_passes(self, db):
+        db.execute(
+            "CREATE TABLE optional_ref (id INTEGER PRIMARY KEY, c INTEGER, "
+            "FOREIGN KEY (c) REFERENCES customer (c_custkey))"
+        )
+        db.execute("INSERT INTO optional_ref VALUES (1, NULL)")
+        assert len(db.query("SELECT * FROM optional_ref")) == 1
+
+    def test_type_error_on_insert(self, db):
+        from repro.errors import TypeCheckError
+
+        with pytest.raises(TypeCheckError):
+            db.execute("INSERT INTO customer VALUES (3, 3)")
+
+    def test_varchar_length_enforced(self, db):
+        from repro.errors import TypeCheckError
+
+        with pytest.raises(TypeCheckError):
+            db.execute(f"INSERT INTO customer VALUES (3, '{'x' * 26}')")
+
+
+class TestDelete:
+    def test_delete_where(self, db):
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0), (11, 2, 6.0)")
+        count = db.execute("DELETE FROM orders WHERE o_orderkey = 10")
+        assert count == 1
+        assert db.query("SELECT * FROM orders").rows == [(11, 2, 6.0)]
+
+    def test_delete_all(self, db):
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0), (11, 2, 6.0)")
+        assert db.execute("DELETE FROM orders") == 2
+
+    def test_delete_with_alias(self, db):
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        assert db.execute("DELETE FROM orders AS o WHERE o.o_totalprice > 1.0") == 1
+
+    def test_fk_restrict_on_delete(self, db):
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        with pytest.raises(ConstraintViolation, match="still referenced"):
+            db.execute("DELETE FROM customer WHERE c_custkey = 1")
+
+    def test_delete_unreferenced_parent_ok(self, db):
+        assert db.execute("DELETE FROM customer WHERE c_custkey = 2") == 1
+
+
+class TestUpdate:
+    def test_update_non_key(self, db):
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        count = db.execute(
+            "UPDATE orders SET o_totalprice = o_totalprice + 1.0 "
+            "WHERE o_orderkey = 10"
+        )
+        assert count == 1
+        assert db.query("SELECT o_totalprice FROM orders").rows == [(6.0,)]
+
+    def test_update_referenced_key_restricted(self, db):
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        with pytest.raises(ConstraintViolation):
+            db.execute("UPDATE customer SET c_custkey = 9 WHERE c_custkey = 1")
+
+    def test_update_unreferenced_key_ok(self, db):
+        db.execute("UPDATE customer SET c_custkey = 9 WHERE c_custkey = 2")
+        assert db.query(
+            "SELECT c_name FROM customer WHERE c_custkey = 9"
+        ).rows == [("bob",)]
+
+    def test_update_fk_checked(self, db):
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        with pytest.raises(ConstraintViolation):
+            db.execute("UPDATE orders SET o_custkey = 99 WHERE o_orderkey = 10")
+
+    def test_update_pk_collision(self, db):
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0), (11, 1, 6.0)")
+        with pytest.raises(ConstraintViolation):
+            db.execute("UPDATE orders SET o_orderkey = 11 WHERE o_orderkey = 10")
+        # the failed update must leave the old row intact
+        assert len(db.query("SELECT * FROM orders")) == 2
+
+    def test_update_assigning_column_twice_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("UPDATE orders SET o_custkey = 1, o_custkey = 2")
+
+    def test_update_no_matches(self, db):
+        assert db.execute("UPDATE orders SET o_custkey = 1 WHERE o_orderkey = 999") == 0
+
+
+class TestTruncateDrop:
+    def test_truncate(self, db):
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        assert db.execute("TRUNCATE TABLE orders") == 1
+        assert db.query("SELECT * FROM orders").is_empty
+
+    def test_drop_table(self, db):
+        db.execute("CREATE TABLE scratch (a INTEGER)")
+        db.execute("DROP TABLE scratch")
+        with pytest.raises(CatalogError):
+            db.query("SELECT * FROM scratch")
+
+    def test_drop_referenced_table_rejected(self, db):
+        with pytest.raises(CatalogError, match="referenced"):
+            db.execute("DROP TABLE customer")
+
+    def test_drop_if_exists(self, db):
+        db.execute("DROP TABLE IF EXISTS ghost")  # no error
+        with pytest.raises(CatalogError):
+            db.execute("DROP TABLE ghost")
+
+
+class TestDDLValidation:
+    def test_fk_to_unknown_table(self, db):
+        with pytest.raises(SchemaError):
+            db.execute(
+                "CREATE TABLE bad (a INTEGER, FOREIGN KEY (a) REFERENCES ghost (x))"
+            )
+
+    def test_fk_to_non_unique_columns(self, db):
+        with pytest.raises(SchemaError, match="non-unique"):
+            db.execute(
+                "CREATE TABLE bad (a INTEGER, "
+                "FOREIGN KEY (a) REFERENCES customer (c_name))"
+            )
+
+    def test_fk_default_ref_columns_resolve_to_pk(self, db):
+        db.execute(
+            "CREATE TABLE child (a INTEGER, FOREIGN KEY (a) REFERENCES customer)"
+        )
+        table = db.table("child")
+        assert table.schema.foreign_keys[0].ref_columns == ("c_custkey",)
+
+    def test_self_referencing_fk(self, db):
+        db.execute(
+            "CREATE TABLE emp (id INTEGER PRIMARY KEY, boss INTEGER, "
+            "FOREIGN KEY (boss) REFERENCES emp (id))"
+        )
+        db.execute("INSERT INTO emp VALUES (1, NULL)")
+        db.execute("INSERT INTO emp VALUES (2, 1)")
+        with pytest.raises(ConstraintViolation):
+            db.execute("INSERT INTO emp VALUES (3, 99)")
+
+    def test_inline_and_table_pk_conflict(self, db):
+        with pytest.raises(SchemaError):
+            db.execute(
+                "CREATE TABLE bad (a INTEGER PRIMARY KEY, b INTEGER, "
+                "PRIMARY KEY (b))"
+            )
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE customer (x INTEGER)")
+
+    def test_create_assertion_redirected(self, db):
+        with pytest.raises(ExecutionError, match="Tintin"):
+            db.execute(
+                "CREATE ASSERTION a CHECK (NOT EXISTS (SELECT * FROM orders))"
+            )
+
+
+class TestTransactions:
+    def test_commit_keeps_changes(self, db):
+        db.begin()
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        db.commit()
+        assert len(db.query("SELECT * FROM orders")) == 1
+
+    def test_rollback_undoes_insert(self, db):
+        db.begin()
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        db.rollback()
+        assert db.query("SELECT * FROM orders").is_empty
+
+    def test_rollback_undoes_delete(self, db):
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        db.begin()
+        db.execute("DELETE FROM orders")
+        db.rollback()
+        assert len(db.query("SELECT * FROM orders")) == 1
+
+    def test_rollback_undoes_update(self, db):
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        db.begin()
+        db.execute("UPDATE orders SET o_totalprice = 99.0")
+        db.rollback()
+        assert db.query("SELECT o_totalprice FROM orders").rows == [(5.0,)]
+
+    def test_rollback_mixed_operations_in_order(self, db):
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        db.begin()
+        db.execute("DELETE FROM orders WHERE o_orderkey = 10")
+        db.execute("INSERT INTO orders VALUES (10, 2, 7.0)")
+        db.rollback()
+        assert db.query("SELECT * FROM orders").rows == [(10, 1, 5.0)]
+
+    def test_nested_begin_rejected(self, db):
+        db.begin()
+        with pytest.raises(TransactionError):
+            db.begin()
+        db.rollback()
+
+    def test_commit_without_begin_rejected(self, db):
+        with pytest.raises(TransactionError):
+            db.commit()
+
+    def test_rollback_without_begin_rejected(self, db):
+        with pytest.raises(TransactionError):
+            db.rollback()
+
+
+class TestTriggers:
+    def test_instead_of_insert_captures(self, db):
+        captured = []
+        db.create_trigger(
+            "cap", "orders", "insert",
+            lambda d, t, rows: captured.extend(rows),
+        )
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        assert captured == [(10, 1, 5.0)]
+        assert db.query("SELECT * FROM orders").is_empty  # base untouched
+
+    def test_instead_of_delete_captures(self, db):
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        captured = []
+        db.create_trigger(
+            "cap", "orders", "delete",
+            lambda d, t, rows: captured.extend(rows),
+        )
+        db.execute("DELETE FROM orders WHERE o_orderkey = 10")
+        assert captured == [(10, 1, 5.0)]
+        assert len(db.query("SELECT * FROM orders")) == 1  # base untouched
+
+    def test_disabled_trigger_passes_through(self, db):
+        captured = []
+        db.create_trigger(
+            "cap", "orders", "insert",
+            lambda d, t, rows: captured.extend(rows),
+        )
+        db.disable_triggers("orders")
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        assert captured == []
+        assert len(db.query("SELECT * FROM orders")) == 1
+
+    def test_reenabled_trigger_fires_again(self, db):
+        captured = []
+        db.create_trigger(
+            "cap", "orders", "insert",
+            lambda d, t, rows: captured.extend(rows),
+        )
+        db.disable_triggers("orders")
+        db.enable_triggers("orders")
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        assert captured == [(10, 1, 5.0)]
+
+    def test_update_with_triggers_becomes_delete_insert(self, db):
+        db.execute("INSERT INTO orders VALUES (10, 1, 5.0)")
+        events = []
+        db.create_trigger(
+            "ci", "orders", "insert", lambda d, t, rows: events.append(("ins", rows))
+        )
+        db.create_trigger(
+            "cd", "orders", "delete", lambda d, t, rows: events.append(("del", rows))
+        )
+        db.execute("UPDATE orders SET o_totalprice = 9.0 WHERE o_orderkey = 10")
+        assert ("del", [(10, 1, 5.0)]) in events
+        assert ("ins", [(10, 1, 9.0)]) in events
+
+    def test_trigger_on_unknown_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_trigger("x", "ghost", "insert", lambda d, t, r: None)
+
+    def test_duplicate_trigger_name_rejected(self, db):
+        db.create_trigger("x", "orders", "insert", lambda d, t, r: None)
+        with pytest.raises(CatalogError):
+            db.create_trigger("x", "orders", "delete", lambda d, t, r: None)
+
+    def test_bad_event_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_trigger("x", "orders", "upsert", lambda d, t, r: None)
+
+
+class TestProcedures:
+    def test_call_via_sql(self, db):
+        db.create_procedure("double_it", lambda d, x: x * 2)
+        assert db.execute("CALL double_it(21)") == 42
+
+    def test_call_direct(self, db):
+        db.create_procedure("count_orders", lambda d: len(d.query("SELECT * FROM orders")))
+        assert db.call("count_orders") == 0
+
+    def test_unknown_procedure(self, db):
+        with pytest.raises(CatalogError):
+            db.call("ghost")
+
+    def test_replace_procedure(self, db):
+        db.create_procedure("p", lambda d: 1)
+        db.create_procedure("p", lambda d: 2)
+        assert db.call("p") == 2
+
+
+class TestApplyBatch:
+    def test_batch_orders_inserts_parents_first(self, db):
+        # lineitem-style child arrives in the dict before its parent
+        db.execute(
+            "CREATE TABLE li (k INTEGER, o INTEGER, PRIMARY KEY (k), "
+            "FOREIGN KEY (o) REFERENCES orders (o_orderkey))"
+        )
+        changed = db.apply_batch(
+            {"li": [(1, 10)], "orders": [(10, 1, 5.0)]},
+            {},
+        )
+        assert changed == 2
+
+    def test_batch_deletes_children_first(self, db):
+        db.execute(
+            "CREATE TABLE li (k INTEGER, o INTEGER, PRIMARY KEY (k), "
+            "FOREIGN KEY (o) REFERENCES orders (o_orderkey))"
+        )
+        db.apply_batch({"orders": [(10, 1, 5.0)], "li": [(1, 10)]}, {})
+        changed = db.apply_batch({}, {"orders": [(10, 1, 5.0)], "li": [(1, 10)]})
+        assert changed == 2
+        assert db.query("SELECT * FROM orders").is_empty
+
+    def test_batch_rolls_back_on_violation(self, db):
+        with pytest.raises(ConstraintViolation):
+            db.apply_batch(
+                {"orders": [(10, 1, 5.0), (11, 99, 6.0)]},  # 99: no such customer
+                {},
+            )
+        assert db.query("SELECT * FROM orders").is_empty
+
+    def test_batch_inside_existing_transaction(self, db):
+        db.begin()
+        db.apply_batch({"orders": [(10, 1, 5.0)]}, {})
+        db.rollback()
+        assert db.query("SELECT * FROM orders").is_empty
+
+    def test_empty_batch(self, db):
+        assert db.apply_batch({}, {}) == 0

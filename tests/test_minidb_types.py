@@ -1,0 +1,144 @@
+"""Unit tests for SQL types and coercion."""
+
+import pytest
+
+from repro.errors import SchemaError, TypeCheckError
+from repro.minidb.types import (
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    SQLType,
+    coerce,
+    comparable,
+    resolve_type,
+)
+
+
+class TestResolveType:
+    @pytest.mark.parametrize(
+        "name,kind",
+        [
+            ("INT", "INTEGER"),
+            ("integer", "INTEGER"),
+            ("BIGINT", "INTEGER"),
+            ("REAL", "DOUBLE"),
+            ("FLOAT", "DOUBLE"),
+            ("double", "DOUBLE"),
+            ("TEXT", "VARCHAR"),
+            ("STRING", "VARCHAR"),
+            ("BOOL", "BOOLEAN"),
+            ("DATE", "DATE"),
+        ],
+    )
+    def test_aliases(self, name, kind):
+        assert resolve_type(name).kind == kind
+
+    def test_varchar_with_length(self):
+        t = resolve_type("VARCHAR", (25,))
+        assert t == SQLType("VARCHAR", 25)
+        assert str(t) == "VARCHAR(25)"
+
+    def test_char_maps_to_varchar(self):
+        assert resolve_type("CHAR", (10,)).kind == "VARCHAR"
+
+    def test_decimal_params_ignored(self):
+        assert resolve_type("DECIMAL", (15, 2)) == DOUBLE
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            resolve_type("BLOB")
+
+    def test_bad_varchar_params(self):
+        with pytest.raises(SchemaError):
+            resolve_type("VARCHAR", (0,))
+        with pytest.raises(SchemaError):
+            resolve_type("VARCHAR", (1, 2))
+
+    def test_params_on_scalar_type_rejected(self):
+        with pytest.raises(SchemaError):
+            resolve_type("INTEGER", (4,))
+
+
+class TestCoerce:
+    def test_null_passes_all_types(self):
+        for t in (INTEGER, DOUBLE, BOOLEAN, DATE, SQLType("VARCHAR", 3)):
+            assert coerce(None, t) is None
+
+    def test_integer(self):
+        assert coerce(42, INTEGER) == 42
+
+    def test_integral_float_to_integer(self):
+        assert coerce(42.0, INTEGER) == 42
+
+    def test_fractional_float_rejected_for_integer(self):
+        with pytest.raises(TypeCheckError):
+            coerce(1.5, INTEGER)
+
+    def test_bool_is_not_integer(self):
+        with pytest.raises(TypeCheckError):
+            coerce(True, INTEGER)
+
+    def test_string_not_integer(self):
+        with pytest.raises(TypeCheckError):
+            coerce("1", INTEGER)
+
+    def test_double_from_int(self):
+        value = coerce(3, DOUBLE)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_bool_is_not_double(self):
+        with pytest.raises(TypeCheckError):
+            coerce(False, DOUBLE)
+
+    def test_varchar(self):
+        assert coerce("abc", SQLType("VARCHAR", 3)) == "abc"
+
+    def test_varchar_too_long(self):
+        with pytest.raises(TypeCheckError):
+            coerce("abcd", SQLType("VARCHAR", 3))
+
+    def test_varchar_unbounded(self):
+        assert coerce("x" * 1000, SQLType("VARCHAR")) == "x" * 1000
+
+    def test_varchar_rejects_number(self):
+        with pytest.raises(TypeCheckError):
+            coerce(5, SQLType("VARCHAR"))
+
+    def test_boolean(self):
+        assert coerce(True, BOOLEAN) is True
+
+    def test_boolean_rejects_int(self):
+        with pytest.raises(TypeCheckError):
+            coerce(1, BOOLEAN)
+
+    def test_date_valid(self):
+        assert coerce("2016-03-15", DATE) == "2016-03-15"
+
+    @pytest.mark.parametrize(
+        "bad", ["2016-3-15", "20160315", "2016-13-01", "2016-00-10", "x", "2016-01-32"]
+    )
+    def test_date_invalid(self, bad):
+        with pytest.raises(TypeCheckError):
+            coerce(bad, DATE)
+
+    def test_error_message_names_column(self):
+        with pytest.raises(TypeCheckError, match="orders.o_orderkey"):
+            coerce("x", INTEGER, "orders.o_orderkey")
+
+
+class TestComparable:
+    def test_numbers(self):
+        assert comparable(1, 2.5)
+
+    def test_strings(self):
+        assert comparable("a", "b")
+
+    def test_booleans(self):
+        assert comparable(True, False)
+
+    def test_bool_vs_int_not_comparable(self):
+        assert not comparable(True, 1)
+
+    def test_string_vs_number_not_comparable(self):
+        assert not comparable("1", 1)

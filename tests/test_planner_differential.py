@@ -1,0 +1,215 @@
+"""Differential fuzzing: the optimizing planner vs the naive reference
+executor.
+
+Hypothesis generates random data and random queries over a two-table
+schema (including NULLs, correlated [NOT] EXISTS, [NOT] IN subqueries,
+IN-lists, scalar COUNT/SUM subqueries and UNIONs).  The planner — with
+its index joins, probe closures and memoization — must return exactly
+the same bag of rows as the brute-force evaluator.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.reference_executor import ReferenceExecutor
+from repro.minidb import Database
+from repro.sqlparser import nodes as n
+
+
+def make_db(orders_rows, items_rows) -> Database:
+    db = Database()
+    db.execute("CREATE TABLE o (ok INTEGER, ck INTEGER)")
+    db.execute("CREATE TABLE i (ik INTEGER NOT NULL, ok INTEGER, qty INTEGER)")
+    db.insert_rows("o", orders_rows)
+    db.insert_rows("i", items_rows)
+    return db
+
+
+def bag(rows):
+    return sorted(rows, key=repr)
+
+
+# -- data strategies ----------------------------------------------------------
+
+_maybe_int = st.one_of(st.none(), st.integers(0, 5))
+orders_strategy = st.lists(
+    st.tuples(_maybe_int, _maybe_int), max_size=8
+)
+items_strategy = st.lists(
+    st.tuples(st.integers(0, 9), _maybe_int, _maybe_int), max_size=10
+)
+
+# -- query strategies ------------------------------------------------------------
+
+_o_cols = st.sampled_from(["ok", "ck"])
+_i_cols = st.sampled_from(["ik", "ok", "qty"])
+_ops = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+_consts = st.integers(0, 5).map(n.Literal)
+
+
+def _o_ref(col):
+    return n.ColumnRef(col, "a")
+
+
+def _i_ref(col):
+    return n.ColumnRef(col, "b")
+
+
+def _simple_conditions(refs):
+    """Conditions over the given column-ref strategy."""
+    return st.one_of(
+        st.builds(n.Comparison, op=_ops, left=refs, right=_consts),
+        st.builds(n.Comparison, op=_ops, left=refs, right=refs),
+        st.builds(n.IsNull, item=refs, negated=st.booleans()),
+        st.builds(
+            lambda item, values, negated: n.InList(item, tuple(values), negated),
+            item=refs,
+            values=st.lists(_consts, min_size=1, max_size=3),
+            negated=st.booleans(),
+        ),
+    )
+
+
+def _inner_subquery(correlate: bool):
+    """A subquery over i AS b, optionally correlated with outer a."""
+    corr = n.Comparison("=", n.ColumnRef("ok", "b"), n.ColumnRef("ok", "a"))
+
+    def build(conditions):
+        where_parts = list(conditions)
+        if correlate:
+            where_parts.append(corr)
+        return n.Select(
+            items=(n.SelectItem(n.ColumnRef("ik", "b")),),
+            from_items=(n.TableRef("i", "b"),),
+            where=n.conjoin(where_parts),
+        )
+
+    return st.lists(_simple_conditions(_i_cols.map(_i_ref)), max_size=2).map(build)
+
+
+def _outer_conditions():
+    o_refs = _o_cols.map(_o_ref)
+    exists = st.builds(
+        n.Exists,
+        query=_inner_subquery(correlate=True),
+        negated=st.booleans(),
+    )
+    in_subquery = st.builds(
+        n.InSubquery,
+        item=o_refs,
+        query=_inner_subquery(correlate=False),
+        negated=st.booleans(),
+    )
+    count_subquery = st.builds(
+        lambda q, op, const: n.Comparison(op, n.ScalarSubquery(q), const),
+        q=_inner_subquery(correlate=True).map(
+            lambda s: n.Select(
+                items=(n.SelectItem(n.AggregateCall("COUNT", None)),),
+                from_items=s.from_items,
+                where=s.where,
+            )
+        ),
+        op=_ops,
+        const=st.integers(0, 3).map(n.Literal),
+    )
+    leaf = st.one_of(
+        _simple_conditions(o_refs), exists, in_subquery, count_subquery
+    )
+    return st.one_of(
+        leaf,
+        st.builds(lambda a, b: n.And((a, b)), leaf, leaf),
+        st.builds(lambda a, b: n.Or((a, b)), leaf, leaf),
+        st.builds(n.Not, item=leaf),
+    )
+
+
+single_table_query = st.builds(
+    lambda where, distinct: n.Select(
+        items=(n.Star(),),
+        from_items=(n.TableRef("o", "a"),),
+        where=where,
+        distinct=distinct,
+    ),
+    where=st.one_of(st.none(), _outer_conditions()),
+    distinct=st.booleans(),
+)
+
+join_query = st.builds(
+    lambda extra: n.Select(
+        items=(n.SelectItem(n.ColumnRef("ok", "a")), n.SelectItem(n.ColumnRef("qty", "b"))),
+        from_items=(n.TableRef("o", "a"), n.TableRef("i", "b")),
+        where=n.conjoin(
+            [n.Comparison("=", n.ColumnRef("ok", "a"), n.ColumnRef("ok", "b"))]
+            + list(extra)
+        ),
+    ),
+    extra=st.lists(_simple_conditions(_i_cols.map(_i_ref)), max_size=2),
+)
+
+union_query = st.builds(
+    lambda first, second, all_: n.Union(
+        (
+            n.Select(
+                items=(n.SelectItem(n.ColumnRef("ok", "a")),),
+                from_items=(n.TableRef("o", "a"),),
+                where=first,
+            ),
+            n.Select(
+                items=(n.SelectItem(n.ColumnRef("ok", "a")),),
+                from_items=(n.TableRef("o", "a"),),
+                where=second,
+            ),
+        ),
+        all=all_,
+    ),
+    first=st.one_of(st.none(), _simple_conditions(_o_cols.map(_o_ref))),
+    second=st.one_of(st.none(), _simple_conditions(_o_cols.map(_o_ref))),
+    all_=st.booleans(),
+)
+
+
+class TestPlannerDifferential:
+    @settings(max_examples=200, deadline=None)
+    @given(orders=orders_strategy, items=items_strategy, query=single_table_query)
+    def test_single_table_queries(self, orders, items, query):
+        db = make_db(orders, items)
+        planned = db.query_ast(query).rows
+        reference = ReferenceExecutor(db).rows(query)
+        assert bag(planned) == bag(reference)
+
+    @settings(max_examples=100, deadline=None)
+    @given(orders=orders_strategy, items=items_strategy, query=join_query)
+    def test_join_queries(self, orders, items, query):
+        db = make_db(orders, items)
+        planned = db.query_ast(query).rows
+        reference = ReferenceExecutor(db).rows(query)
+        assert bag(planned) == bag(reference)
+
+    @settings(max_examples=100, deadline=None)
+    @given(orders=orders_strategy, items=items_strategy, query=union_query)
+    def test_union_queries(self, orders, items, query):
+        db = make_db(orders, items)
+        planned = db.query_ast(query).rows
+        reference = ReferenceExecutor(db).rows(query)
+        assert bag(planned) == bag(reference)
+
+    @settings(max_examples=60, deadline=None)
+    @given(orders=orders_strategy, items=items_strategy)
+    def test_aggregate_queries(self, orders, items):
+        db = make_db(orders, items)
+        query = n.Select(
+            items=(
+                n.SelectItem(n.AggregateCall("COUNT", None)),
+                n.SelectItem(n.AggregateCall("SUM", n.ColumnRef("qty", "b"))),
+                n.SelectItem(n.AggregateCall("MIN", n.ColumnRef("qty", "b"))),
+                n.SelectItem(n.AggregateCall("MAX", n.ColumnRef("qty", "b"))),
+            ),
+            from_items=(n.TableRef("i", "b"),),
+            where=None,
+        )
+        planned = db.query_ast(query).rows
+        reference = ReferenceExecutor(db).rows(query)
+        assert planned == reference

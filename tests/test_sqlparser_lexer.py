@@ -1,0 +1,154 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sqlparser import Token, TokenType, tokenize
+
+
+def types(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_whitespace_only_yields_only_eof(self):
+        tokens = tokenize("   \n\t  \r\n ")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_keywords_are_upper_cased(self):
+        assert values("select From WHERE") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifier_case_preserved(self):
+        assert values("LineItem") == ["LineItem"]
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert values("l_orderkey2") == ["l_orderkey2"]
+
+    def test_identifier_can_start_with_underscore(self):
+        tokens = tokenize("_tmp")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "_tmp"
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].type is TokenType.NUMBER
+        assert tokens[0].value == "42"
+
+    def test_decimal_literal(self):
+        assert values("3.14") == ["3.14"]
+
+    def test_scientific_notation(self):
+        assert values("1e6 2.5E-3 7E+2") == ["1e6", "2.5E-3", "7E+2"]
+
+    def test_number_followed_by_dot_star_not_consumed(self):
+        # "1." without following digit: dot is a separate operator
+        vals = values("1.x")
+        assert vals == ["1", ".", "x"]
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_empty_string_literal(self):
+        tokens = tokenize("''")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == ""
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"Order Details"')
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "Order Details"
+
+    def test_quoted_identifier_is_not_keyword(self):
+        tokens = tokenize('"select"')
+        assert tokens[0].type is TokenType.IDENT
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["=", "<", ">", "+", "-", "*", "/", "(", ")", ",", ".", ";"])
+    def test_single_char_operators(self, op):
+        tokens = tokenize(op)
+        assert tokens[0].type is TokenType.OPERATOR
+        assert tokens[0].value == op
+
+    @pytest.mark.parametrize("op", ["<>", "<=", ">="])
+    def test_two_char_operators(self, op):
+        tokens = tokenize(op)
+        assert tokens[0].value == op
+
+    def test_bang_equals_normalized_to_standard(self):
+        assert values("a != b") == ["a", "<>", "b"]
+
+    def test_adjacent_operators(self):
+        assert values("a<=b") == ["a", "<=", "b"]
+
+    def test_less_then_greater_distinct_tokens(self):
+        # "< >" with a space is two operators, not <>
+        assert values("a < > b") == ["a", "<", ">", "b"]
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert values("a -- comment here\n b") == ["a", "b"]
+
+    def test_line_comment_at_eof(self):
+        assert values("a -- trailing") == ["a"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* stuff \n more */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("a /* never closed")
+
+
+class TestErrors:
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("a @ b")
+
+    def test_error_carries_position(self):
+        with pytest.raises(SQLSyntaxError) as exc:
+            tokenize("ab\n  @")
+        assert exc.value.line == 2
+        assert exc.value.column == 3
+
+    def test_empty_quoted_identifier_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize('""')
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("SELECT *\nFROM t")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[2].line, tokens[2].column) == (2, 1)
+        assert tokens[3].value == "t"
+        assert tokens[3].line == 2
+
+    def test_token_helpers(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 1, 1)
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("FROM")
+        op = Token(TokenType.OPERATOR, "=", 1, 1)
+        assert op.is_operator("=", "<>")
+        assert not op.is_operator("<")

@@ -1,0 +1,429 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError, UnsupportedSQLError
+from repro.sqlparser import nodes as n
+from repro.sqlparser import parse_expression, parse_query, parse_script, parse_statement
+
+
+class TestSelect:
+    def test_select_star(self):
+        q = parse_query("SELECT * FROM t")
+        assert isinstance(q, n.Select)
+        assert q.items == (n.Star(),)
+        assert q.from_items == (n.TableRef("t"),)
+        assert q.where is None
+
+    def test_select_columns(self):
+        q = parse_query("SELECT a, t.b FROM t")
+        assert q.items == (
+            n.SelectItem(n.ColumnRef("a")),
+            n.SelectItem(n.ColumnRef("b", "t")),
+        )
+
+    def test_select_with_aliases(self):
+        q = parse_query("SELECT a AS x, b y FROM t")
+        assert q.items[0].alias == "x"
+        assert q.items[1].alias == "y"
+
+    def test_qualified_star(self):
+        q = parse_query("SELECT o.* FROM orders AS o")
+        assert q.items == (n.Star("o"),)
+
+    def test_table_alias_with_and_without_as(self):
+        q = parse_query("SELECT * FROM orders AS o, lineitem l")
+        assert q.from_items[0].alias == "o"
+        assert q.from_items[1].alias == "l"
+        assert q.from_items[1].binding == "l"
+
+    def test_distinct(self):
+        q = parse_query("SELECT DISTINCT a FROM t")
+        assert q.distinct
+
+    def test_where_comparison(self):
+        q = parse_query("SELECT * FROM t WHERE a = 1")
+        assert q.where == n.Comparison("=", n.ColumnRef("a"), n.Literal(1))
+
+    def test_join_on_folded_into_where(self):
+        q = parse_query("SELECT * FROM a JOIN b ON a.x = b.x WHERE a.y > 0")
+        conjs = n.conjuncts(q.where)
+        assert len(conjs) == 2
+        assert q.from_items == (n.TableRef("a"), n.TableRef("b"))
+
+    def test_inner_join_keyword(self):
+        q = parse_query("SELECT * FROM a INNER JOIN b ON a.x = b.x")
+        assert len(q.from_items) == 2
+
+    def test_cross_join(self):
+        q = parse_query("SELECT * FROM a CROSS JOIN b")
+        assert len(q.from_items) == 2
+        assert q.where is None
+
+    def test_cross_join_with_on_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT * FROM a CROSS JOIN b ON a.x = b.x")
+
+    def test_join_without_on_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT * FROM a JOIN b WHERE a.x = 1")
+
+    def test_union(self):
+        q = parse_query("SELECT a FROM t UNION SELECT b FROM u")
+        assert isinstance(q, n.Union)
+        assert len(q.selects) == 2
+        assert not q.all
+
+    def test_union_all(self):
+        q = parse_query("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert q.all
+
+    def test_union_three_way(self):
+        q = parse_query("SELECT a FROM t UNION SELECT b FROM u UNION SELECT c FROM v")
+        assert len(q.selects) == 3
+
+    def test_mixed_union_union_all_rejected(self):
+        with pytest.raises(UnsupportedSQLError):
+            parse_query(
+                "SELECT a FROM t UNION SELECT b FROM u UNION ALL SELECT c FROM v"
+            )
+
+
+class TestPredicates:
+    def test_exists(self):
+        q = parse_query("SELECT * FROM t WHERE EXISTS (SELECT * FROM u)")
+        assert isinstance(q.where, n.Exists)
+        assert not q.where.negated
+
+    def test_not_exists(self):
+        q = parse_query("SELECT * FROM t WHERE NOT EXISTS (SELECT * FROM u)")
+        assert isinstance(q.where, n.Exists)
+        assert q.where.negated
+
+    def test_correlated_not_exists(self):
+        q = parse_query(
+            "SELECT * FROM orders AS o WHERE NOT EXISTS "
+            "(SELECT * FROM lineitem AS l WHERE l.orderkey = o.orderkey)"
+        )
+        sub = q.where.query
+        assert sub.where == n.Comparison(
+            "=", n.ColumnRef("orderkey", "l"), n.ColumnRef("orderkey", "o")
+        )
+
+    def test_in_subquery(self):
+        q = parse_query("SELECT * FROM t WHERE a IN (SELECT b FROM u)")
+        assert isinstance(q.where, n.InSubquery)
+        assert not q.where.negated
+
+    def test_not_in_subquery(self):
+        q = parse_query("SELECT * FROM t WHERE a NOT IN (SELECT b FROM u)")
+        assert q.where.negated
+
+    def test_in_value_list(self):
+        q = parse_query("SELECT * FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(q.where, n.InList)
+        assert q.where.values == (n.Literal(1), n.Literal(2), n.Literal(3))
+
+    def test_not_in_value_list(self):
+        q = parse_query("SELECT * FROM t WHERE a NOT IN ('x', 'y')")
+        assert isinstance(q.where, n.InList)
+        assert q.where.negated
+
+    def test_is_null(self):
+        q = parse_query("SELECT * FROM t WHERE a IS NULL")
+        assert q.where == n.IsNull(n.ColumnRef("a"))
+
+    def test_is_not_null(self):
+        q = parse_query("SELECT * FROM t WHERE a IS NOT NULL")
+        assert q.where == n.IsNull(n.ColumnRef("a"), negated=True)
+
+    def test_between_desugars(self):
+        q = parse_query("SELECT * FROM t WHERE a BETWEEN 1 AND 5")
+        assert q.where == n.And(
+            (
+                n.Comparison(">=", n.ColumnRef("a"), n.Literal(1)),
+                n.Comparison("<=", n.ColumnRef("a"), n.Literal(5)),
+            )
+        )
+
+    def test_not_between_desugars(self):
+        q = parse_query("SELECT * FROM t WHERE a NOT BETWEEN 1 AND 5")
+        assert isinstance(q.where, n.Not)
+
+    def test_like_rejected(self):
+        with pytest.raises(UnsupportedSQLError):
+            parse_query("SELECT * FROM t WHERE a LIKE 'x%'")
+
+
+class TestExpressions:
+    def test_precedence_or_and(self):
+        e = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(e, n.Or)
+        assert isinstance(e.items[1], n.And)
+
+    def test_not_binds_tighter_than_and(self):
+        e = parse_expression("NOT a = 1 AND b = 2")
+        assert isinstance(e, n.And)
+        assert isinstance(e.items[0], n.Not)
+
+    def test_parenthesized_or_under_and(self):
+        e = parse_expression("(a = 1 OR b = 2) AND c = 3")
+        assert isinstance(e, n.And)
+        assert isinstance(e.items[0], n.Or)
+
+    def test_arithmetic_precedence(self):
+        e = parse_expression("a + b * c")
+        assert isinstance(e, n.Arithmetic)
+        assert e.op == "+"
+        assert isinstance(e.right, n.Arithmetic)
+        assert e.right.op == "*"
+
+    def test_unary_minus_constant_folds(self):
+        e = parse_expression("-5")
+        assert e == n.Literal(-5)
+
+    def test_unary_minus_on_column(self):
+        e = parse_expression("-a")
+        assert e == n.Arithmetic("-", n.Literal(0), n.ColumnRef("a"))
+
+    def test_boolean_literals(self):
+        assert parse_expression("TRUE") == n.Literal(True)
+        assert parse_expression("FALSE") == n.Literal(False)
+        assert parse_expression("NULL") == n.Literal(None)
+
+    def test_float_literal(self):
+        assert parse_expression("2.5") == n.Literal(2.5)
+
+    def test_comparison_chain_not_allowed(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("a = b = c")
+
+    def test_non_aggregate_function_call_rejected(self):
+        with pytest.raises(UnsupportedSQLError):
+            parse_expression("upper(a)")
+
+    def test_aggregate_calls_parse(self):
+        assert parse_expression("COUNT(*)") == n.AggregateCall("COUNT", None)
+        assert parse_expression("sum(a)") == n.AggregateCall(
+            "SUM", n.ColumnRef("a")
+        )
+
+    def test_star_only_for_count(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("SUM(*)")
+
+    def test_scalar_subquery_must_be_aggregate(self):
+        with pytest.raises(UnsupportedSQLError):
+            parse_query("SELECT * FROM t WHERE a = (SELECT b FROM u)")
+
+    def test_scalar_aggregate_subquery_parses(self):
+        q = parse_query(
+            "SELECT * FROM t WHERE (SELECT COUNT(*) FROM u WHERE u.x = t.x) > 2"
+        )
+        assert isinstance(q.where.left, n.ScalarSubquery)
+
+    def test_scalar_subquery_over_union_rejected(self):
+        with pytest.raises(UnsupportedSQLError):
+            parse_query(
+                "SELECT * FROM t WHERE (SELECT COUNT(*) FROM u "
+                "UNION SELECT COUNT(*) FROM v) > 2"
+            )
+
+    def test_nested_not(self):
+        e = parse_expression("NOT NOT a = 1")
+        assert isinstance(e, n.Not)
+        assert isinstance(e.item, n.Not)
+
+
+class TestUnsupported:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT a FROM t GROUP BY a",
+            "SELECT a FROM t ORDER BY a",
+            "SELECT * FROM t LEFT JOIN u ON t.x = u.x",
+        ],
+    )
+    def test_unsupported_constructs_raise(self, sql):
+        with pytest.raises(SQLSyntaxError):
+            parse_query(sql)
+
+
+class TestDDL:
+    def test_create_table_minimal(self):
+        s = parse_statement("CREATE TABLE t (a INTEGER, b VARCHAR(10))")
+        assert isinstance(s, n.CreateTable)
+        assert s.columns[0] == n.ColumnDef("a", "INTEGER")
+        assert s.columns[1].type_params == (10,)
+
+    def test_create_table_column_constraints(self):
+        s = parse_statement("CREATE TABLE t (a INTEGER NOT NULL PRIMARY KEY)")
+        col = s.columns[0]
+        assert col.not_null
+        assert col.primary_key
+
+    def test_create_table_table_level_pk(self):
+        s = parse_statement("CREATE TABLE t (a INTEGER, b INTEGER, PRIMARY KEY (a, b))")
+        assert s.primary_key == ("a", "b")
+
+    def test_duplicate_pk_clause_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement(
+                "CREATE TABLE t (a INTEGER, PRIMARY KEY (a), PRIMARY KEY (a))"
+            )
+
+    def test_create_table_foreign_key(self):
+        s = parse_statement(
+            "CREATE TABLE li (ok INTEGER, FOREIGN KEY (ok) REFERENCES orders (o_ok))"
+        )
+        fk = s.foreign_keys[0]
+        assert fk.columns == ("ok",)
+        assert fk.ref_table == "orders"
+        assert fk.ref_columns == ("o_ok",)
+
+    def test_foreign_key_without_ref_columns(self):
+        s = parse_statement(
+            "CREATE TABLE li (ok INTEGER, FOREIGN KEY (ok) REFERENCES orders)"
+        )
+        assert s.foreign_keys[0].ref_columns == ()
+
+    def test_create_table_unique(self):
+        s = parse_statement("CREATE TABLE t (a INTEGER, b INTEGER, UNIQUE (a, b))")
+        assert s.uniques == (("a", "b"),)
+
+    def test_create_view(self):
+        s = parse_statement("CREATE VIEW v AS SELECT * FROM t")
+        assert isinstance(s, n.CreateView)
+        assert s.name == "v"
+
+    def test_create_assertion(self):
+        s = parse_statement(
+            "CREATE ASSERTION noEmpty CHECK (NOT EXISTS (SELECT * FROM t))"
+        )
+        assert isinstance(s, n.CreateAssertion)
+        assert s.name == "noEmpty"
+        assert isinstance(s.check, n.Exists)
+        assert s.check.negated
+
+    def test_drop_table(self):
+        s = parse_statement("DROP TABLE t")
+        assert s == n.DropTable("t", False)
+
+    def test_drop_table_if_exists(self):
+        s = parse_statement("DROP TABLE IF EXISTS t")
+        assert s.if_exists
+
+    def test_drop_view(self):
+        assert parse_statement("DROP VIEW v") == n.DropView("v", False)
+
+
+class TestDML:
+    def test_insert_values(self):
+        s = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert s.table == "t"
+        assert s.columns == ("a", "b")
+        assert s.rows == ((n.Literal(1), n.Literal("x")),)
+
+    def test_insert_multi_row(self):
+        s = parse_statement("INSERT INTO t VALUES (1), (2), (3)")
+        assert len(s.rows) == 3
+
+    def test_insert_select(self):
+        s = parse_statement("INSERT INTO t SELECT * FROM u")
+        assert s.query is not None
+        assert s.rows == ()
+
+    def test_insert_requires_values_or_select(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("INSERT INTO t")
+
+    def test_delete(self):
+        s = parse_statement("DELETE FROM t WHERE a = 1")
+        assert s.table == "t"
+        assert s.where is not None
+
+    def test_delete_without_where(self):
+        s = parse_statement("DELETE FROM t")
+        assert s.where is None
+
+    def test_delete_with_alias(self):
+        s = parse_statement("DELETE FROM t AS x WHERE x.a = 1")
+        assert s.alias == "x"
+
+    def test_update(self):
+        s = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE c = 2")
+        assert s.assignments[0] == ("a", n.Literal(1))
+        assert s.assignments[1][0] == "b"
+        assert s.where is not None
+
+    def test_truncate(self):
+        s = parse_statement("TRUNCATE TABLE t")
+        assert s == n.Truncate("t")
+
+    def test_truncate_without_table_keyword(self):
+        assert parse_statement("TRUNCATE t") == n.Truncate("t")
+
+    def test_call_no_args(self):
+        s = parse_statement("CALL safeCommit()")
+        assert s == n.Call("safeCommit", ())
+
+    def test_call_bare(self):
+        assert parse_statement("CALL p") == n.Call("p", ())
+
+    def test_call_with_args(self):
+        s = parse_statement("CALL p(1, 'x')")
+        assert s.args == (n.Literal(1), n.Literal("x"))
+
+    def test_select_statement(self):
+        s = parse_statement("SELECT * FROM t")
+        assert isinstance(s, n.SelectStatement)
+
+
+class TestScripts:
+    def test_script_multiple_statements(self):
+        stmts = parse_script(
+            "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1); SELECT * FROM t;"
+        )
+        assert len(stmts) == 3
+
+    def test_script_without_trailing_semicolon(self):
+        stmts = parse_script("SELECT * FROM t; SELECT * FROM u")
+        assert len(stmts) == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT * FROM t banana garbage")
+
+    def test_empty_script(self):
+        assert parse_script("") == []
+
+
+class TestHelpers:
+    def test_conjuncts_flattens_nested_and(self):
+        e = parse_expression("a = 1 AND (b = 2 AND c = 3)")
+        assert len(n.conjuncts(e)) == 3
+
+    def test_conjoin_roundtrip(self):
+        parts = n.conjuncts(parse_expression("a = 1 AND b = 2"))
+        combined = n.conjoin(parts)
+        assert n.conjuncts(combined) == parts
+
+    def test_conjoin_empty(self):
+        assert n.conjoin([]) is None
+
+    def test_conjoin_single(self):
+        e = parse_expression("a = 1")
+        assert n.conjoin([e]) is e
+
+    def test_walk_expr_visits_all(self):
+        e = parse_expression("a = 1 AND NOT (b = 2 OR c IN (1, 2))")
+        kinds = {type(x).__name__ for x in n.walk_expr(e)}
+        assert {"And", "Not", "Or", "Comparison", "InList", "ColumnRef", "Literal"} <= kinds
+
+    def test_subqueries_of_nested(self):
+        q = parse_query(
+            "SELECT * FROM t WHERE EXISTS (SELECT * FROM u WHERE "
+            "NOT EXISTS (SELECT * FROM v))"
+        )
+        subs = list(n.subqueries_of(q.where))
+        assert len(subs) == 2

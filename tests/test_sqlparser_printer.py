@@ -1,0 +1,164 @@
+"""Round-trip and formatting tests for the SQL printer.
+
+The key property is parse → print → parse gives the same AST, which is
+what lets TINTIN store its generated views as standard SQL text.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlparser import (
+    nodes as n,
+    parse_expression,
+    parse_query,
+    parse_statement,
+    print_expr,
+    print_query,
+    print_statement,
+)
+
+ROUNDTRIP_QUERIES = [
+    "SELECT * FROM t",
+    "SELECT DISTINCT a, t.b AS x FROM t",
+    "SELECT * FROM orders AS o WHERE NOT EXISTS "
+    "(SELECT * FROM lineitem AS l WHERE l.ok = o.ok)",
+    "SELECT a FROM t WHERE a IN (1, 2, 3)",
+    "SELECT a FROM t WHERE a NOT IN (SELECT b FROM u WHERE u.c = t.c)",
+    "SELECT * FROM t WHERE a IS NULL OR b IS NOT NULL",
+    "SELECT * FROM t, u WHERE t.a = u.a AND (t.b > 1 OR u.c < 2)",
+    "SELECT a FROM t UNION SELECT b FROM u",
+    "SELECT a FROM t UNION ALL SELECT b FROM u UNION ALL SELECT c FROM v",
+    "SELECT * FROM t WHERE NOT (a = 1 AND b = 2)",
+    "SELECT o.* FROM orders AS o",
+    "SELECT * FROM t WHERE a = 'it''s'",
+    "SELECT * FROM t WHERE a = 2.5 AND b = -3",
+]
+
+ROUNDTRIP_STATEMENTS = [
+    "CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR(20), PRIMARY KEY (a))",
+    "CREATE TABLE li (ok INTEGER, ln INTEGER, PRIMARY KEY (ok, ln), "
+    "FOREIGN KEY (ok) REFERENCES orders (o_ok))",
+    "CREATE TABLE t (a INTEGER, b INTEGER, UNIQUE (a, b))",
+    "CREATE VIEW v AS SELECT * FROM t WHERE a > 0",
+    "CREATE ASSERTION x CHECK (NOT EXISTS (SELECT * FROM t))",
+    "DROP TABLE t",
+    "DROP VIEW IF EXISTS v",
+    "INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)",
+    "INSERT INTO t SELECT * FROM u WHERE u.a > 0",
+    "DELETE FROM t WHERE a = 1",
+    "UPDATE t SET a = a + 1, b = 2 WHERE c = 3",
+    "TRUNCATE TABLE t",
+    "CALL safeCommit()",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("sql", ROUNDTRIP_QUERIES)
+    def test_query_roundtrip(self, sql):
+        ast1 = parse_query(sql)
+        ast2 = parse_query(print_query(ast1))
+        assert ast1 == ast2
+
+    @pytest.mark.parametrize("sql", ROUNDTRIP_STATEMENTS)
+    def test_statement_roundtrip(self, sql):
+        ast1 = parse_statement(sql)
+        ast2 = parse_statement(print_statement(ast1))
+        assert ast1 == ast2
+
+    def test_printed_text_is_stable(self):
+        sql = "SELECT a FROM t WHERE a > 1 AND b < 2"
+        once = print_query(parse_query(sql))
+        twice = print_query(parse_query(once))
+        assert once == twice
+
+
+class TestFormatting:
+    def test_string_escaping(self):
+        assert print_expr(n.Literal("o'brien")) == "'o''brien'"
+
+    def test_null_true_false(self):
+        assert print_expr(n.Literal(None)) == "NULL"
+        assert print_expr(n.Literal(True)) == "TRUE"
+        assert print_expr(n.Literal(False)) == "FALSE"
+
+    def test_float_keeps_decimal_point(self):
+        text = print_expr(n.Literal(2.0))
+        assert parse_expression(text) == n.Literal(2.0)
+
+    def test_or_parenthesized_under_and(self):
+        e = parse_expression("(a = 1 OR b = 2) AND c = 3")
+        text = print_expr(e)
+        assert parse_expression(text) == e
+
+    def test_not_parenthesizes_comparison(self):
+        e = n.Not(n.Comparison("=", n.ColumnRef("a"), n.Literal(1)))
+        assert parse_expression(print_expr(e)) == e
+
+
+# ---------------------------------------------------------------------------
+# Property-based round-trip on randomly generated expression trees
+
+_names = st.sampled_from(["a", "b", "c", "x1", "col"])
+_tables = st.sampled_from([None, "t", "u"])
+
+_literals = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000).map(n.Literal),
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ).map(n.Literal),
+    st.text(alphabet="abc'x ", max_size=8).map(n.Literal),
+    st.sampled_from([n.Literal(None), n.Literal(True), n.Literal(False)]),
+)
+
+_columns = st.builds(n.ColumnRef, column=_names, table=_tables)
+_atoms = st.one_of(_literals, _columns)
+
+
+def _expressions(max_depth=3):
+    def extend(children):
+        ops = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+        return st.one_of(
+            st.builds(n.Comparison, op=ops, left=children, right=children),
+            st.builds(
+                lambda items: n.And(tuple(items)),
+                st.lists(children, min_size=2, max_size=3),
+            ),
+            st.builds(
+                lambda items: n.Or(tuple(items)),
+                st.lists(children, min_size=2, max_size=3),
+            ),
+            st.builds(n.Not, item=children),
+            st.builds(
+                lambda item, values, negated: n.InList(item, tuple(values), negated),
+                item=_atoms,
+                values=st.lists(_literals, min_size=1, max_size=3),
+                negated=st.booleans(),
+            ),
+            st.builds(n.IsNull, item=_atoms, negated=st.booleans()),
+        )
+
+    return st.recursive(_atoms, extend, max_leaves=12)
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=300, deadline=None)
+    @given(_expressions())
+    def test_expression_roundtrip(self, expr):
+        text = print_expr(expr)
+        assert parse_expression(text) == expr
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(_names, min_size=1, max_size=4, unique=True),
+        _expressions(),
+        st.booleans(),
+    )
+    def test_select_roundtrip(self, cols, where, distinct):
+        select = n.Select(
+            items=tuple(n.SelectItem(n.ColumnRef(c)) for c in cols),
+            from_items=(n.TableRef("t"), n.TableRef("u", "x")),
+            where=where,
+            distinct=distinct,
+        )
+        assert parse_query(print_query(select)) == select

@@ -1,0 +1,211 @@
+"""Tests for the TPC-H substrate: schema, generator, updates, assertions."""
+
+import pytest
+
+from repro.core import Tintin
+from repro.tpch import (
+    ALL_ASSERTIONS,
+    AT_LEAST_ONE_LINEITEM,
+    COMPLEXITY_SUITE,
+    TPCHGenerator,
+    UpdateGenerator,
+    by_name,
+    load_tpch,
+    tpch_database,
+)
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    db = tpch_database()
+    data = load_tpch(db, scale=0.001, seed=42)
+    return db, data
+
+
+class TestSchema:
+    def test_all_eight_tables_exist(self, loaded):
+        db, _ = loaded
+        for name in (
+            "region", "nation", "supplier", "customer",
+            "part", "partsupp", "orders", "lineitem",
+        ):
+            assert db.catalog.has_table(name)
+
+    def test_figure1_keys(self, loaded):
+        db, _ = loaded
+        lineitem = db.table("lineitem").schema
+        assert lineitem.primary_key == ("l_orderkey", "l_linenumber")
+        fk_targets = {fk.ref_table for fk in lineitem.foreign_keys}
+        assert fk_targets == {"orders", "partsupp"}
+
+    def test_partsupp_composite_pk(self, loaded):
+        db, _ = loaded
+        assert db.table("partsupp").schema.primary_key == (
+            "ps_partkey",
+            "ps_suppkey",
+        )
+
+
+class TestGenerator:
+    def test_row_count_ratios(self, loaded):
+        _, data = loaded
+        counts = data.counts()
+        assert counts["region"] == 5
+        assert counts["nation"] == 25
+        assert counts["supplier"] == 10
+        assert counts["customer"] == 150
+        assert counts["part"] == 200
+        assert counts["partsupp"] == 800
+        assert counts["orders"] == 1500
+        # lineitems: 1-7 per order, so between 1x and 7x orders
+        assert 1500 <= counts["lineitem"] <= 1500 * 7
+
+    def test_determinism(self):
+        a = TPCHGenerator(0.001, seed=42).generate()
+        b = TPCHGenerator(0.001, seed=42).generate()
+        assert a.rows == b.rows
+
+    def test_different_seeds_differ(self):
+        a = TPCHGenerator(0.001, seed=1).generate()
+        b = TPCHGenerator(0.001, seed=2).generate()
+        assert a.rows["orders"] != b.rows["orders"]
+
+    def test_scale_scales(self):
+        small = TPCHGenerator(0.001).generate()
+        large = TPCHGenerator(0.002).generate()
+        assert large.counts()["orders"] == 2 * small.counts()["orders"]
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            TPCHGenerator(0)
+
+    def test_generated_data_respects_fks(self, loaded):
+        # populate() succeeds under full FK enforcement — re-verify the
+        # trickiest one here explicitly: lineitem -> partsupp
+        db, _ = loaded
+        orphans = db.query(
+            "SELECT * FROM lineitem AS l WHERE NOT EXISTS ("
+            "SELECT * FROM partsupp AS ps WHERE ps.ps_partkey = l.l_partkey "
+            "AND ps.ps_suppkey = l.l_suppkey)"
+        )
+        assert orphans.is_empty
+
+    def test_initial_state_satisfies_all_assertions(self):
+        db = tpch_database()
+        load_tpch(db, scale=0.001, seed=42)
+        tintin = Tintin(db)
+        tintin.install()
+        for spec in ALL_ASSERTIONS:
+            tintin.add_assertion(spec.sql)
+        violations = tintin.baseline.check_current_state(db)
+        assert violations == []
+
+
+class TestUpdateGenerator:
+    def make(self):
+        db = tpch_database()
+        load_tpch(db, scale=0.001, seed=42)
+        return db, UpdateGenerator(db, seed=7)
+
+    def test_rf1_inserts_orders_with_items(self):
+        _, gen = self.make()
+        batch = gen.rf1_new_orders(5)
+        assert len(batch.inserts["orders"]) == 5
+        assert len(batch.inserts["lineitem"]) >= 5
+        assert not batch.deletes
+
+    def test_rf1_uses_fresh_orderkeys(self):
+        db, gen = self.make()
+        existing = {row[0] for row in db.table("orders").scan()}
+        batch = gen.rf1_new_orders(5)
+        new_keys = {row[0] for row in batch.inserts["orders"]}
+        assert not (new_keys & existing)
+
+    def test_rf2_deletes_orders_with_their_items(self):
+        db, gen = self.make()
+        batch = gen.rf2_delete_orders(5)
+        assert len(batch.deletes["orders"]) == 5
+        deleted_orders = {row[0] for row in batch.deletes["orders"]}
+        item_orders = {row[0] for row in batch.deletes["lineitem"]}
+        assert item_orders == deleted_orders
+
+    def test_mixed_refresh_has_both(self):
+        _, gen = self.make()
+        batch = gen.mixed_refresh(6)
+        assert batch.inserts["orders"]
+        assert batch.deletes["orders"]
+
+    def test_staged_valid_refresh_commits(self):
+        db, gen = self.make()
+        tintin = Tintin(db)
+        tintin.install()
+        tintin.add_assertion(AT_LEAST_ONE_LINEITEM.sql)
+        gen.mixed_refresh(6).stage(db)
+        result = tintin.safe_commit()
+        assert result.committed, str(result)
+
+    def test_violating_order_without_lineitem_rejected(self):
+        db, gen = self.make()
+        tintin = Tintin(db)
+        tintin.install()
+        tintin.add_assertion(AT_LEAST_ONE_LINEITEM.sql)
+        gen.violating_order_without_lineitem().stage(db)
+        assert tintin.safe_commit().rejected
+
+    def test_violating_empty_an_order_rejected(self):
+        db, gen = self.make()
+        tintin = Tintin(db)
+        tintin.install()
+        tintin.add_assertion(AT_LEAST_ONE_LINEITEM.sql)
+        gen.violating_empty_an_order().stage(db)
+        assert tintin.safe_commit().rejected
+
+    def test_violating_negative_quantity_rejected(self):
+        db, gen = self.make()
+        tintin = Tintin(db)
+        tintin.install()
+        tintin.add_assertion(by_name("positiveQuantity").sql)
+        gen.violating_negative_quantity().stage(db)
+        assert tintin.safe_commit().rejected
+
+    def test_batch_size_counts_rows(self):
+        _, gen = self.make()
+        batch = gen.rf1_new_orders(3)
+        assert batch.size == len(batch.inserts["orders"]) + len(
+            batch.inserts["lineitem"]
+        )
+
+
+class TestAssertionSuite:
+    def test_complexity_suite_is_ordered(self):
+        ranks = [spec.complexity for spec in COMPLEXITY_SUITE]
+        assert ranks == sorted(ranks)
+
+    def test_all_assertions_compile(self):
+        db = tpch_database()
+        load_tpch(db, scale=0.0005, seed=1)
+        tintin = Tintin(db)
+        tintin.install()
+        for spec in ALL_ASSERTIONS:
+            assertion = tintin.add_assertion(spec.sql)
+            if assertion.aggregate is not None:
+                continue  # aggregate assertions use the group-probe checker
+            assert assertion.edcs, f"{spec.name} produced no EDCs"
+            assert assertion.view_names
+
+    def test_by_name(self):
+        assert by_name("atLeastOneLineItem") is AT_LEAST_ONE_LINEITEM
+        with pytest.raises(KeyError):
+            by_name("ghost")
+
+    def test_refreshes_pass_whole_suite(self):
+        db = tpch_database()
+        load_tpch(db, scale=0.0005, seed=1)
+        tintin = Tintin(db)
+        tintin.install()
+        for spec in COMPLEXITY_SUITE:
+            tintin.add_assertion(spec.sql)
+        gen = UpdateGenerator(db, seed=11)
+        gen.mixed_refresh(4).stage(db)
+        result = tintin.safe_commit()
+        assert result.committed, str(result)
