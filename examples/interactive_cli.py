@@ -3,7 +3,8 @@
 (Fig. 3): connect to a database, install the capture, type assertions
 and SQL, and call safeCommit.
 
-Commands (everything else is executed as SQL):
+Commands (everything else is executed as SQL, including
+``EXPLAIN <query>`` to inspect physical plans and plan-cache status):
 
   \\tables           list tables (base and event namespaces)
   \\assertions       list installed assertions and their EDCs
@@ -99,6 +100,10 @@ class Session:
 
     def run_sql(self, sql: str) -> None:
         stmt = parse_statement(sql)
+        if isinstance(stmt, nodes.Explain):
+            # the text entry point adds the plan-cache status header
+            print(self.db.execute(sql))
+            return
         if isinstance(stmt, nodes.CreateAssertion):
             if not self.installed:
                 self.tintin.install()

@@ -1,15 +1,35 @@
 """Benchmark harness and reporting (drives the E1-E5 experiments)."""
 
-from .harness import CellResult, Workload, build_workload, run_cell, time_call
-from .reporting import e1_table, format_seconds, series_table
+from .harness import (
+    CellResult,
+    CommitRateResult,
+    Workload,
+    build_workload,
+    measure_commit_rate,
+    run_cell,
+    time_call,
+)
+from .reporting import (
+    e1_table,
+    format_seconds,
+    plan_cache_payload,
+    plan_cache_table,
+    series_table,
+    write_json_baseline,
+)
 
 __all__ = [
     "CellResult",
+    "CommitRateResult",
     "Workload",
     "build_workload",
     "e1_table",
     "format_seconds",
+    "measure_commit_rate",
+    "plan_cache_payload",
+    "plan_cache_table",
     "run_cell",
     "series_table",
     "time_call",
+    "write_json_baseline",
 ]

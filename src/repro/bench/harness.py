@@ -31,6 +31,55 @@ from ..tpch import (
 
 
 @dataclass
+class CommitRateResult:
+    """Throughput of a repeated stage-then-safeCommit loop (E7)."""
+
+    commits: int
+    seconds: float
+    assertions: int
+    cache_enabled: bool
+    plan_cache_invalidations: int = 0
+
+    @property
+    def commits_per_second(self) -> float:
+        if self.seconds <= 0:
+            return float("inf")
+        return self.commits / self.seconds
+
+
+def measure_commit_rate(
+    tintin: Tintin,
+    stage: Callable[[int], None],
+    commits: int,
+) -> CommitRateResult:
+    """Time ``commits`` rounds of ``stage(i)`` followed by ``safeCommit``.
+
+    ``stage`` receives the zero-based round number and must propose an
+    update (through the capture triggers) that the installed assertions
+    accept; a rejected commit aborts the measurement.  This is the E7
+    primitive: with the plan cache enabled the per-commit cost is pure
+    execution; with it disabled every executed violation view is parsed
+    and planned anew — the seed's fresh-plan behaviour.
+    """
+    db = tintin.db
+    before = db.plan_cache_stats.invalidations
+    start = time.perf_counter()
+    for i in range(commits):
+        stage(i)
+        result = tintin.safe_commit()
+        if not result.committed:
+            raise RuntimeError(f"commit {i} rejected during measurement: {result}")
+    elapsed = time.perf_counter() - start
+    return CommitRateResult(
+        commits=commits,
+        seconds=elapsed,
+        assertions=len(tintin.assertions),
+        cache_enabled=db.plan_cache_enabled,
+        plan_cache_invalidations=db.plan_cache_stats.invalidations - before,
+    )
+
+
+@dataclass
 class CellResult:
     """Timing results of one workload cell."""
 

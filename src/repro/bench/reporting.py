@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import json
 from typing import Iterable
 
-from .harness import CellResult
+from .harness import CellResult, CommitRateResult
 
 
 def format_seconds(seconds: float) -> str:
@@ -44,3 +45,56 @@ def series_table(
             f"{format_seconds(full):>11} x{speedup:>8.1f}"
         )
     return "\n".join(lines)
+
+
+def plan_cache_table(
+    pairs: Iterable[tuple[CommitRateResult, CommitRateResult]]
+) -> str:
+    """The E7 grid: per assertion count, commits/sec with the prepared
+    plan cache on vs the fresh-plan path, plus the resulting speedup."""
+    lines = [
+        f"{'assertions':>10} {'cached c/s':>11} {'fresh c/s':>10} "
+        f"{'speedup':>9} {'replans':>8}"
+    ]
+    for cached, fresh in pairs:
+        speedup = (
+            cached.commits_per_second / fresh.commits_per_second
+            if fresh.commits_per_second > 0
+            else float("inf")
+        )
+        lines.append(
+            f"{cached.assertions:>10} {cached.commits_per_second:>11.0f} "
+            f"{fresh.commits_per_second:>10.0f} x{speedup:>8.1f} "
+            f"{cached.plan_cache_invalidations:>8}"
+        )
+    return "\n".join(lines)
+
+
+def plan_cache_payload(
+    pairs: Iterable[tuple[CommitRateResult, CommitRateResult]]
+) -> dict:
+    """JSON-serializable summary of an E7 run (the committed baseline)."""
+    rows = []
+    for cached, fresh in pairs:
+        rows.append(
+            {
+                "assertions": cached.assertions,
+                "commits": cached.commits,
+                "cached_commits_per_second": round(cached.commits_per_second, 1),
+                "fresh_commits_per_second": round(fresh.commits_per_second, 1),
+                "speedup": round(
+                    cached.commits_per_second / fresh.commits_per_second, 2
+                )
+                if fresh.commits_per_second > 0
+                else None,
+                "plan_cache_invalidations": cached.plan_cache_invalidations,
+            }
+        )
+    return {"experiment": "e7_plan_cache", "rows": rows}
+
+
+def write_json_baseline(path: str, payload: dict) -> None:
+    """Persist a benchmark payload as a committed JSON baseline."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -63,6 +63,11 @@ class AggregateAssertion:
     inner_condition: Optional[Compiled]
     op: str
     bound: object
+    #: correlation key column names, resolved once at compile time so
+    #: the per-commit checker never rebuilds them (prepared-checker
+    #: counterpart of the prepared EDC views)
+    outer_key_columns: tuple[str, ...] = ()
+    inner_key_columns: tuple[str, ...] = ()
 
     @property
     def driving_tables(self) -> tuple[str, ...]:
@@ -200,6 +205,12 @@ class AggregateAssertionCompiler:
             ),
             op=aggregate_condition.op,
             bound=bound_expr.value,
+            outer_key_columns=tuple(
+                outer.schema.columns[op].name for _, op in correlation
+            ),
+            inner_key_columns=tuple(
+                inner.schema.columns[ip].name for ip, _ in correlation
+            ),
         )
 
     @staticmethod
@@ -263,10 +274,7 @@ class AggregateChecker:
         ins_inner = db.table(ins_table_name(spec.inner_table))
         del_inner = db.table(del_table_name(spec.inner_table))
 
-        outer_positions = tuple(op for _, op in spec.correlation)
-        outer_columns = tuple(
-            outer.schema.columns[p].name for p in outer_positions
-        )
+        outer_columns = spec.outer_key_columns
 
         candidates: dict[tuple, tuple] = {}
         for row in ins_outer.scan():
@@ -311,10 +319,7 @@ class AggregateChecker:
         outer row's group, via index probes."""
         spec = self.spec
         inner = db.table(spec.inner_table)
-        inner_positions = tuple(ip for ip, _ in spec.correlation)
-        inner_columns = tuple(
-            inner.schema.columns[p].name for p in inner_positions
-        )
+        inner_columns = spec.inner_key_columns
         key = tuple(outer_row[op] for _, op in spec.correlation)
         params = self._outer_params(db, outer_row)
 
@@ -357,10 +362,7 @@ class AggregateChecker:
         spec = self.spec
         outer = db.table(spec.outer_table)
         inner = db.table(spec.inner_table)
-        inner_positions = tuple(ip for ip, _ in spec.correlation)
-        inner_columns = tuple(
-            inner.schema.columns[p].name for p in inner_positions
-        )
+        inner_columns = spec.inner_key_columns
         witnesses = []
         for outer_row in outer.scan():
             if spec.outer_condition is not None:

@@ -126,12 +126,17 @@ class Tintin:
             view_name = edc.name
             self.db.create_view(view_name, query)
             assertion.view_names.append(view_name)
+            # compile the violation view into a prepared plan now, so
+            # every subsequent safeCommit executes it without parsing or
+            # planning (the handle re-plans itself lazily after DDL)
+            prepared = self.db.prepare(f"SELECT * FROM {view_name}")
             self.safe_commit_proc.register(
                 CompiledEDC(
                     edc=edc,
                     view_name=view_name,
                     event_tables=edc.event_tables,
                     guard_tables=edc.guard_tables,
+                    prepared=prepared,
                 )
             )
 

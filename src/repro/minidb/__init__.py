@@ -9,7 +9,14 @@ generated incremental queries the access paths they rely on
 """
 
 from .catalog import Catalog, Procedure, Trigger, View
-from .database import Database, ResultSet
+from .database import (
+    Database,
+    PlanCache,
+    PlanCacheStats,
+    PreparedStatement,
+    ResultSet,
+)
+from .plan import ExecutionContext
 from .schema import Column, ForeignKey, TableSchema
 from .storage import Table
 from .types import (
@@ -30,8 +37,12 @@ __all__ = [
     "DATE",
     "DOUBLE",
     "Database",
+    "ExecutionContext",
     "ForeignKey",
     "INTEGER",
+    "PlanCache",
+    "PlanCacheStats",
+    "PreparedStatement",
     "Procedure",
     "ResultSet",
     "SQLType",

@@ -57,13 +57,35 @@ class Procedure:
 
 
 class Catalog:
-    """Named collections of tables, views, triggers and procedures."""
+    """Named collections of tables, views, triggers and procedures.
+
+    The catalog carries a monotonically increasing :attr:`version`,
+    bumped on every change to its *shape* (table/view/trigger creation
+    and removal).  Compiled plans embed direct references to catalog
+    objects, so the prepared-plan cache keys its entries on this
+    version: any DDL instantly invalidates every cached plan.  Data
+    changes and trigger enable/disable (which flips on every single
+    ``safeCommit``) deliberately do **not** bump the version — SELECT
+    plans are insensitive to both, and bumping on the commit hot path
+    would defeat plan caching entirely.
+    """
 
     def __init__(self):
         self._tables: dict[str, Table] = {}
         self._views: dict[str, View] = {}
         self._triggers: dict[str, Trigger] = {}
         self._procedures: dict[str, Procedure] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Current catalog-shape version (bumped by DDL)."""
+        return self._version
+
+    def bump_version(self) -> int:
+        """Invalidate all cached plans by advancing the version."""
+        self._version += 1
+        return self._version
 
     # -- tables -----------------------------------------------------------
 
@@ -73,6 +95,7 @@ class Catalog:
             raise CatalogError(f"object {schema.name!r} already exists")
         table = Table(schema, namespace)
         self._tables[key] = table
+        self.bump_version()
         return table
 
     def get_table(self, name: str, default=_RAISE):
@@ -111,6 +134,7 @@ class Catalog:
             tn for tn, tr in self._triggers.items() if normalize(tr.table) == key
         ]:
             del self._triggers[trigger_name]
+        self.bump_version()
         return True
 
     def tables(self, namespace: Optional[str] = None) -> list[Table]:
@@ -131,6 +155,7 @@ class Catalog:
         if key in self._views or key in self._tables:
             raise CatalogError(f"object {view.name!r} already exists")
         self._views[key] = view
+        self.bump_version()
 
     def get_view(self, name: str, default=None) -> Optional[View]:
         return self._views.get(normalize(name), default)
@@ -142,6 +167,7 @@ class Catalog:
                 return False
             raise CatalogError(f"unknown view {name!r}")
         del self._views[key]
+        self.bump_version()
         return True
 
     def views(self) -> list[View]:
@@ -160,12 +186,14 @@ class Catalog:
             raise CatalogError(f"unsupported trigger event {trigger.event!r}")
         self.require_table(trigger.table)
         self._triggers[key] = trigger
+        self.bump_version()
 
     def drop_trigger(self, name: str) -> None:
         key = normalize(name)
         if key not in self._triggers:
             raise CatalogError(f"unknown trigger {name!r}")
         del self._triggers[key]
+        self.bump_version()
 
     def triggers_for(self, table: str, event: str) -> list[Trigger]:
         key = normalize(table)

@@ -4,10 +4,27 @@ This is the engine's public entry point.  It parses and executes SQL
 text (or pre-parsed ASTs), dispatches DML through INSTEAD OF triggers,
 enforces constraints, and exposes the transactional batch-apply that
 TINTIN's ``safeCommit`` uses.
+
+Query compilation is amortized through two cooperating layers:
+
+* :class:`PreparedStatement` — an explicit handle (``db.prepare(sql)``
+  / ``db.prepare_query(ast)``) that owns a compiled plan and re-plans
+  itself lazily when the catalog version changes or referenced table
+  sizes drift far from what the planner assumed;
+* a transparent LRU :class:`PlanCache` inside :meth:`Database.query`
+  and :meth:`Database.execute`, keyed by SQL text, so repeated text
+  queries (TINTIN's per-commit ``SELECT * FROM <edc_view>``) skip the
+  parser and planner entirely.
+
+Both layers rely on plans being immutable and reusable (see
+:mod:`repro.minidb.plan`); set ``plan_cache_enabled = False`` to fall
+back to the historical fresh-plan-per-statement behaviour.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence
 
 from ..errors import (
@@ -21,11 +38,32 @@ from ..sqlparser.parser import parse_statement
 from .catalog import Catalog, Procedure, Trigger, View
 from .constraints import ConstraintChecker, validate_foreign_keys
 from .expressions import Scope, compile_expr
+from .plan import PlanNode, execution_params
 from .planner import Planner
 from .schema import Column, TableSchema
 from .storage import Table
 from .transactions import TransactionManager
 from .types import resolve_type
+
+#: A cached plan is re-planned when a referenced table's row count moves
+#: at least this factor away from its plan-time value (a plan chosen
+#: when a table held 10 rows is re-planned once it reaches 100 — the
+#: IndexJoin-vs-HashJoin decision was made for a different shape) ...
+_DRIFT_RATIO = 10.0
+#: ... provided the absolute change also crosses this delta.  The delta
+#: gate keeps small-table noise from thrashing the cache: TINTIN's
+#: event tables legitimately swing between empty and update-sized on
+#: every commit, and for update-sized row counts every plan shape
+#: decision comes out the same anyway.  Because a table growing row by
+#: row re-records its count at each re-plan, a growing table triggers
+#: only O(log n) recompilations over its lifetime.
+_DRIFT_MIN_DELTA = 64
+
+
+def _row_count_drifted(old: int, new: int) -> bool:
+    if abs(new - old) < _DRIFT_MIN_DELTA:
+        return False
+    return new >= old * _DRIFT_RATIO or old >= new * _DRIFT_RATIO
 
 
 class ResultSet:
@@ -63,6 +101,168 @@ class ResultSet:
         return f"ResultSet({self.columns}, {len(self.rows)} rows)"
 
 
+class PreparedStatement:
+    """A query compiled once and executable many times.
+
+    The handle owns the current compiled plan plus the metadata needed
+    to decide whether it is still trustworthy: the catalog version it
+    was planned under and the row counts of every base table the
+    planner touched.  :meth:`execute` revalidates in O(#tables) integer
+    comparisons and re-plans lazily when the catalog changed
+    (DDL — the plan may reference dropped objects) or a table size
+    drifted past :data:`_DRIFT_RATIO` (the greedy IndexJoin/HashJoin
+    decisions were made for a different data shape).
+    """
+
+    def __init__(self, db: "Database", query: n.Query, sql: Optional[str] = None):
+        self.db = db
+        self.query = query
+        self.sql = sql
+        self._plan: Optional[PlanNode] = None
+        self._columns: list[str] = []
+        self._catalog_version = -1
+        self._row_counts: dict[str, int] = {}
+        self._table_refs: dict[str, Table] = {}
+        self._replan()
+
+    # -- compilation ------------------------------------------------------
+
+    def _replan(self) -> None:
+        planner = Planner(self.db.catalog)
+        self._plan = planner.plan_query(self.query)
+        self._columns = planner.output_columns(self.query)
+        self._catalog_version = self.db.catalog.version
+        self._row_counts = dict(planner.tables_used)
+        self._table_refs = dict(planner.table_refs)
+
+    def is_valid(self) -> bool:
+        """Whether the compiled plan can still be executed as-is."""
+        catalog = self.db.catalog
+        if self._catalog_version != catalog.version:
+            return False
+        for name, planned_count in self._row_counts.items():
+            table = catalog.get_table(name, default=None)
+            if table is None:
+                return False
+            if _row_count_drifted(planned_count, len(table)):
+                return False
+        return True
+
+    def _validated_plan(self) -> PlanNode:
+        if not self.is_valid():
+            self.db.plan_cache_stats.invalidations += 1
+            self._replan()
+        return self._plan
+
+    # -- execution --------------------------------------------------------
+
+    @property
+    def plan(self) -> PlanNode:
+        """The current compiled plan (revalidated on access)."""
+        return self._validated_plan()
+
+    @property
+    def columns(self) -> list[str]:
+        self._validated_plan()  # a view redefinition can change the list
+        return list(self._columns)
+
+    def execute(self, params: Optional[dict] = None) -> ResultSet:
+        """Run the prepared plan under a fresh execution context."""
+        plan = self._validated_plan()
+        return ResultSet(list(self._columns), list(plan.run(params)))
+
+    def explain(self) -> str:
+        """The current physical plan as an indented tree."""
+        return self._validated_plan().explain()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.sql if self.sql is not None else type(self.query).__name__
+        return f"PreparedStatement({label!r}, catalog v{self._catalog_version})"
+
+
+@dataclass
+class PlanCacheStats:
+    """Counters for the transparent plan cache (inspect via EXPLAIN)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }
+
+
+class PlanCache:
+    """A small LRU of :class:`PreparedStatement` keyed by SQL text.
+
+    Entries revalidate themselves (catalog version + row-count drift),
+    so the cache never needs proactive invalidation — stale entries
+    simply re-plan on their next use.  Statements that fail to parse or
+    are not SELECTs are never cached.
+    """
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, PreparedStatement]" = OrderedDict()
+
+    @staticmethod
+    def key(sql: str) -> str:
+        return sql.strip()
+
+    def get(self, sql: str) -> Optional[PreparedStatement]:
+        entry = self._entries.get(self.key(sql))
+        if entry is not None:
+            self._entries.move_to_end(self.key(sql))
+        return entry
+
+    def put(self, sql: str, statement: PreparedStatement) -> None:
+        key = self.key(sql)
+        self._entries[key] = statement
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            statement.db.plan_cache_stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def prune_dead(self, catalog: Catalog) -> int:
+        """Drop entries whose plans pin storage that left the catalog.
+
+        A cached plan holds direct references to its tables' row
+        storage; after DROP TABLE — including drop-and-recreate under
+        the same name — the entry would otherwise retain the dropped
+        storage until LRU eviction.  Detection is by object identity:
+        an entry is dead as soon as any captured Table is no longer the
+        catalog's current object for that name.  Entries whose tables
+        are all intact (merely version-stale plans) are kept — they
+        re-plan cheaply from their stored AST.
+        """
+        dead = [
+            key
+            for key, statement in self._entries.items()
+            if any(
+                catalog.get_table(name, default=None) is not ref
+                for name, ref in statement._table_refs.items()
+            )
+        ]
+        for key in dead:
+            del self._entries[key]
+        return len(dead)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, sql: str) -> bool:
+        return self.key(sql) in self._entries
+
+
 class Database:
     """An in-memory relational database with SQL Server-style features.
 
@@ -73,11 +273,70 @@ class Database:
     optimizer would do with the paper's generated queries.
     """
 
-    def __init__(self, name: str = "db"):
+    def __init__(self, name: str = "db", plan_cache_size: int = 256):
         self.name = name
         self.catalog = Catalog()
         self.checker = ConstraintChecker(self.catalog)
         self.transactions = TransactionManager()
+        #: transparent prepared-plan cache for text queries; set
+        #: ``plan_cache_enabled = False`` to restore the historical
+        #: fresh-parse-and-plan-per-statement behaviour
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.plan_cache_enabled = True
+        self.plan_cache_stats = PlanCacheStats()
+        self._cache_pruned_version = -1
+
+    # -- prepared statements ------------------------------------------------
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Compile a SELECT/UNION once for repeated execution."""
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, n.SelectStatement):
+            raise ExecutionError("prepare() requires a SELECT statement")
+        return PreparedStatement(self, stmt.query, sql=sql)
+
+    def prepare_query(self, query: n.Query) -> PreparedStatement:
+        """Compile a pre-parsed query AST once for repeated execution."""
+        return PreparedStatement(self, query)
+
+    def _cached_select(self, sql: str) -> Optional[PreparedStatement]:
+        """Cache lookup for a text SELECT; counts a hit or nothing."""
+        if not self.plan_cache_enabled:
+            return None
+        if self._cache_pruned_version != self.catalog.version:
+            # DDL happened since the last access: free entries whose
+            # tables were dropped (they pin the dropped row storage)
+            self.plan_cache.prune_dead(self.catalog)
+            self._cache_pruned_version = self.catalog.version
+        cached = self.plan_cache.get(sql)
+        if cached is not None:
+            self.plan_cache_stats.hits += 1
+        return cached
+
+    def _cache_select(self, sql: str, statement: PreparedStatement) -> None:
+        if self.plan_cache_enabled:
+            self.plan_cache_stats.misses += 1
+            self.plan_cache.put(sql, statement)
+
+    def _prepare_text(self, sql: str, required_by: Optional[str]):
+        """Shared lookup/parse/prepare/cache sequence for text SELECTs.
+
+        Returns ``(prepared, parsed_stmt, was_hit)``; ``prepared`` is
+        None when the text is not a SELECT — a
+        :class:`~repro.errors.ExecutionError` naming ``required_by``
+        is raised instead if the caller accepts only SELECTs.
+        """
+        cached = self._cached_select(sql)
+        if cached is not None:
+            return cached, None, True
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, n.SelectStatement):
+            if required_by is not None:
+                raise ExecutionError(f"{required_by} requires a SELECT statement")
+            return None, stmt, False
+        prepared = PreparedStatement(self, stmt.query, sql=sql)
+        self._cache_select(sql, prepared)
+        return prepared, stmt, False
 
     # -- SQL entry points ---------------------------------------------------
 
@@ -85,12 +344,26 @@ class Database:
         """Parse and execute one SQL statement.
 
         Returns a :class:`ResultSet` for queries, an affected-row count
-        for DML, and ``None`` for DDL.
+        for DML, a plan-tree string for ``EXPLAIN <query>``, and
+        ``None`` for DDL.  SELECT statements go through the prepared
+        plan cache: a repeated statement skips the parser and planner.
         """
-        return self.execute_statement(parse_statement(sql))
+        explained = _split_explain(sql)
+        if explained is not None:
+            return self._explain_text(explained)
+        prepared, stmt, _ = self._prepare_text(sql, required_by=None)
+        if prepared is not None:
+            return prepared.execute()
+        return self.execute_statement(stmt)
 
     def execute_script(self, sql: str) -> list:
-        """Execute a ``;``-separated script; returns per-statement results."""
+        """Execute a ``;``-separated script; returns per-statement results.
+
+        Script statements run through the AST path and deliberately
+        bypass the text plan cache (the parser does not preserve
+        per-statement source text to key it with); scripts are a setup
+        convenience, not a hot path.
+        """
         from ..sqlparser.parser import parse_script
 
         return [self.execute_statement(stmt) for stmt in parse_script(sql)]
@@ -98,6 +371,11 @@ class Database:
     def execute_statement(self, stmt: n.Statement):
         if isinstance(stmt, n.SelectStatement):
             return self.query_ast(stmt.query)
+        if isinstance(stmt, n.Explain):
+            # AST entry point: no SQL text to key the cache with — plan
+            # fresh and report the tree (the text entry point in
+            # :meth:`execute` adds cache hit/miss information).
+            return Planner(self.catalog).plan_query(stmt.query).explain()
         if isinstance(stmt, n.CreateTable):
             self.create_table_ast(stmt)
             return None
@@ -130,24 +408,45 @@ class Database:
         raise ExecutionError(f"cannot execute statement {type(stmt).__name__}")
 
     def query(self, sql: str) -> ResultSet:
-        """Parse and run a SELECT/UNION, returning a ResultSet."""
-        stmt = parse_statement(sql)
-        if not isinstance(stmt, n.SelectStatement):
-            raise ExecutionError("query() requires a SELECT statement")
-        return self.query_ast(stmt.query)
+        """Parse and run a SELECT/UNION, returning a ResultSet.
+
+        Queries go through the prepared plan cache keyed on the SQL
+        text: a repeated query skips the parser and planner entirely.
+        """
+        prepared, _, _ = self._prepare_text(sql, required_by="query()")
+        return prepared.execute()
 
     def query_ast(self, query: n.Query) -> ResultSet:
         planner = Planner(self.catalog)
         plan = planner.plan_query(query)
         columns = planner.output_columns(query)
-        return ResultSet(columns, list(plan.execute({})))
+        return ResultSet(columns, list(plan.run()))
 
     def explain(self, sql: str) -> str:
-        """The physical plan for a query, as an indented tree."""
-        stmt = parse_statement(sql)
-        if not isinstance(stmt, n.SelectStatement):
-            raise ExecutionError("explain() requires a SELECT statement")
-        return Planner(self.catalog).plan_query(stmt.query).explain()
+        """The physical plan for a query, as an indented tree, headed by
+        a plan-cache status line (same output as ``EXPLAIN <query>``)."""
+        return self._explain_text(sql)
+
+    def _explain_text(self, sql: str) -> str:
+        """EXPLAIN body: cache status header + the plan tree.
+
+        The probed statement is planned (and cached) if absent, so an
+        EXPLAIN followed by the query itself reuses the compiled plan.
+        """
+        stats = self.plan_cache_stats
+        prepared, _, was_hit = self._prepare_text(sql, required_by="EXPLAIN")
+        if was_hit:
+            status = "hit" if prepared.is_valid() else "hit (stale, re-planning)"
+        elif self.plan_cache_enabled:
+            status = "miss"
+        else:
+            status = "disabled"
+        header = (
+            f"-- plan cache: {status} (catalog v{self.catalog.version}, "
+            f"hits={stats.hits} misses={stats.misses} "
+            f"invalidations={stats.invalidations})"
+        )
+        return header + "\n" + prepared.explain()
 
     # -- DDL -------------------------------------------------------------------
 
@@ -509,3 +808,20 @@ class Database:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Database({self.name!r}, {len(self.catalog.tables())} tables)"
+
+
+def _split_explain(sql: str) -> Optional[str]:
+    """If ``sql`` is ``EXPLAIN <query>``, return ``<query>``'s text.
+
+    Detected textually (before parsing) so the inner text keys the plan
+    cache identically to running the query directly — EXPLAIN then
+    reports the very entry the query would use.
+    """
+    stripped = sql.lstrip()
+    head = stripped[:7]
+    if head.upper() != "EXPLAIN":
+        return None
+    rest = stripped[7:]
+    if rest and not rest[0].isspace() and rest[0] != "(":
+        return None  # an identifier like EXPLAINX
+    return rest.strip().rstrip(";")

@@ -5,7 +5,17 @@ Each operator exposes ``execute(params)`` yielding output tuples, plus a
 layout, and an ``estimate`` used by the planner's greedy join ordering.
 
 ``params`` carries correlation values from enclosing queries — operators
-pass it through unchanged; only compiled expressions read it.
+pass it through unchanged; only compiled expressions read it.  One
+reserved string key (:data:`CTX_KEY` — disjoint from the normal
+``(binding, column)`` tuple keys) carries the
+:class:`ExecutionContext`, the per-execution mutable state of an
+otherwise immutable compiled plan.  Because subquery memoization lives
+in the context rather than in compile-time closures, a plan can be
+executed any number of times (the prepared-statement cache in
+:mod:`repro.minidb.database` depends on this).  Call
+:meth:`PlanNode.run` (or seed ``params`` with
+:func:`execution_params`) to start a top-level execution with a fresh
+context.
 
 The operator set is deliberately small:
 
@@ -33,6 +43,56 @@ from typing import Callable, Iterator, Optional
 from .expressions import Compiled, Scope
 from .storage import Table
 
+#: Reserved ``params`` key carrying the :class:`ExecutionContext`.  All
+#: regular correlation keys are ``(binding, column)`` tuples, so a plain
+#: string can never collide with them.
+CTX_KEY = "__ctx__"
+
+
+class ExecutionContext:
+    """Per-execution mutable state for a compiled plan.
+
+    Compiled plans are immutable; every piece of state that one
+    execution must not leak into the next — today the memo tables of the
+    planner's generic subquery probes — lives here.  Each probe owns a
+    sentinel token allocated at compile time and retrieves its private
+    memo dict with :meth:`memo`.
+    """
+
+    __slots__ = ("_memos",)
+
+    def __init__(self):
+        self._memos: dict[object, dict] = {}
+
+    def memo(self, token: object) -> dict:
+        """The mutable memo dict owned by ``token`` for this execution."""
+        memo = self._memos.get(token)
+        if memo is None:
+            memo = self._memos[token] = {}
+        return memo
+
+
+def execution_params(
+    params: Optional[dict] = None, ctx: Optional[ExecutionContext] = None
+) -> dict:
+    """A top-level ``params`` dict carrying a (fresh) execution context."""
+    merged = dict(params) if params else {}
+    merged[CTX_KEY] = ctx if ctx is not None else ExecutionContext()
+    return merged
+
+
+def context_memo(params: dict, token: object) -> dict:
+    """The memo dict for ``token`` in the execution carried by ``params``.
+
+    When no context is present (a bare ``plan.execute({})`` — tests,
+    ad-hoc tooling) a throwaway dict is returned: memoization is simply
+    disabled and correctness is unaffected.
+    """
+    ctx = params.get(CTX_KEY)
+    if ctx is None:
+        return {}
+    return ctx.memo(token)
+
 
 class PlanNode:
     """Base class for physical operators."""
@@ -42,6 +102,16 @@ class PlanNode:
 
     def execute(self, params: dict) -> Iterator[tuple]:  # pragma: no cover
         raise NotImplementedError
+
+    def run(
+        self,
+        params: Optional[dict] = None,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> Iterator[tuple]:
+        """Execute as a top-level statement under a fresh (or given)
+        :class:`ExecutionContext`.  This is the entry point for repeated
+        execution of a cached plan."""
+        return self.execute(execution_params(params, ctx))
 
     def explain(self, indent: int = 0) -> str:
         """Human-readable plan tree (used in tests and debugging)."""
@@ -300,35 +370,70 @@ class UnionDistinct(PlanNode):
         return list(self.parts)
 
 
-def aggregate_value(func: str, values: list) -> object:
-    """Fold a list of non-NULL-filtered values with an SQL aggregate.
+class AggregateState:
+    """Incremental fold state for one SQL aggregate.
 
-    SQL semantics: NULL inputs are ignored; an empty input yields 0 for
-    COUNT and NULL for SUM/MIN/MAX/AVG.
+    NULL inputs are ignored (SQL semantics); an empty input yields 0
+    for COUNT and NULL for SUM/MIN/MAX/AVG.  Values are folded one at a
+    time — nothing is materialized.
     """
-    present = [v for v in values if v is not None]
-    if func == "COUNT":
-        return len(present)
-    if not present:
-        return None
-    if func == "SUM":
-        return sum(present)
-    if func == "MIN":
-        return min(present)
-    if func == "MAX":
-        return max(present)
-    if func == "AVG":
-        return sum(present) / len(present)
-    raise ValueError(f"unknown aggregate {func!r}")
+
+    __slots__ = ("func", "count", "total", "low", "high")
+
+    def __init__(self, func: str):
+        if func not in ("COUNT", "SUM", "MIN", "MAX", "AVG"):
+            raise ValueError(f"unknown aggregate {func!r}")
+        self.func = func
+        self.count = 0
+        self.total = 0
+        self.low = None
+        self.high = None
+
+    def add(self, value) -> None:
+        if value is None:
+            return
+        self.count += 1
+        if self.func == "COUNT":
+            return
+        if self.func in ("SUM", "AVG"):
+            self.total += value
+        elif self.func == "MIN":
+            if self.low is None or value < self.low:
+                self.low = value
+        elif self.high is None or value > self.high:
+            self.high = value
+
+    def result(self) -> object:
+        if self.func == "COUNT":
+            return self.count
+        if self.count == 0:
+            return None
+        if self.func == "SUM":
+            return self.total
+        if self.func == "MIN":
+            return self.low
+        if self.func == "MAX":
+            return self.high
+        return self.total / self.count  # AVG
+
+
+def aggregate_value(func: str, values) -> object:
+    """Fold an iterable of values with an SQL aggregate in one pass
+    (no intermediate ``present`` list is built)."""
+    state = AggregateState(func)
+    for value in values:
+        state.add(value)
+    return state.result()
 
 
 class Aggregate(PlanNode):
     """Ungrouped aggregation: consumes the child, emits exactly one row.
 
     ``specs`` is a list of ``(func, compiled_arg_or_None)`` — a None
-    argument means COUNT(*).  (Engine extension used by the
-    aggregate-assertion feature; the paper's fragment has no
-    aggregates.)
+    argument means COUNT(*).  Each spec folds incrementally via
+    :class:`AggregateState`; per-spec value lists are never
+    materialized.  (Engine extension used by the aggregate-assertion
+    feature; the paper's fragment has no aggregates.)
     """
 
     def __init__(self, child: PlanNode, specs: list, out_scope: Scope):
@@ -338,21 +443,15 @@ class Aggregate(PlanNode):
         self.estimate = 1.0
 
     def execute(self, params: dict) -> Iterator[tuple]:
-        counts = [0] * len(self.specs)
-        collected: list[list] = [[] for _ in self.specs]
+        states = [AggregateState(func) for func, _ in self.specs]
+        args = [arg for _, arg in self.specs]
         for row in self.child.execute(params):
-            for position, (func, arg) in enumerate(self.specs):
+            for state, arg in zip(states, args):
                 if arg is None:
-                    counts[position] += 1
+                    state.count += 1  # COUNT(*): count rows directly
                 else:
-                    collected[position].append(arg(row, params))
-        out = []
-        for position, (func, arg) in enumerate(self.specs):
-            if arg is None:
-                out.append(counts[position])
-            else:
-                out.append(aggregate_value(func, collected[position]))
-        yield tuple(out)
+                    state.add(arg(row, params))
+        yield tuple(state.result() for state in states)
 
     def children(self) -> list[PlanNode]:
         return [self.child]

@@ -16,8 +16,15 @@ joined against large indexed base tables):
    back to a per-call subplan execution memoized on its correlation
    values (so uncorrelated subqueries run exactly once).
 
-Plans are **single use**: closures may memoize subquery results, so the
-database compiles a fresh plan for every statement execution.
+Plans are **reusable**: all per-execution state (the memo tables of the
+generic subquery probes) lives in an
+:class:`~repro.minidb.plan.ExecutionContext` threaded through the
+``params`` dict, so a compiled plan may be executed any number of times
+— this is what the prepared-statement cache in
+:mod:`repro.minidb.database` builds on.  The planner records every base
+table it resolves in :attr:`Planner.tables_used` together with its row
+count at plan time, so the cache can re-plan when table sizes drift far
+from what the greedy join ordering assumed.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from .plan import (
     UnionAll,
     UnionDistinct,
     aggregate_value,
+    context_memo,
 )
 from .storage import Table
 
@@ -79,7 +87,12 @@ class Rename(PlanNode):
 
 
 class _Relation:
-    """A FROM-clause relation during planning."""
+    """A FROM-clause relation during planning.
+
+    Estimates are read off the (pushdown-filtered) plan nodes built in
+    ``_join_relations`` — plain attributes, so the greedy join-ordering
+    loops never recompute them per access.
+    """
 
     def __init__(self, binding: str, plan: PlanNode, table: Optional[Table]):
         self.binding = binding.lower()
@@ -88,19 +101,23 @@ class _Relation:
         self.table = table
         self.pushdown: list[n.Expr] = []
 
-    @property
-    def estimate(self) -> float:
-        est = self.plan.estimate
-        for _ in self.pushdown:
-            est = max(est * 0.25, 1.0)
-        return est
-
 
 class Planner:
     """Plans queries against a catalog (tables + views)."""
 
     def __init__(self, catalog):
         self.catalog = catalog
+        #: normalized base-table name -> row count when the plan was
+        #: built; consumed by the prepared-plan cache for drift checks
+        self.tables_used: dict[str, int] = {}
+        #: normalized name -> the Table object the plan captured, so the
+        #: cache can detect drop-and-recreate under the same name
+        self.table_refs: dict[str, Table] = {}
+
+    def _note_table(self, table: Table) -> None:
+        key = table.schema.name.lower()
+        self.tables_used.setdefault(key, len(table))
+        self.table_refs.setdefault(key, table)
 
     # -- public API -------------------------------------------------------
 
@@ -156,6 +173,7 @@ class Planner:
     def _base_relation(self, ref: n.TableRef, outer: Optional[Scope]) -> _Relation:
         table = self.catalog.get_table(ref.name, default=None)
         if table is not None:
+            self._note_table(table)
             return _Relation(ref.binding, SeqScan(table, ref.binding), table)
         view = self.catalog.get_view(ref.name, default=None)
         if view is not None:
@@ -201,8 +219,9 @@ class Planner:
         joined = self._join_relations(relations, edges, outer)
 
         if residual:
-            scope = Scope(joined.scope.entries, outer=outer)
-            joined = _rescope(joined, scope)
+            # every plan leaving _join_relations is already scoped with
+            # ``outer`` as its correlation chain
+            scope = joined.scope
             predicate = compile_expr(
                 n.conjoin(residual),
                 scope,
@@ -223,8 +242,7 @@ class Planner:
         if select.distinct:
             raise ExecutionError("DISTINCT is not valid on an aggregate query")
         source = self._plan_source(select, outer)
-        scope = Scope(source.scope.entries, outer=outer)
-        source = _rescope(source, scope)
+        scope = source.scope
         specs: list = []
         names: list[str] = []
         for item in select.items:
@@ -302,12 +320,14 @@ class Planner:
         edges: list[tuple[str, str, n.ColumnRef, n.ColumnRef]],
         outer: Optional[Scope],
     ) -> PlanNode:
+        # Rescope every relation's plan onto the outer chain exactly once,
+        # up front — the greedy loop below then reuses plan scopes as-is
+        # instead of re-allocating a Scope per attachment step.
         plans: dict[str, PlanNode] = {}
         for rel in relations:
-            plan = rel.plan
+            plan = _rescope(rel.plan, Scope(rel.plan.scope.entries, outer=outer))
             if rel.pushdown:
-                scope = Scope(plan.scope.entries, outer=outer)
-                plan = _rescope(plan, scope)
+                scope = plan.scope
                 predicate = compile_expr(
                     n.conjoin(rel.pushdown), scope, self._subquery_compiler(scope)
                 )
@@ -354,7 +374,12 @@ class Planner:
         edges,
         outer: Optional[Scope],
     ) -> PlanNode:
-        """Join ``chosen`` onto the accumulated ``current`` plan."""
+        """Join ``chosen`` onto the accumulated ``current`` plan.
+
+        Both ``current`` and ``chosen_plan`` were rescoped onto the
+        outer chain before the greedy loop started, so their scopes are
+        used directly here (no per-step Scope allocation).
+        """
         outer_refs: list[n.ColumnRef] = []
         inner_refs: list[n.ColumnRef] = []
         for b1, b2, r1, r2 in edges:
@@ -364,7 +389,7 @@ class Planner:
             elif b2 in current_set and b1 == chosen.binding:
                 outer_refs.append(r2)
                 inner_refs.append(r1)
-        current_scope = Scope(current.scope.entries, outer=outer)
+        current_scope = current.scope
         outer_positions = tuple(current_scope.resolve(r) for r in outer_refs)
 
         use_index = (
@@ -388,7 +413,7 @@ class Planner:
                 chosen.table.schema.column(r.column).name for r in inner_refs
             )
             return IndexJoin(
-                _rescope(current, current_scope),
+                current,
                 chosen.table,
                 chosen.binding,
                 columns,
@@ -396,11 +421,10 @@ class Planner:
                 residual,
             )
 
-        chosen_scope = Scope(chosen_plan.scope.entries, outer=outer)
-        inner_positions = tuple(chosen_scope.resolve(r) for r in inner_refs)
+        inner_positions = tuple(chosen_plan.scope.resolve(r) for r in inner_refs)
         return HashJoin(
-            _rescope(current, current_scope),
-            _rescope(chosen_plan, chosen_scope),
+            current,
+            chosen_plan,
             outer_positions,
             inner_positions,
         )
@@ -410,8 +434,7 @@ class Planner:
     def _project(
         self, child: PlanNode, select: n.Select, outer: Optional[Scope]
     ) -> PlanNode:
-        scope = Scope(child.scope.entries, outer=outer)
-        child = _rescope(child, scope)
+        scope = child.scope  # already chained onto ``outer`` by _plan_source
         exprs: list[Compiled] = []
         names: list[str] = []
         for item in select.items:
@@ -477,9 +500,10 @@ class Planner:
             return fast
         plan = self.plan_query(query, outer=scope)
         outer_keys = self._collect_outer_keys(query, scope)
-        memo: dict[tuple, object] = {}
+        token = object()  # identifies this probe's memo in the context
 
         def run(params: dict) -> object:
+            memo = context_memo(params, token)
             key = tuple(params.get(k, _MISSING) for k in outer_keys)
             try:
                 return memo[key]
@@ -500,6 +524,7 @@ class Planner:
         table = self.catalog.get_table(ref.name, default=None)
         if table is None:
             return None
+        self._note_table(table)
         call = select.items[0].expr
         binding = ref.binding
         inner_scope = Scope(
@@ -576,6 +601,7 @@ class Planner:
         table = self.catalog.get_table(ref.name, default=None)
         if table is None:
             return None
+        self._note_table(table)
         binding = ref.binding
         inner_scope = Scope(
             [(binding, c) for c in table.schema.column_names], outer=scope
@@ -643,12 +669,15 @@ class Planner:
         self, query: n.Query, scope: Scope
     ) -> Callable[[dict], object]:
         """Fallback: execute the subplan per call, memoized on the values
-        of the outer columns it references (uncorrelated -> runs once)."""
+        of the outer columns it references (uncorrelated -> runs once
+        per statement execution; the memo lives in the ExecutionContext,
+        never in the plan)."""
         plan = self.plan_query(query, outer=scope)
         outer_keys = self._collect_outer_keys(query, scope)
-        memo: dict[tuple, bool] = {}
+        token = object()
 
         def probe(params: dict) -> bool:
+            memo = context_memo(params, token)
             key = tuple(params.get(k, _MISSING) for k in outer_keys)
             try:
                 return memo[key]
@@ -679,9 +708,10 @@ class Planner:
 
         plan = self.plan_query(query, outer=scope)
         outer_keys = self._collect_outer_keys(query, scope)
-        memo: dict[tuple, tuple[frozenset, bool]] = {}
+        token = object()
 
         def generic(params: dict) -> object:
+            memo = context_memo(params, token)
             key = tuple(params.get(k, _MISSING) for k in outer_keys)
             cached = memo.get(key)
             if cached is None:
@@ -722,6 +752,7 @@ class Planner:
         table = self.catalog.get_table(ref.name, default=None)
         if table is None:
             return None
+        self._note_table(table)
         binding = ref.binding
         inner_scope = Scope(
             [(binding, c) for c in table.schema.column_names], outer=scope

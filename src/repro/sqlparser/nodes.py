@@ -343,6 +343,13 @@ class SelectStatement(Statement):
     query: Query
 
 
+@dataclass(frozen=True)
+class Explain(Statement):
+    """``EXPLAIN <query>`` — show the physical plan instead of running it."""
+
+    query: Query
+
+
 # ---------------------------------------------------------------------------
 # Traversal helpers
 

@@ -10,7 +10,8 @@ The grammar covers exactly what the TINTIN paper needs:
   NOT NULL), ``CREATE VIEW``, ``CREATE ASSERTION ... CHECK (...)``,
   ``DROP TABLE/VIEW``;
 * DML: ``INSERT .. VALUES | SELECT``, ``DELETE``, ``UPDATE``,
-  ``TRUNCATE``, ``CALL``.
+  ``TRUNCATE``, ``CALL``;
+* introspection: ``EXPLAIN <query>``.
 
 Aggregates, GROUP BY, ORDER BY and outer joins are intentionally
 rejected — the paper's assertion fragment excludes them, and the engine
@@ -158,6 +159,9 @@ class Parser:
             return self._call_statement()
         if token.is_keyword("SELECT"):
             return n.SelectStatement(self._query())
+        if token.is_keyword("EXPLAIN"):
+            self._advance()
+            return n.Explain(self._query())
         raise self._error(f"expected a statement, found {token.value!r}")
 
     def _create_statement(self) -> n.Statement:

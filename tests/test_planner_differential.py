@@ -213,3 +213,104 @@ class TestPlannerDifferential:
         planned = db.query_ast(query).rows
         reference = ReferenceExecutor(db).rows(query)
         assert planned == reference
+
+    @settings(max_examples=60, deadline=None)
+    @given(orders=orders_strategy, items=items_strategy, query=single_table_query)
+    def test_repeated_cached_execution(self, orders, items, query):
+        """A plan executed twice (cache path) must equal a fresh plan —
+        per-execution probe memos must not leak between runs."""
+        db = make_db(orders, items)
+        prepared = db.prepare_query(query)
+        first = prepared.execute().rows
+        second = prepared.execute().rows
+        reference = ReferenceExecutor(db).rows(query)
+        assert bag(first) == bag(reference)
+        assert bag(second) == bag(reference)
+
+
+class TestPlanCacheDifferential:
+    """Cache-on vs cache-off must be observably identical while DML,
+    DDL (table/view create + drop) and index-building queries
+    interleave — this is the invalidation-soundness proof."""
+
+    #: (kind, payload) steps; every "query" step is compared across the
+    #: cached and uncached databases.
+    SCRIPT = [
+        ("sql", "CREATE TABLE o (ok INTEGER, ck INTEGER)"),
+        ("sql", "CREATE TABLE i (ik INTEGER NOT NULL, ok INTEGER, qty INTEGER)"),
+        ("rows", ("o", [(1, 10), (2, 20), (3, None)])),
+        ("rows", ("i", [(1, 1, 5), (2, 2, 7), (3, 2, None)])),
+        ("query", "SELECT * FROM o"),
+        ("query", "SELECT a.ok, b.qty FROM o AS a, i AS b WHERE a.ok = b.ok"),
+        ("query", "SELECT ok FROM o AS a WHERE EXISTS "
+                  "(SELECT * FROM i AS b WHERE b.ok = a.ok)"),
+        # DML between repeats of the same text: hits must see new data
+        ("sql", "INSERT INTO o VALUES (4, 40)"),
+        ("rows", ("i", [(4, 4, 11)])),
+        ("query", "SELECT * FROM o"),
+        ("query", "SELECT a.ok, b.qty FROM o AS a, i AS b WHERE a.ok = b.ok"),
+        # view DDL: create, query through it, redefine, query again
+        ("sql", "CREATE VIEW busy AS SELECT ok FROM i WHERE qty > 6"),
+        ("query", "SELECT * FROM busy"),
+        ("sql", "DROP VIEW busy"),
+        ("sql", "CREATE VIEW busy AS SELECT ok FROM i WHERE qty > 10"),
+        ("query", "SELECT * FROM busy"),
+        # table drop + recreate under the same name with a new shape
+        ("sql", "DROP TABLE o"),
+        ("sql", "CREATE TABLE o (ok INTEGER, ck INTEGER, extra INTEGER)"),
+        ("rows", ("o", [(7, 70, 700), (8, 80, 800)])),
+        ("query", "SELECT * FROM o"),
+        ("query", "SELECT ok FROM o AS a WHERE NOT EXISTS "
+                  "(SELECT * FROM i AS b WHERE b.ok = a.ok)"),
+        ("sql", "DELETE FROM i WHERE qty > 6"),
+        ("query", "SELECT * FROM busy"),
+        ("query", "SELECT COUNT(*), SUM(qty), MIN(qty), MAX(qty) FROM i"),
+    ]
+
+    def _run(self, cache_enabled: bool) -> list:
+        db = Database()
+        db.plan_cache_enabled = cache_enabled
+        outputs = []
+        for kind, payload in self.SCRIPT:
+            if kind == "sql":
+                db.execute(payload)
+            elif kind == "rows":
+                table, rows = payload
+                db.insert_rows(table, rows)
+            else:
+                # run every query twice so the cached database takes the
+                # hit path on the second execution
+                first = bag(db.query(payload).rows)
+                second = bag(db.query(payload).rows)
+                assert first == second, payload
+                outputs.append((payload, first))
+        return outputs
+
+    def test_interleaved_dml_ddl_identical(self):
+        cached = self._run(True)
+        fresh = self._run(False)
+        assert cached == fresh
+
+    def test_growth_driven_replan_identical(self):
+        """Row-count drift re-plans (IndexJoin vs HashJoin flip) without
+        changing results."""
+        dbs = []
+        for cache_enabled in (True, False):
+            db = Database()
+            db.plan_cache_enabled = cache_enabled
+            db.execute("CREATE TABLE o (ok INTEGER, ck INTEGER)")
+            db.execute(
+                "CREATE TABLE i (ik INTEGER NOT NULL, ok INTEGER, qty INTEGER)"
+            )
+            db.insert_rows("o", [(k, k) for k in range(5)])
+            db.insert_rows("i", [(k, k % 5, k) for k in range(10)])
+            dbs.append(db)
+        sql = "SELECT a.ok, b.qty FROM o AS a, i AS b WHERE a.ok = b.ok"
+        results = [bag(db.query(sql).rows) for db in dbs]
+        assert results[0] == results[1]
+        # grow i by 100x so the cached plan is invalidated by drift
+        for db in dbs:
+            db.insert_rows("i", [(1000 + k, k % 5, 1) for k in range(1000)])
+        results = [bag(db.query(sql).rows) for db in dbs]
+        assert results[0] == results[1]
+        assert dbs[0].plan_cache_stats.invalidations >= 1
