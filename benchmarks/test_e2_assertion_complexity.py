@@ -16,7 +16,7 @@ beats the full check for every assertion.
 import pytest
 
 from conftest import applied_workload, cached_workload
-from repro.bench import series_table, time_call
+from repro.bench import plan_cache_line, series_table, time_call
 from repro.tpch import COMPLEXITY_SUITE, by_name
 
 SCALE = 0.008
@@ -60,6 +60,7 @@ def test_e2_report(benchmark):
         f"(scale={SCALE}, {UPDATE_ORDERS} refresh orders)"
     )
     print(series_table("assertion", rows))
+    print(plan_cache_line(cached_workload(SCALE, UPDATE_ORDERS, (by_name(NAMES[-1]),)).db))
     # TINTIN always beats the non-incremental check (paper §4)
     for name, incremental, full in rows:
         assert incremental < full, f"{name}: {incremental} !< {full}"

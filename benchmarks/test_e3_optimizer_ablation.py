@@ -13,7 +13,7 @@ the check time on the same update batch.
 import pytest
 
 from conftest import cached_workload
-from repro.bench import format_seconds, time_call
+from repro.bench import format_seconds, plan_cache_line, time_call
 from repro.tpch import AT_LEAST_ONE_LINEITEM, LINEITEM_HAS_PARTSUPP
 
 SCALE = 0.008
@@ -60,6 +60,7 @@ def test_e3_report(benchmark):
             f"{mode:>12} {edcs:>10} {dropped:>7} {executed:>9} "
             f"{format_seconds(seconds):>10}"
         )
+    print(plan_cache_line(cached_workload(SCALE, UPDATE_ORDERS, SUITE, optimize=True).db))
     optimized, unoptimized = rows
     # the optimizer must reduce the number of EDCs (the paper drops EDC 5
     # of the running example via the lineitem->orders FK)

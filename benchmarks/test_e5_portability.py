@@ -13,7 +13,12 @@ import pytest
 
 from conftest import cached_workload
 from repro.backends import SQLiteMirror
-from repro.bench import build_workload, format_seconds, time_call
+from repro.bench import (
+    build_workload,
+    format_seconds,
+    plan_cache_line,
+    time_call,
+)
 from repro.tpch import (
     AT_LEAST_ONE_LINEITEM,
     POSITIVE_QUANTITY,
@@ -54,11 +59,14 @@ def test_minidb_check(benchmark, mirrored):
 
 
 def test_e5_report(benchmark):
+    last_db = {}
+
     def build():
         rows = []
         # a valid refresh and a violating update, both engines
         for kind in ("valid", "violating"):
             workload = build_workload(SCALE, 10, SUITE, seed=77)
+            last_db["db"] = workload.db
             if kind == "violating":
                 workload.tintin.events.truncate_events()
                 generator = UpdateGenerator(workload.db, seed=5)
@@ -86,6 +94,7 @@ def test_e5_report(benchmark):
             f"{kind:>10} {str(m_ok):>10} {str(s_ok):>10} "
             f"{format_seconds(m_s):>10} {format_seconds(s_s):>10}"
         )
+    print(plan_cache_line(last_db["db"]))
     # both engines must agree on every decision
     for kind, m_ok, s_ok, _, _ in rows:
         assert m_ok == s_ok, f"decision mismatch on {kind} update"

@@ -13,7 +13,7 @@ O(update), the full recheck costs O(data).
 import pytest
 
 from conftest import cached_workload
-from repro.bench import build_workload, format_seconds, time_call
+from repro.bench import build_workload, format_seconds, plan_cache_line, time_call
 from repro.tpch import MAX_SEVEN_LINEITEMS, ORDER_QUANTITY_CAP, UpdateGenerator
 
 SCALE = 0.008
@@ -59,6 +59,7 @@ def test_e6_report(benchmark):
             f"{data_rows:>10} {format_seconds(incremental):>10} "
             f"{format_seconds(full):>11} x{full / incremental:>8.1f}"
         )
+    print(plan_cache_line(cached_workload(0.02, UPDATE_ORDERS, SUITE).db))
     # incremental always wins and the gap grows with data
     for _, incremental, full in rows:
         assert incremental < full

@@ -27,20 +27,31 @@ Quick start::
 Packages: :mod:`repro.sqlparser` (SQL front end), :mod:`repro.minidb`
 (the relational engine substrate), :mod:`repro.logic` (denials/EDC
 representation), :mod:`repro.core` (the TINTIN pipeline),
-:mod:`repro.tpch` (data/workloads), :mod:`repro.bench` (experiment
-harness), :mod:`repro.backends` (SQLite portability).
+:mod:`repro.server` (multi-session concurrency: per-session staging,
+snapshot reads, group commit), :mod:`repro.tpch` (data/workloads),
+:mod:`repro.bench` (experiment harness), :mod:`repro.backends` (SQLite
+portability).
+
+Multi-client quick start: ``session = tintin.create_session()``, stage
+with ``session.execute(...)``, read with ``session.query(...)``, then
+``session.commit()`` — each session's staged events are invisible to
+every other session until committed.
 """
 
 from .core import Assertion, CommitResult, Tintin, Violation
 from .minidb import Database, ResultSet
+from .server import CommitScheduler, Session, SessionManager
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Assertion",
     "CommitResult",
+    "CommitScheduler",
     "Database",
     "ResultSet",
+    "Session",
+    "SessionManager",
     "Tintin",
     "Violation",
     "__version__",

@@ -3,15 +3,21 @@
 from .harness import (
     CellResult,
     CommitRateResult,
+    ConcurrencyResult,
     Workload,
     build_workload,
     measure_commit_rate,
+    measure_concurrent_throughput,
     run_cell,
     time_call,
 )
 from .reporting import (
+    concurrency_payload,
+    concurrency_table,
     e1_table,
     format_seconds,
+    plan_cache_line,
+    plan_cache_metrics,
     plan_cache_payload,
     plan_cache_table,
     series_table,
@@ -21,11 +27,17 @@ from .reporting import (
 __all__ = [
     "CellResult",
     "CommitRateResult",
+    "ConcurrencyResult",
     "Workload",
     "build_workload",
+    "concurrency_payload",
+    "concurrency_table",
     "e1_table",
     "format_seconds",
     "measure_commit_rate",
+    "measure_concurrent_throughput",
+    "plan_cache_line",
+    "plan_cache_metrics",
     "plan_cache_payload",
     "plan_cache_table",
     "run_cell",

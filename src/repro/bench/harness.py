@@ -16,6 +16,8 @@ run on the same engine with the same indexes.
 
 from __future__ import annotations
 
+import gc
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -76,6 +78,98 @@ def measure_commit_rate(
         assertions=len(tintin.assertions),
         cache_enabled=db.plan_cache_enabled,
         plan_cache_invalidations=db.plan_cache_stats.invalidations - before,
+    )
+
+
+@dataclass
+class ConcurrencyResult:
+    """Aggregate throughput of one multi-session sweep point (E8)."""
+
+    sessions: int
+    commits: int
+    committed: int
+    rejected: int
+    seconds: float
+    #: scheduler counters over the measured window
+    group_fast_path: int = 0
+    serial_commits: int = 0
+    fallbacks: int = 0
+    max_group_size: int = 1
+
+    @property
+    def commits_per_second(self) -> float:
+        if self.seconds <= 0:
+            return float("inf")
+        return self.commits / self.seconds
+
+
+def measure_concurrent_throughput(
+    tintin: Tintin,
+    session_count: int,
+    commits_per_session: int,
+    stage: Callable,
+) -> ConcurrencyResult:
+    """Aggregate commits/sec of ``session_count`` client threads.
+
+    Each worker owns one session and runs ``commits_per_session``
+    rounds of ``stage(session, worker, round)`` followed by
+    ``session.commit()``.  ``stage`` must propose updates whose key
+    footprints are disjoint across workers (each worker writes its own
+    key range), so the scheduler's group-commit fast path is available;
+    the measurement itself only requires that commits terminate.
+
+    The clock starts when every worker is staged at the barrier and
+    stops when the last commit returns, so session setup is excluded.
+    """
+    scheduler = tintin.sessions.scheduler
+    # max_group_size is a lifetime high-water mark; zeroing it scopes
+    # the reported maximum to this measurement window like the other
+    # (delta-computed) counters
+    scheduler.stats.max_group_size = 0
+    before = scheduler.stats.snapshot()
+    sessions = [tintin.create_session() for _ in range(session_count)]
+    outcomes: list[bool] = []
+    barrier = threading.Barrier(session_count + 1)
+
+    def worker(index: int, session) -> None:
+        results = []
+        barrier.wait()
+        for round_no in range(commits_per_session):
+            stage(session, index, round_no)
+            results.append(session.commit().committed)
+        outcomes.extend(results)
+
+    threads = [
+        threading.Thread(target=worker, args=(index, session))
+        for index, session in enumerate(sessions)
+    ]
+    # GC hygiene: a collection pause mid-measurement (scanning whatever
+    # earlier workloads left alive) lands on a random worker and skews
+    # the thread-count comparison; collect now and pause the collector
+    # for the measured window
+    gc.collect()
+    gc.disable()
+    try:
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
+    after = scheduler.stats.snapshot()
+    return ConcurrencyResult(
+        sessions=session_count,
+        commits=len(outcomes),
+        committed=sum(outcomes),
+        rejected=len(outcomes) - sum(outcomes),
+        seconds=elapsed,
+        group_fast_path=after["group_fast_path"] - before["group_fast_path"],
+        serial_commits=after["serial_commits"] - before["serial_commits"],
+        fallbacks=after["fallbacks"] - before["fallbacks"],
+        max_group_size=after["max_group_size"],
     )
 
 

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import json
-from typing import Iterable
+from typing import Iterable, Optional
 
-from .harness import CellResult, CommitRateResult
+from ..minidb.database import Database
+from .harness import CellResult, CommitRateResult, ConcurrencyResult
 
 
 def format_seconds(seconds: float) -> str:
@@ -91,6 +92,83 @@ def plan_cache_payload(
             }
         )
     return {"experiment": "e7_plan_cache", "rows": rows}
+
+
+def plan_cache_metrics(db: Database) -> dict:
+    """The plan-cache counters of a database, JSON-ready.
+
+    Attached to every experiment's report (not just E7), so a run
+    always records how much parsing/planning the cache absorbed.
+    """
+    metrics = db.plan_cache_stats.snapshot()
+    metrics["entries"] = len(db.plan_cache)
+    metrics["enabled"] = db.plan_cache_enabled
+    return metrics
+
+
+def plan_cache_line(db: Database) -> str:
+    """One printable line of plan-cache metrics for experiment reports."""
+    m = plan_cache_metrics(db)
+    return (
+        f"plan cache: {m['entries']} entries, hits={m['hits']} "
+        f"misses={m['misses']} invalidations={m['invalidations']} "
+        f"dml-ast hits={m['dml_ast_hits']}/"
+        f"{m['dml_ast_hits'] + m['dml_ast_misses']}"
+    )
+
+
+def concurrency_table(results: Iterable[ConcurrencyResult]) -> str:
+    """The E8 grid: per session count, aggregate commits/sec, the
+    speedup over the single-session row, and how the scheduler batched
+    (fast-path vs serial commits, largest group)."""
+    results = list(results)
+    base = results[0].commits_per_second if results else 0.0
+    lines = [
+        f"{'sessions':>8} {'commits':>8} {'c/s':>8} {'speedup':>8} "
+        f"{'grouped':>8} {'serial':>7} {'maxgrp':>7}"
+    ]
+    for r in results:
+        speedup = r.commits_per_second / base if base > 0 else float("inf")
+        lines.append(
+            f"{r.sessions:>8} {r.commits:>8} {r.commits_per_second:>8.0f} "
+            f"x{speedup:>7.2f} {r.group_fast_path:>8} "
+            f"{r.serial_commits:>7} {r.max_group_size:>7}"
+        )
+    return "\n".join(lines)
+
+
+def concurrency_payload(
+    results: Iterable[ConcurrencyResult],
+    differential: Optional[dict] = None,
+    db: Optional[Database] = None,
+) -> dict:
+    """JSON-serializable summary of an E8 run (the committed baseline)."""
+    results = list(results)
+    base = results[0].commits_per_second if results else 0.0
+    rows = []
+    for r in results:
+        rows.append(
+            {
+                "sessions": r.sessions,
+                "commits": r.commits,
+                "committed": r.committed,
+                "rejected": r.rejected,
+                "commits_per_second": round(r.commits_per_second, 1),
+                "speedup_vs_one_session": round(r.commits_per_second / base, 2)
+                if base > 0
+                else None,
+                "group_fast_path": r.group_fast_path,
+                "serial_commits": r.serial_commits,
+                "fallbacks": r.fallbacks,
+                "max_group_size": r.max_group_size,
+            }
+        )
+    payload = {"experiment": "e8_concurrency", "rows": rows}
+    if differential is not None:
+        payload["differential"] = differential
+    if db is not None:
+        payload["plan_cache"] = plan_cache_metrics(db)
+    return payload
 
 
 def write_json_baseline(path: str, payload: dict) -> None:

@@ -18,7 +18,14 @@ from .baseline import NonIncrementalChecker
 from .denial_compiler import DenialCompiler
 from .edc import EDC, EventGuard
 from .edc_generator import EDCGenerator
-from .event_tables import EventTableManager, del_table_name, ins_table_name
+from .event_tables import (
+    EventTableManager,
+    del_table_name,
+    event_schema,
+    ins_table_name,
+    stage_delete,
+    stage_insert,
+)
 from .optimizer import OptimizationReport, SemanticOptimizer
 from .safe_commit import CommitResult, CompiledEDC, SafeCommit, Violation
 from .sql_generator import SQLGenerator
@@ -42,5 +49,8 @@ __all__ = [
     "Tintin",
     "Violation",
     "del_table_name",
+    "event_schema",
     "ins_table_name",
+    "stage_delete",
+    "stage_insert",
 ]

@@ -23,6 +23,7 @@ from __future__ import annotations
 from ..errors import CatalogError
 from ..minidb.database import Database
 from ..minidb.schema import Column, TableSchema
+from ..minidb.storage import Table
 
 #: Namespace tag for event tables (the paper's separate ``event_DB``).
 EVENT_NAMESPACE = "event"
@@ -36,12 +37,64 @@ def del_table_name(table: str) -> str:
     return f"del_{table}"
 
 
+def event_schema(base: TableSchema, event_name: str) -> TableSchema:
+    """The constraint-free schema of an event table mirroring ``base``.
+
+    Shared by the global (catalog-registered) event tables and the
+    private per-session staging overlays, which must be shape-identical
+    so a session's events can be loaded into the global tables verbatim
+    at commit time.
+    """
+    columns = [Column(c.name, c.sql_type, not_null=False) for c in base.columns]
+    return TableSchema(event_name, columns)
+
+
+def stage_insert(
+    base: Table, ins_table: Table, del_table: Table, rows: list[tuple]
+) -> None:
+    """Stage insertions into ``ins_table`` preserving the net-event
+    invariants (see the module docstring).  ``base`` supplies the
+    membership tests; it is never modified."""
+    for row in rows:
+        if del_table.contains_row(row):
+            # delete-then-insert of the same tuple: net no-op
+            del_table.delete_row(row)
+        elif base.contains_row(row) or ins_table.contains_row(row):
+            continue  # set semantics: inserting an existing tuple is a no-op
+        else:
+            ins_table.insert(row)
+
+
+def stage_delete(
+    base: Table, ins_table: Table, del_table: Table, rows: list[tuple]
+) -> None:
+    """Stage deletions into ``del_table`` preserving the net-event
+    invariants; ``base`` is never modified."""
+    for row in rows:
+        if ins_table.contains_row(row):
+            # insert-then-delete of the same tuple: net no-op
+            ins_table.delete_row(row)
+        elif base.contains_row(row) and not del_table.contains_row(row):
+            del_table.insert(row)
+        # deleting a tuple that never existed is a no-op
+
+
 class EventTableManager:
     """Installs and operates the event-capture machinery on a database."""
 
     def __init__(self, db: Database):
         self.db = db
         self._captured: list[str] = []
+        #: optional context-manager factory wrapped around every trigger
+        #: capture.  The multi-session commit scheduler installs its
+        #: read lock here, so default-session staging (plain
+        #: ``db.execute`` DML) serializes with commit windows instead of
+        #: racing them.
+        self._capture_gate = None
+
+    def set_capture_gate(self, gate) -> None:
+        """Install a context-manager factory guarding trigger captures."""
+        self._capture_gate = gate
 
     # -- installation -------------------------------------------------------
 
@@ -78,20 +131,32 @@ class EventTableManager:
                     f"event table {event_name!r} already exists — is the "
                     "capture already installed?"
                 )
-            columns = [
-                Column(c.name, c.sql_type, not_null=False)
-                for c in base.schema.columns
-            ]
-            schema = TableSchema(event_name, columns)
+            schema = event_schema(base.schema, event_name)
             self.db.catalog.add_table(schema, namespace=EVENT_NAMESPACE)
 
     def _create_triggers(self, table: str) -> None:
         self.db.create_trigger(
-            f"capture_ins_{table}", table, "insert", _capture_insert
+            f"capture_ins_{table}", table, "insert", self._capture_insert
         )
         self.db.create_trigger(
-            f"capture_del_{table}", table, "delete", _capture_delete
+            f"capture_del_{table}", table, "delete", self._capture_delete
         )
+
+    # -- trigger actions ---------------------------------------------------
+
+    def _capture_insert(self, db: Database, table: str, rows: list[tuple]) -> None:
+        if self._capture_gate is not None:
+            with self._capture_gate():
+                _capture_insert(db, table, rows)
+        else:
+            _capture_insert(db, table, rows)
+
+    def _capture_delete(self, db: Database, table: str, rows: list[tuple]) -> None:
+        if self._capture_gate is not None:
+            with self._capture_gate():
+                _capture_delete(db, table, rows)
+        else:
+            _capture_delete(db, table, rows)
 
     # -- event access ------------------------------------------------------------
 
@@ -124,6 +189,45 @@ class EventTableManager:
             removed += self.db.table(del_table_name(table)).truncate()
         return removed
 
+    def snapshot_events(self) -> tuple[dict[str, list[tuple]], dict[str, list[tuple]]]:
+        """Copy the current global staging as ``(inserts, deletes)``
+        dicts (only tables with events appear)."""
+        inserts: dict[str, list[tuple]] = {}
+        deletes: dict[str, list[tuple]] = {}
+        for table in self._captured:
+            ins = self.db.table(ins_table_name(table)).rows_snapshot()
+            if ins:
+                inserts[table] = ins
+            dels = self.db.table(del_table_name(table)).rows_snapshot()
+            if dels:
+                deletes[table] = dels
+        return inserts, deletes
+
+    def load_events(
+        self,
+        inserts: dict[str, list[tuple]],
+        deletes: dict[str, list[tuple]],
+        truncate_first: bool = True,
+    ) -> None:
+        """Populate the global event tables from per-table row dicts.
+
+        This is the bridge the commit scheduler uses: a session's
+        privately staged events are loaded here so the stored violation
+        views (which reference the global ``ins_T``/``del_T``) execute
+        against exactly that session's update.  Rows were validated at
+        staging time, so they are inserted without re-validation.
+        """
+        if truncate_first:
+            self.truncate_events()
+        for table, rows in inserts.items():
+            target = self.db.table(ins_table_name(table))
+            for row in rows:
+                target.insert(row)
+        for table, rows in deletes.items():
+            target = self.db.table(del_table_name(table))
+            for row in rows:
+                target.insert(row)
+
     # -- applying -------------------------------------------------------------------
 
     def apply_pending(self) -> int:
@@ -147,27 +251,18 @@ class EventTableManager:
 
 
 def _capture_insert(db: Database, table: str, rows: list[tuple]) -> None:
-    base = db.table(table)
-    ins_table = db.table(ins_table_name(table))
-    del_table = db.table(del_table_name(table))
-    for row in rows:
-        if del_table.contains_row(row):
-            # delete-then-insert of the same tuple: net no-op
-            del_table.delete_row(row)
-        elif base.contains_row(row) or ins_table.contains_row(row):
-            continue  # set semantics: inserting an existing tuple is a no-op
-        else:
-            ins_table.insert(row)
+    stage_insert(
+        db.table(table),
+        db.table(ins_table_name(table)),
+        db.table(del_table_name(table)),
+        rows,
+    )
 
 
 def _capture_delete(db: Database, table: str, rows: list[tuple]) -> None:
-    base = db.table(table)
-    ins_table = db.table(ins_table_name(table))
-    del_table = db.table(del_table_name(table))
-    for row in rows:
-        if ins_table.contains_row(row):
-            # insert-then-delete of the same tuple: net no-op
-            ins_table.delete_row(row)
-        elif base.contains_row(row) and not del_table.contains_row(row):
-            del_table.insert(row)
-        # deleting a tuple that never existed is a no-op
+    stage_delete(
+        db.table(table),
+        db.table(ins_table_name(table)),
+        db.table(del_table_name(table)),
+        rows,
+    )

@@ -69,6 +69,9 @@ class CommitResult:
     checked_views: int = 0
     skipped_views: int = 0
     check_seconds: float = 0.0
+    #: how many sessions' updates shared this commit's validation-and-
+    #: apply window (1 unless the group-commit fast path batched it)
+    group_size: int = 1
 
     @property
     def rejected(self) -> bool:

@@ -24,9 +24,9 @@ the database so TINTIN could disconnect afterwards (§3, feature 2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from ..errors import CompilationError
+from ..errors import CompilationError, SessionError
 from ..minidb.database import Database
 from .assertion import Assertion
 from .baseline import NonIncrementalChecker
@@ -36,6 +36,9 @@ from .event_tables import EventTableManager
 from .optimizer import OptimizationReport, SemanticOptimizer
 from .safe_commit import CommitResult, CompiledEDC, SafeCommit
 from .sql_generator import SQLGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..server import Session, SessionManager
 
 SAFE_COMMIT_PROCEDURE = "safeCommit"
 
@@ -52,6 +55,7 @@ class Tintin:
         self.assertions: dict[str, Assertion] = {}
         self.reports: dict[str, OptimizationReport] = {}
         self._installed = False
+        self._sessions: Optional["SessionManager"] = None
 
     # -- installation -------------------------------------------------------
 
@@ -157,10 +161,94 @@ class Tintin:
             self.safe_commit_proc.unregister_assertion(denial.name)
         self.baseline.unregister(name)
 
+    # -- sessions (the multi-client server facade) -------------------------
+
+    @property
+    def sessions(self) -> "SessionManager":
+        """The session manager (created lazily on first use).
+
+        Owns the commit scheduler; see :mod:`repro.server`.
+        """
+        if self._sessions is None:
+            from ..server import SessionManager
+
+            self._sessions = SessionManager(self)
+        return self._sessions
+
+    @property
+    def serving(self) -> bool:
+        """Whether the multi-session server layer has been activated."""
+        return self._sessions is not None
+
+    def serve(
+        self,
+        policy: str = "group",
+        gather_seconds: float = 0.0,
+        default_ttl: Optional[float] = None,
+    ) -> "SessionManager":
+        """Activate the server layer with explicit scheduler options.
+
+        ``policy='serial'`` disables group batching (strict one-at-a-
+        time semantics); ``gather_seconds`` lets a commit leader wait
+        for stragglers to fatten batches.  Must be called before the
+        first session is created; without it, :attr:`sessions` uses the
+        defaults.
+        """
+        if self._sessions is not None:
+            raise SessionError(
+                "serve() must be called before the first session exists"
+            )
+        from ..server import SessionManager
+
+        self._sessions = SessionManager(
+            self,
+            default_ttl=default_ttl,
+            policy=policy,
+            gather_seconds=gather_seconds,
+        )
+        return self._sessions
+
+    def create_session(self, ttl: Optional[float] = None) -> "Session":
+        """Open a session with a private staging area.
+
+        Stage through ``session.execute(sql)`` / ``session.insert`` /
+        ``session.delete``, read with ``session.query`` (snapshot +
+        read-your-writes), then ``session.commit()``.
+        """
+        if not self._installed:
+            raise SessionError(
+                "call install() before creating sessions — staging needs "
+                "the instrumented table list"
+            )
+        return self.sessions.create(ttl=ttl)
+
     # -- checking ------------------------------------------------------------------
 
-    def safe_commit(self) -> CommitResult:
-        """Run the safeCommit procedure (same as ``db.call('safeCommit')``)."""
+    def safe_commit(self, session: Optional["Session"] = None) -> CommitResult:
+        """Run the safeCommit procedure.
+
+        With no argument this is the paper's single-session call (same
+        as ``db.call('safeCommit')``), except that once sessions exist
+        the globally captured update is routed through the commit
+        scheduler too, so the default session serializes correctly with
+        concurrent sessions (its trigger captures take the scheduler's
+        read lock, so they cannot interleave with a commit window).
+        The default session remains *one* client, as in the paper: it
+        must not stage and commit from multiple threads at once, and
+        its plain reads (``db.query``) are not snapshot-guarded against
+        concurrent commit windows — use a :class:`Session` (whose
+        ``query`` takes the read lock) for reads under concurrency.
+        With a session argument, commits that session's staged update
+        (same as ``session.commit()``).
+        """
+        if session is not None:
+            return session.commit()
+        if self._sessions is not None:
+            scheduler = self._sessions.scheduler
+            with scheduler.rwlock.read_locked():
+                staged = self.events.snapshot_events()
+                self.events.truncate_events()
+            return scheduler.commit_events(*staged)
         return self.db.call(SAFE_COMMIT_PROCEDURE)
 
     def full_check_commit(self) -> CommitResult:

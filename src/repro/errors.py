@@ -87,6 +87,22 @@ class TransactionError(DatabaseError):
 
 
 # ---------------------------------------------------------------------------
+# Multi-session server
+
+
+class SessionError(ReproError):
+    """Base class for errors raised by the multi-session server layer."""
+
+
+class SessionExpired(SessionError):
+    """The session was closed or expired; its staged events are gone.
+
+    Raised by any staging, read or commit attempt on a dead session —
+    the client must open a fresh session and re-propose its update.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Logic layer
 
 

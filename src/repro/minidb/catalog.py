@@ -9,6 +9,7 @@ dialect free of cross-database qualifiers).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -68,6 +69,15 @@ class Catalog:
     ``safeCommit``) deliberately do **not** bump the version — SELECT
     plans are insensitive to both, and bumping on the commit hot path
     would defeat plan caching entirely.
+
+    Shape mutations (DDL, trigger toggling) are serialized behind an
+    RLock so a multi-session server can run DDL while client threads
+    read.  Single-name lookups stay lock-free (CPython dict reads are
+    atomic); collection readers snapshot under the lock so a concurrent
+    DDL cannot resize a dict mid-iteration.  Readers that must not
+    observe a half-applied *commit* synchronize through the
+    :class:`repro.server.CommitScheduler`'s read/write lock rather than
+    here.
     """
 
     def __init__(self):
@@ -76,6 +86,7 @@ class Catalog:
         self._triggers: dict[str, Trigger] = {}
         self._procedures: dict[str, Procedure] = {}
         self._version = 0
+        self._lock = threading.RLock()
 
     @property
     def version(self) -> int:
@@ -84,19 +95,21 @@ class Catalog:
 
     def bump_version(self) -> int:
         """Invalidate all cached plans by advancing the version."""
-        self._version += 1
-        return self._version
+        with self._lock:
+            self._version += 1
+            return self._version
 
     # -- tables -----------------------------------------------------------
 
     def add_table(self, schema: TableSchema, namespace: str = "main") -> Table:
-        key = normalize(schema.name)
-        if key in self._tables or key in self._views:
-            raise CatalogError(f"object {schema.name!r} already exists")
-        table = Table(schema, namespace)
-        self._tables[key] = table
-        self.bump_version()
-        return table
+        with self._lock:
+            key = normalize(schema.name)
+            if key in self._tables or key in self._views:
+                raise CatalogError(f"object {schema.name!r} already exists")
+            table = Table(schema, namespace)
+            self._tables[key] = table
+            self.bump_version()
+            return table
 
     def get_table(self, name: str, default=_RAISE):
         table = self._tables.get(normalize(name))
@@ -113,36 +126,43 @@ class Catalog:
         return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> bool:
-        key = normalize(name)
-        if key not in self._tables:
-            if if_exists:
-                return False
-            raise CatalogError(f"unknown table {name!r}")
-        referencing = [
-            t.schema.name
-            for t in self._tables.values()
-            if any(normalize(fk.ref_table) == key for fk in t.schema.foreign_keys)
-            and normalize(t.schema.name) != key
-        ]
-        if referencing:
-            raise CatalogError(
-                f"cannot drop table {name!r}: referenced by foreign keys of "
-                f"{', '.join(sorted(referencing))}"
-            )
-        del self._tables[key]
-        for trigger_name in [
-            tn for tn, tr in self._triggers.items() if normalize(tr.table) == key
-        ]:
-            del self._triggers[trigger_name]
-        self.bump_version()
-        return True
+        with self._lock:
+            key = normalize(name)
+            if key not in self._tables:
+                if if_exists:
+                    return False
+                raise CatalogError(f"unknown table {name!r}")
+            referencing = [
+                t.schema.name
+                for t in self._tables.values()
+                if any(
+                    normalize(fk.ref_table) == key
+                    for fk in t.schema.foreign_keys
+                )
+                and normalize(t.schema.name) != key
+            ]
+            if referencing:
+                raise CatalogError(
+                    f"cannot drop table {name!r}: referenced by foreign keys "
+                    f"of {', '.join(sorted(referencing))}"
+                )
+            del self._tables[key]
+            for trigger_name in [
+                tn
+                for tn, tr in self._triggers.items()
+                if normalize(tr.table) == key
+            ]:
+                del self._triggers[trigger_name]
+            self.bump_version()
+            return True
 
     def tables(self, namespace: Optional[str] = None) -> list[Table]:
-        result = [
-            t
-            for t in self._tables.values()
-            if namespace is None or t.namespace == namespace
-        ]
+        with self._lock:
+            result = [
+                t
+                for t in self._tables.values()
+                if namespace is None or t.namespace == namespace
+            ]
         return sorted(result, key=lambda t: normalize(t.schema.name))
 
     def has_table(self, name: str) -> bool:
@@ -151,27 +171,31 @@ class Catalog:
     # -- views ---------------------------------------------------------------
 
     def add_view(self, view: View) -> None:
-        key = normalize(view.name)
-        if key in self._views or key in self._tables:
-            raise CatalogError(f"object {view.name!r} already exists")
-        self._views[key] = view
-        self.bump_version()
+        with self._lock:
+            key = normalize(view.name)
+            if key in self._views or key in self._tables:
+                raise CatalogError(f"object {view.name!r} already exists")
+            self._views[key] = view
+            self.bump_version()
 
     def get_view(self, name: str, default=None) -> Optional[View]:
         return self._views.get(normalize(name), default)
 
     def drop_view(self, name: str, if_exists: bool = False) -> bool:
-        key = normalize(name)
-        if key not in self._views:
-            if if_exists:
-                return False
-            raise CatalogError(f"unknown view {name!r}")
-        del self._views[key]
-        self.bump_version()
-        return True
+        with self._lock:
+            key = normalize(name)
+            if key not in self._views:
+                if if_exists:
+                    return False
+                raise CatalogError(f"unknown view {name!r}")
+            del self._views[key]
+            self.bump_version()
+            return True
 
     def views(self) -> list[View]:
-        return sorted(self._views.values(), key=lambda v: normalize(v.name))
+        with self._lock:
+            result = list(self._views.values())
+        return sorted(result, key=lambda v: normalize(v.name))
 
     def has_view(self, name: str) -> bool:
         return normalize(name) in self._views
@@ -179,52 +203,64 @@ class Catalog:
     # -- triggers ---------------------------------------------------------------
 
     def add_trigger(self, trigger: Trigger) -> None:
-        key = normalize(trigger.name)
-        if key in self._triggers:
-            raise CatalogError(f"trigger {trigger.name!r} already exists")
-        if trigger.event not in ("insert", "delete"):
-            raise CatalogError(f"unsupported trigger event {trigger.event!r}")
-        self.require_table(trigger.table)
-        self._triggers[key] = trigger
-        self.bump_version()
+        with self._lock:
+            key = normalize(trigger.name)
+            if key in self._triggers:
+                raise CatalogError(f"trigger {trigger.name!r} already exists")
+            if trigger.event not in ("insert", "delete"):
+                raise CatalogError(
+                    f"unsupported trigger event {trigger.event!r}"
+                )
+            self.require_table(trigger.table)
+            self._triggers[key] = trigger
+            self.bump_version()
 
     def drop_trigger(self, name: str) -> None:
-        key = normalize(name)
-        if key not in self._triggers:
-            raise CatalogError(f"unknown trigger {name!r}")
-        del self._triggers[key]
-        self.bump_version()
+        with self._lock:
+            key = normalize(name)
+            if key not in self._triggers:
+                raise CatalogError(f"unknown trigger {name!r}")
+            del self._triggers[key]
+            self.bump_version()
 
     def triggers_for(self, table: str, event: str) -> list[Trigger]:
         key = normalize(table)
-        return [
-            t
-            for t in self._triggers.values()
-            if normalize(t.table) == key and t.event == event
-        ]
+        with self._lock:
+            return [
+                t
+                for t in self._triggers.values()
+                if normalize(t.table) == key and t.event == event
+            ]
 
     def active_triggers_for(self, table: str, event: str) -> list[Trigger]:
         return [t for t in self.triggers_for(table, event) if t.enabled]
 
     def triggers(self) -> list[Trigger]:
-        return sorted(self._triggers.values(), key=lambda t: normalize(t.name))
+        with self._lock:
+            result = list(self._triggers.values())
+        return sorted(result, key=lambda t: normalize(t.name))
 
     def set_triggers_enabled(self, table: str, enabled: bool) -> None:
-        key = normalize(table)
-        for trigger in self._triggers.values():
-            if normalize(trigger.table) == key:
-                trigger.enabled = enabled
+        with self._lock:
+            key = normalize(table)
+            for trigger in self._triggers.values():
+                if normalize(trigger.table) == key:
+                    trigger.enabled = enabled
 
     # -- procedures ----------------------------------------------------------------
 
     def add_procedure(self, procedure: Procedure) -> None:
-        key = normalize(procedure.name)
-        if key in self._procedures:
-            raise CatalogError(f"procedure {procedure.name!r} already exists")
-        self._procedures[key] = procedure
+        with self._lock:
+            key = normalize(procedure.name)
+            if key in self._procedures:
+                raise CatalogError(
+                    f"procedure {procedure.name!r} already exists"
+                )
+            self._procedures[key] = procedure
 
     def replace_procedure(self, procedure: Procedure) -> None:
-        self._procedures[normalize(procedure.name)] = procedure
+        with self._lock:
+            self._procedures[normalize(procedure.name)] = procedure
 
     def get_procedure(self, name: str) -> Procedure:
         procedure = self._procedures.get(normalize(name))
@@ -236,4 +272,6 @@ class Catalog:
         return normalize(name) in self._procedures
 
     def procedures(self) -> list[Procedure]:
-        return sorted(self._procedures.values(), key=lambda p: normalize(p.name))
+        with self._lock:
+            result = list(self._procedures.values())
+        return sorted(result, key=lambda p: normalize(p.name))

@@ -23,9 +23,11 @@ back to the historical fresh-plan-per-statement behaviour.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterable, Iterator, NamedTuple, Optional, Sequence
 
 from ..errors import (
     CatalogError,
@@ -101,6 +103,22 @@ class ResultSet:
         return f"ResultSet({self.columns}, {len(self.rows)} rows)"
 
 
+class _PlanState(NamedTuple):
+    """One immutable compilation of a prepared statement.
+
+    Bundling the plan with its validity metadata into a single object
+    lets a re-plan install the new compilation with one attribute
+    assignment, so a concurrent :meth:`PreparedStatement.execute` on
+    another thread always sees a matching (plan, columns) pair.
+    """
+
+    plan: PlanNode
+    columns: list[str]
+    catalog_version: int
+    row_counts: dict[str, int]
+    table_refs: dict[str, Table]
+
+
 class PreparedStatement:
     """A query compiled once and executable many times.
 
@@ -112,35 +130,40 @@ class PreparedStatement:
     (DDL — the plan may reference dropped objects) or a table size
     drifted past :data:`_DRIFT_RATIO` (the greedy IndexJoin/HashJoin
     decisions were made for a different data shape).
+
+    Handles are shared across server sessions: re-planning is
+    serialized per handle, and the compiled state swaps atomically.
     """
 
     def __init__(self, db: "Database", query: n.Query, sql: Optional[str] = None):
         self.db = db
         self.query = query
         self.sql = sql
-        self._plan: Optional[PlanNode] = None
-        self._columns: list[str] = []
-        self._catalog_version = -1
-        self._row_counts: dict[str, int] = {}
-        self._table_refs: dict[str, Table] = {}
-        self._replan()
+        self._replan_lock = threading.Lock()
+        self._state = self._compile()
 
     # -- compilation ------------------------------------------------------
 
-    def _replan(self) -> None:
+    def _compile(self) -> _PlanState:
+        # read the version BEFORE planning: if DDL lands mid-compile,
+        # the state is stamped stale and revalidation re-plans — it can
+        # never pin a pre-DDL plan under the post-DDL version
+        catalog_version = self.db.catalog.version
         planner = Planner(self.db.catalog)
-        self._plan = planner.plan_query(self.query)
-        self._columns = planner.output_columns(self.query)
-        self._catalog_version = self.db.catalog.version
-        self._row_counts = dict(planner.tables_used)
-        self._table_refs = dict(planner.table_refs)
+        plan = planner.plan_query(self.query)
+        return _PlanState(
+            plan=plan,
+            columns=planner.output_columns(self.query),
+            catalog_version=catalog_version,
+            row_counts=dict(planner.tables_used),
+            table_refs=dict(planner.table_refs),
+        )
 
-    def is_valid(self) -> bool:
-        """Whether the compiled plan can still be executed as-is."""
+    def _state_is_valid(self, state: _PlanState) -> bool:
         catalog = self.db.catalog
-        if self._catalog_version != catalog.version:
+        if state.catalog_version != catalog.version:
             return False
-        for name, planned_count in self._row_counts.items():
+        for name, planned_count in state.row_counts.items():
             table = catalog.get_table(name, default=None)
             if table is None:
                 return False
@@ -148,36 +171,49 @@ class PreparedStatement:
                 return False
         return True
 
-    def _validated_plan(self) -> PlanNode:
-        if not self.is_valid():
-            self.db.plan_cache_stats.invalidations += 1
-            self._replan()
-        return self._plan
+    def is_valid(self) -> bool:
+        """Whether the compiled plan can still be executed as-is."""
+        return self._state_is_valid(self._state)
+
+    def _validated_state(self) -> _PlanState:
+        state = self._state
+        if self._state_is_valid(state):
+            return state
+        with self._replan_lock:
+            state = self._state
+            if not self._state_is_valid(state):
+                self.db.plan_cache_stats.invalidations += 1
+                state = self._compile()
+                self._state = state
+            return state
 
     # -- execution --------------------------------------------------------
 
     @property
     def plan(self) -> PlanNode:
         """The current compiled plan (revalidated on access)."""
-        return self._validated_plan()
+        return self._validated_state().plan
 
     @property
     def columns(self) -> list[str]:
-        self._validated_plan()  # a view redefinition can change the list
-        return list(self._columns)
+        # a view redefinition can change the list, so revalidate first
+        return list(self._validated_state().columns)
 
     def execute(self, params: Optional[dict] = None) -> ResultSet:
         """Run the prepared plan under a fresh execution context."""
-        plan = self._validated_plan()
-        return ResultSet(list(self._columns), list(plan.run(params)))
+        state = self._validated_state()
+        return ResultSet(list(state.columns), list(state.plan.run(params)))
 
     def explain(self) -> str:
         """The current physical plan as an indented tree."""
-        return self._validated_plan().explain()
+        return self._validated_state().plan.explain()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = self.sql if self.sql is not None else type(self.query).__name__
-        return f"PreparedStatement({label!r}, catalog v{self._catalog_version})"
+        return (
+            f"PreparedStatement({label!r}, "
+            f"catalog v{self._state.catalog_version})"
+        )
 
 
 @dataclass
@@ -188,6 +224,10 @@ class PlanCacheStats:
     misses: int = 0
     invalidations: int = 0
     evictions: int = 0
+    #: DML AST cache counters: INSERT/DELETE/UPDATE text whose parsed
+    #: statement was reused (hit) or parsed and stored (miss)
+    dml_ast_hits: int = 0
+    dml_ast_misses: int = 0
 
     def snapshot(self) -> dict:
         return {
@@ -195,6 +235,8 @@ class PlanCacheStats:
             "misses": self.misses,
             "invalidations": self.invalidations,
             "evictions": self.evictions,
+            "dml_ast_hits": self.dml_ast_hits,
+            "dml_ast_misses": self.dml_ast_misses,
         }
 
 
@@ -204,33 +246,39 @@ class PlanCache:
     Entries revalidate themselves (catalog version + row-count drift),
     so the cache never needs proactive invalidation — stale entries
     simply re-plan on their next use.  Statements that fail to parse or
-    are not SELECTs are never cached.
+    are not SELECTs are never cached.  All operations are serialized
+    behind an internal lock: session threads share one cache.
     """
 
     def __init__(self, capacity: int = 256):
         self.capacity = capacity
         self._entries: "OrderedDict[str, PreparedStatement]" = OrderedDict()
+        self._lock = threading.Lock()
 
     @staticmethod
     def key(sql: str) -> str:
         return sql.strip()
 
     def get(self, sql: str) -> Optional[PreparedStatement]:
-        entry = self._entries.get(self.key(sql))
-        if entry is not None:
-            self._entries.move_to_end(self.key(sql))
-        return entry
+        key = self.key(sql)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
 
     def put(self, sql: str, statement: PreparedStatement) -> None:
         key = self.key(sql)
-        self._entries[key] = statement
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            statement.db.plan_cache_stats.evictions += 1
+        with self._lock:
+            self._entries[key] = statement
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                statement.db.plan_cache_stats.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def prune_dead(self, catalog: Catalog) -> int:
         """Drop entries whose plans pin storage that left the catalog.
@@ -244,23 +292,26 @@ class PlanCache:
         are all intact (merely version-stale plans) are kept — they
         re-plan cheaply from their stored AST.
         """
-        dead = [
-            key
-            for key, statement in self._entries.items()
-            if any(
-                catalog.get_table(name, default=None) is not ref
-                for name, ref in statement._table_refs.items()
-            )
-        ]
-        for key in dead:
-            del self._entries[key]
-        return len(dead)
+        with self._lock:
+            dead = [
+                key
+                for key, statement in self._entries.items()
+                if any(
+                    catalog.get_table(name, default=None) is not ref
+                    for name, ref in statement._state.table_refs.items()
+                )
+            ]
+            for key in dead:
+                del self._entries[key]
+            return len(dead)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, sql: str) -> bool:
-        return self.key(sql) in self._entries
+        with self._lock:
+            return self.key(sql) in self._entries
 
 
 class Database:
@@ -277,7 +328,10 @@ class Database:
         self.name = name
         self.catalog = Catalog()
         self.checker = ConstraintChecker(self.catalog)
-        self.transactions = TransactionManager()
+        #: the default transaction manager; server sessions bind their
+        #: own manager per thread via :meth:`transaction_scope`
+        self._default_transactions = TransactionManager()
+        self._txn_binding = threading.local()
         #: transparent prepared-plan cache for text queries; set
         #: ``plan_cache_enabled = False`` to restore the historical
         #: fresh-parse-and-plan-per-statement behaviour
@@ -285,6 +339,37 @@ class Database:
         self.plan_cache_enabled = True
         self.plan_cache_stats = PlanCacheStats()
         self._cache_pruned_version = -1
+        #: parsed-AST LRU for DML text (INSERT/DELETE/UPDATE), keyed
+        #: alongside the prepared-plan cache: repeated DML text skips
+        #: the parser (execution still resolves tables/constraints
+        #: fresh, so the entries never go stale)
+        self._dml_ast_cache: "OrderedDict[str, n.Statement]" = OrderedDict()
+        self._dml_ast_capacity = plan_cache_size
+        self._dml_ast_lock = threading.Lock()
+
+    # -- transactions (per-session binding) ---------------------------------
+
+    @property
+    def transactions(self) -> TransactionManager:
+        """The transaction manager bound to the calling thread.
+
+        Defaults to the database-wide manager; a server session's
+        commit window rebinds its own manager via
+        :meth:`transaction_scope` so undo logs stay per-session.
+        """
+        bound = getattr(self._txn_binding, "manager", None)
+        return bound if bound is not None else self._default_transactions
+
+    @contextmanager
+    def transaction_scope(self, manager: TransactionManager):
+        """Bind ``manager`` as the calling thread's transaction manager
+        for the duration of the ``with`` block."""
+        previous = getattr(self._txn_binding, "manager", None)
+        self._txn_binding.manager = manager
+        try:
+            yield manager
+        finally:
+            self._txn_binding.manager = previous
 
     # -- prepared statements ------------------------------------------------
 
@@ -298,6 +383,16 @@ class Database:
     def prepare_query(self, query: n.Query) -> PreparedStatement:
         """Compile a pre-parsed query AST once for repeated execution."""
         return PreparedStatement(self, query)
+
+    def prepare_cached(self, sql: str, query: n.Query) -> PreparedStatement:
+        """Get-or-create the plan-cache entry for SELECT text whose AST
+        the caller already parsed (avoids a second parse of ``sql``)."""
+        cached = self._cached_select(sql)
+        if cached is not None:
+            return cached
+        prepared = PreparedStatement(self, query, sql=sql)
+        self._cache_select(sql, prepared)
+        return prepared
 
     def _cached_select(self, sql: str) -> Optional[PreparedStatement]:
         """Cache lookup for a text SELECT; counts a hit or nothing."""
@@ -338,6 +433,52 @@ class Database:
         self._cache_select(sql, prepared)
         return prepared, stmt, False
 
+    # -- DML AST cache ------------------------------------------------------
+
+    def _cached_dml(self, sql: str) -> Optional[n.Statement]:
+        """Return the cached parsed statement for DML text, if any."""
+        if not self.plan_cache_enabled:
+            return None
+        key = sql.strip()
+        with self._dml_ast_lock:
+            stmt = self._dml_ast_cache.get(key)
+            if stmt is not None:
+                self._dml_ast_cache.move_to_end(key)
+                self.plan_cache_stats.dml_ast_hits += 1
+            return stmt
+
+    def _cache_dml(self, sql: str, stmt: n.Statement) -> None:
+        """Remember a parsed INSERT/DELETE/UPDATE for its SQL text.
+
+        The AST nodes are frozen dataclasses, so one parse can be
+        re-executed any number of times; values and WHERE clauses are
+        re-evaluated per execution.
+        """
+        if not self.plan_cache_enabled:
+            return
+        if not isinstance(stmt, (n.Insert, n.Delete, n.Update)):
+            return
+        key = sql.strip()
+        with self._dml_ast_lock:
+            self.plan_cache_stats.dml_ast_misses += 1
+            self._dml_ast_cache[key] = stmt
+            self._dml_ast_cache.move_to_end(key)
+            while len(self._dml_ast_cache) > self._dml_ast_capacity:
+                self._dml_ast_cache.popitem(last=False)
+
+    def parse_dml_cached(self, sql: str) -> n.Statement:
+        """Parse one statement, reusing/filling the DML AST cache.
+
+        Used by server sessions and :meth:`execute` so that a repeated
+        INSERT/DELETE/UPDATE text skips the parser entirely.
+        """
+        stmt = self._cached_dml(sql)
+        if stmt is not None:
+            return stmt
+        stmt = parse_statement(sql)
+        self._cache_dml(sql, stmt)
+        return stmt
+
     # -- SQL entry points ---------------------------------------------------
 
     def execute(self, sql: str):
@@ -346,14 +487,20 @@ class Database:
         Returns a :class:`ResultSet` for queries, an affected-row count
         for DML, a plan-tree string for ``EXPLAIN <query>``, and
         ``None`` for DDL.  SELECT statements go through the prepared
-        plan cache: a repeated statement skips the parser and planner.
+        plan cache, and INSERT/DELETE/UPDATE text through the parsed-AST
+        cache: a repeated statement skips the parser (and, for SELECTs,
+        the planner).
         """
         explained = _split_explain(sql)
         if explained is not None:
             return self._explain_text(explained)
+        cached_dml = self._cached_dml(sql)
+        if cached_dml is not None:
+            return self.execute_statement(cached_dml)
         prepared, stmt, _ = self._prepare_text(sql, required_by=None)
         if prepared is not None:
             return prepared.execute()
+        self._cache_dml(sql, stmt)
         return self.execute_statement(stmt)
 
     def execute_script(self, sql: str) -> list:
@@ -514,7 +661,10 @@ class Database:
 
     # -- DML: inserts -----------------------------------------------------------------
 
-    def _execute_insert(self, stmt: n.Insert) -> int:
+    def resolve_insert_rows(self, stmt: n.Insert) -> tuple[Table, list[tuple]]:
+        """Evaluate an INSERT's source rows (VALUES or SELECT) without
+        applying them.  Shared by the trigger-dispatching execution path
+        and by server sessions, which stage the rows privately."""
         table = self.catalog.require_table(stmt.table)
         if stmt.query is not None:
             source = self.query_ast(stmt.query)
@@ -525,6 +675,10 @@ class Database:
                 for row in stmt.rows
             ]
         rows = [self._arrange_columns(table, stmt.columns, r) for r in raw_rows]
+        return table, rows
+
+    def _execute_insert(self, stmt: n.Insert) -> int:
+        table, rows = self.resolve_insert_rows(stmt)
         return self.insert_rows(table.name, rows)
 
     def _arrange_columns(
@@ -580,9 +734,15 @@ class Database:
 
     # -- DML: deletes --------------------------------------------------------------------
 
-    def _execute_delete(self, stmt: n.Delete) -> int:
+    def resolve_delete_rows(self, stmt: n.Delete) -> tuple[Table, list[tuple]]:
+        """Evaluate a DELETE's victim rows (WHERE against the base
+        table) without applying the deletion."""
         table = self.catalog.require_table(stmt.table)
         victims = self._matching_rows(table, stmt.alias, stmt.where)
+        return table, victims
+
+    def _execute_delete(self, stmt: n.Delete) -> int:
+        table, victims = self.resolve_delete_rows(stmt)
         return self.delete_rows(table.name, victims)
 
     def delete_rows(
@@ -621,12 +781,13 @@ class Database:
 
     # -- DML: updates -----------------------------------------------------------------------
 
-    def _execute_update(self, stmt: n.Update) -> int:
-        """UPDATE is executed as delete-old + insert-new.
+    def resolve_update_rows(
+        self, stmt: n.Update
+    ) -> tuple[Table, list[tuple], list[tuple]]:
+        """Evaluate an UPDATE's (old, new) row pairs without applying.
 
-        This matches TINTIN's model where an update is a set of tuple
-        insertions and deletions (the paper handles exactly those two
-        event kinds).
+        TINTIN models an update as a set of tuple deletions plus
+        insertions; callers stage or apply the two lists accordingly.
         """
         table = self.catalog.require_table(stmt.table)
         binding = stmt.alias or table.name
@@ -640,14 +801,24 @@ class Database:
                 )
             assignments[position] = compile_expr(expr, scope)
         old_rows = self._matching_rows(table, stmt.alias, stmt.where)
-        if not old_rows:
-            return 0
         new_rows = []
         for row in old_rows:
             values = list(row)
             for position, fn in assignments.items():
                 values[position] = fn(row, {})
             new_rows.append(table.validate_row(tuple(values)))
+        return table, old_rows, new_rows
+
+    def _execute_update(self, stmt: n.Update) -> int:
+        """UPDATE is executed as delete-old + insert-new.
+
+        This matches TINTIN's model where an update is a set of tuple
+        insertions and deletions (the paper handles exactly those two
+        event kinds).
+        """
+        table, old_rows, new_rows = self.resolve_update_rows(stmt)
+        if not old_rows:
+            return 0
         has_triggers = bool(
             self.catalog.active_triggers_for(table.name, "insert")
             or self.catalog.active_triggers_for(table.name, "delete")
@@ -743,7 +914,10 @@ class Database:
                 self.checker.check_fk_insert(table, row)
             for table, row in deleted_rows:
                 self.checker.check_fk_after_delete(table, row)
-        except ConstraintViolation:
+        except BaseException:
+            # any failure — constraint or otherwise (e.g. a table
+            # dropped mid-batch) — must leave no half-applied rows or
+            # dangling open transaction behind
             if own_transaction:
                 self.rollback()
             raise
@@ -805,6 +979,17 @@ class Database:
     def table(self, name: str) -> Table:
         """Direct access to a table's storage (tests and tooling)."""
         return self.catalog.require_table(name)
+
+    def data_version(self, namespace: Optional[str] = "main") -> int:
+        """Aggregate data-version stamp over the catalog's tables.
+
+        Monotonically increasing with every row mutation; two equal
+        readings prove no base data changed in between.  (A session's
+        spliced read-your-writes query bumps and restores storage, so
+        *unequal* readings do not by themselves prove a user-visible
+        change.)
+        """
+        return sum(t.data_version for t in self.catalog.tables(namespace))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Database({self.name!r}, {len(self.catalog.tables())} tables)"

@@ -11,6 +11,7 @@ and is what gives the incremental checks their locality.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Iterator, Optional
 
 from ..errors import ConstraintViolation, ExecutionError
@@ -102,8 +103,17 @@ class Table:
         self.namespace = namespace
         self._rows: dict[int, tuple] = {}
         self._next_rowid = 0
+        #: monotonically increasing stamp, bumped on every row mutation.
+        #: Snapshot readers compare stamps before/after a read to prove
+        #: they observed one stable version of the table.
+        self.data_version = 0
         self.unique_indexes: list[UniqueIndex] = []
         self.secondary_indexes: dict[tuple[int, ...], SecondaryIndex] = {}
+        #: columns-tuple -> index memo so repeated probes skip the
+        #: per-call ``schema.key_positions`` resolution; the lock makes
+        #: on-demand index builds safe under concurrent readers
+        self._indexes_by_columns: dict[tuple[str, ...], SecondaryIndex] = {}
+        self._index_build_lock = threading.Lock()
         if schema.primary_key:
             self.unique_indexes.append(
                 UniqueIndex(
@@ -201,6 +211,7 @@ class Table:
             index.add(row, rowid)
         self._rows[rowid] = row
         self._next_rowid += 1
+        self.data_version += 1
         return rowid
 
     def delete_rowid(self, rowid: int) -> tuple:
@@ -210,6 +221,7 @@ class Table:
             index.remove(row, rowid)
         for index in self.secondary_indexes.values():
             index.remove(row, rowid)
+        self.data_version += 1
         return row
 
     def delete_row(self, row: tuple) -> bool:
@@ -242,21 +254,36 @@ class Table:
             index._map.clear()
         for index in self.secondary_indexes.values():
             index._map.clear()
+        if count:
+            self.data_version += 1
         return count
 
     # -- secondary indexes --------------------------------------------------------
 
     def ensure_secondary_index(self, columns: tuple[str, ...]) -> SecondaryIndex:
-        """Get or build a secondary hash index on the given columns."""
-        positions = self.schema.key_positions(columns)
-        index = self.secondary_indexes.get(positions)
-        if index is None:
-            index = SecondaryIndex(
-                f"idx_{self.schema.name}_{'_'.join(columns)}", positions
-            )
-            for rowid, row in self._rows.items():
-                index.add(row, rowid)
-            self.secondary_indexes[positions] = index
+        """Get or build a secondary hash index on the given columns.
+
+        The columns-tuple memo resolves repeated probes without touching
+        ``schema.key_positions``; the build itself is serialized so two
+        concurrent readers cannot race to construct the same index.
+        """
+        index = self._indexes_by_columns.get(columns)
+        if index is not None:
+            return index
+        with self._index_build_lock:
+            index = self._indexes_by_columns.get(columns)
+            if index is not None:
+                return index
+            positions = self.schema.key_positions(columns)
+            index = self.secondary_indexes.get(positions)
+            if index is None:
+                index = SecondaryIndex(
+                    f"idx_{self.schema.name}_{'_'.join(columns)}", positions
+                )
+                for rowid, row in self._rows.items():
+                    index.add(row, rowid)
+                self.secondary_indexes[positions] = index
+            self._indexes_by_columns[columns] = index
         return index
 
     def lookup_secondary(

@@ -65,7 +65,13 @@ class Transaction:
 
 
 class TransactionManager:
-    """Tracks the (single) open transaction of a database."""
+    """Tracks one agent's (single) open transaction.
+
+    A database owns a default manager; each server session owns its own
+    and binds it to the committing thread via
+    :meth:`repro.minidb.database.Database.transaction_scope`, so undo
+    logs stay attributed to the session whose update is being applied.
+    """
 
     def __init__(self):
         self._current: Transaction | None = None

@@ -1,0 +1,29 @@
+"""repro.server — multi-session concurrency on top of the TINTIN core.
+
+Three pieces turn the single-staging-area reproduction into a
+concurrent service:
+
+* :class:`Session` / :class:`SessionManager` — each client owns a
+  private ``ins_T``/``del_T`` overlay (:class:`SessionEvents`), so no
+  session ever observes another's uncommitted events;
+* snapshot reads — ``session.query`` runs under a read/write lock
+  (:class:`ReadWriteLock`) against committed base state plus only the
+  session's own staged events;
+* :class:`CommitScheduler` — serializes validate-and-apply through a
+  FIFO queue with group-commit batching: compatible (key-disjoint)
+  updates are validated in one violation-view pass and applied in one
+  trigger-disable window.
+"""
+
+from .locks import ReadWriteLock
+from .scheduler import CommitScheduler, SchedulerStats
+from .session import Session, SessionEvents, SessionManager
+
+__all__ = [
+    "CommitScheduler",
+    "ReadWriteLock",
+    "SchedulerStats",
+    "Session",
+    "SessionEvents",
+    "SessionManager",
+]

@@ -1,0 +1,550 @@
+"""The serialized group-commit scheduler.
+
+``safeCommit`` must remain what the paper made it: one update,
+validated against the stored violation views, applied or rejected
+atomically.  With many sessions proposing updates concurrently the
+scheduler serializes exactly that step — and amortizes it.  Commits are
+queued FIFO; whichever client thread first grabs the leader lock drains
+the queue and processes the whole batch inside a single exclusive
+window (one write-lock acquisition; capture triggers stay armed — the
+window's applies are trigger-free physical batch writes, and any
+concurrent default-session staging blocks on the read lock).
+
+Inside the window the batch is split into *groups* of pairwise
+compatible members.  A compatible group takes the fast path: all
+members' events are loaded into the global event tables together, the
+violation views run **once** over the union, and one combined
+``apply_batch`` applies everything — k commits for the price of one
+validation pass.  Any violation, constraint error or incompatibility
+falls back to the strict serial protocol (load one member's events,
+validate, apply, truncate — exactly the single-session semantics, in
+FIFO order), which also attributes each violation to the session that
+staged the offending events.
+
+Compatibility is a conservative static check on the members' *key
+footprints*:
+
+* staged-row stakes — the key values a member inserts or deletes, per
+  table and per referencable key space (PK and any UNIQUE key an FK
+  targets) — must be pairwise disjoint (no write-write conflicts);
+* one member's stakes must not intersect another's *FK references*
+  (the keys its staged rows point at), in either direction — no
+  member's apply can create or erase another member's violation
+  witnesses through an FK join onto a staged row;
+* two members *referencing* the same parent key must serialize when
+  that parent is universally quantified over a table both put events
+  in (derived from the denials' negations: two sessions editing the
+  lineitems of one order under an at-least-one assertion interact;
+  sharing a customer parent no negation quantifies over does not);
+* for aggregate assertions, the members' affected group keys must be
+  disjoint (two sessions growing the same order's lineitem count must
+  serialize).
+
+Assertions that join two event-receiving tables on non-FK attributes
+are outside what the footprint sees; construct the scheduler with
+``policy="serial"`` to disable grouping entirely if such assertions are
+installed.  The differential tests (sequential vs concurrent runs must
+accept/reject identical updates) exercise the shipped workloads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import ConstraintViolation
+from ..minidb.schema import normalize
+from ..minidb.transactions import TransactionManager
+from ..core.safe_commit import CommitResult
+from .locks import ReadWriteLock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.tintin import Tintin
+    from .session import Session
+
+
+@dataclass
+class _Footprint:
+    """The key surface one staged update touches (see module docstring)."""
+
+    #: table -> row identities (PK values, whole rows for keyless
+    #: tables) staged ins+del: the write-write conflict surface
+    stakes: dict[str, set] = field(default_factory=dict)
+    #: (table, referenced-columns) -> staged rows projected onto that
+    #: key space — one bucket per key an FK can reference (PK or a
+    #: declared UNIQUE key), so stakes and refs always compare values
+    #: of the same columns
+    key_stakes: dict[tuple, set] = field(default_factory=dict)
+    #: (parent table, referenced-columns) -> key values this update's
+    #: staged rows point at through their FKs
+    refs: dict[tuple, set] = field(default_factory=dict)
+    #: aggregate-spec name -> affected group-key values
+    agg_groups: dict[str, set] = field(default_factory=dict)
+    #: normalized names of tables this update stages events in
+    event_tables: set = field(default_factory=set)
+
+    def compatible(self, other: "_Footprint", coupling: dict) -> bool:
+        """Whether grouping with ``other`` preserves FIFO semantics.
+
+        ``coupling`` maps a table name to the set of tables negated in
+        some denial where it appears positively (:data:`ANY_TABLE` when
+        the negation's tables cannot be determined) — when two members
+        reference the same key of such a table and both stage events in
+        a negated table, one member's insert could mask the other's
+        violation in the union, so they must serialize.
+        """
+        for table, keys in self.stakes.items():
+            if keys & other.stakes.get(table, _EMPTY):
+                return False
+        for space, keys in self.key_stakes.items():
+            if keys & other.refs.get(space, _EMPTY):
+                return False
+        for space, keys in self.refs.items():
+            if keys & other.key_stakes.get(space, _EMPTY):
+                return False
+            if keys & other.refs.get(space, _EMPTY):
+                negated = coupling.get(space[0])
+                if negated is None:
+                    continue
+                if negated is ANY_TABLE or (
+                    self.event_tables & negated
+                    and other.event_tables & negated
+                ):
+                    return False
+        for spec, keys in self.agg_groups.items():
+            if keys & other.agg_groups.get(spec, _EMPTY):
+                return False
+        return True
+
+
+_EMPTY: frozenset = frozenset()
+
+#: sentinel: a denial negates something we cannot attribute to base
+#: tables, so any shared reference to its positive tables serializes
+ANY_TABLE = object()
+
+
+def _columns_key(columns: tuple[str, ...]) -> tuple[str, ...]:
+    return tuple(normalize(c) for c in columns)
+
+
+@dataclass
+class _PendingCommit:
+    """One queued safeCommit request (events already snapshotted)."""
+
+    session: Optional["Session"]
+    inserts: dict[str, list[tuple]]
+    deletes: dict[str, list[tuple]]
+    footprint: _Footprint
+    transactions: TransactionManager
+    done: threading.Event = field(default_factory=threading.Event)
+    result: Optional[CommitResult] = None
+
+    @property
+    def size(self) -> int:
+        return sum(len(r) for r in self.inserts.values()) + sum(
+            len(r) for r in self.deletes.values()
+        )
+
+
+@dataclass
+class SchedulerStats:
+    """Counters describing how commits were scheduled."""
+
+    batches: int = 0
+    commits: int = 0
+    group_fast_path: int = 0
+    serial_commits: int = 0
+    fallbacks: int = 0
+    max_group_size: int = 0
+    check_seconds: float = 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "batches": self.batches,
+            "commits": self.commits,
+            "group_fast_path": self.group_fast_path,
+            "serial_commits": self.serial_commits,
+            "fallbacks": self.fallbacks,
+            "max_group_size": self.max_group_size,
+        }
+
+
+class CommitScheduler:
+    """Serializes (and group-batches) safeCommit across sessions."""
+
+    def __init__(
+        self,
+        tintin: "Tintin",
+        policy: str = "group",
+        max_batch: int = 64,
+        gather_seconds: float = 0.0,
+    ):
+        if policy not in ("group", "serial"):
+            raise ValueError(f"unknown scheduler policy {policy!r}")
+        self.tintin = tintin
+        self.db = tintin.db
+        self.events = tintin.events
+        self.policy = policy
+        self.max_batch = max_batch
+        #: upper bound on how long a leader waits before draining the
+        #: queue, giving concurrent submitters time to join the batch.
+        #: The wait is adaptive — it polls in slices and stops as soon
+        #: as arrivals settle — so a lone client pays roughly one slice,
+        #: not the whole window.  0 disables gathering entirely (only
+        #: arrivals during the previous window batch naturally).
+        self.gather_seconds = gather_seconds
+        #: readers (session queries) vs the exclusive commit window
+        self.rwlock = ReadWriteLock()
+        # default-session trigger captures (plain db.execute DML) take
+        # the read side too, so they can never interleave with a commit
+        # window that is using the global event tables as scratchpad
+        self.events.set_capture_gate(self.rwlock.read_locked)
+        self.stats = SchedulerStats()
+        self._queue: deque[_PendingCommit] = deque()
+        self._queue_lock = threading.Lock()
+        self._leader_lock = threading.Lock()
+        #: undo-log manager for combined (multi-session) applies
+        self._group_transactions = TransactionManager()
+
+    # -- submission --------------------------------------------------------
+
+    def commit(self, session: "Session") -> CommitResult:
+        """Commit one session's staged update; blocks until decided."""
+        inserts, deletes = session.events.snapshot()
+        session.events.truncate()  # events move into the request
+        return self.commit_events(
+            inserts, deletes, transactions=session.transactions, session=session
+        )
+
+    def commit_events(
+        self,
+        inserts: dict[str, list[tuple]],
+        deletes: dict[str, list[tuple]],
+        transactions: Optional[TransactionManager] = None,
+        session: Optional["Session"] = None,
+    ) -> CommitResult:
+        """Queue an explicit event batch (the default-session facade
+        routes the globally captured update through here)."""
+        pending = _PendingCommit(
+            session=session,
+            inserts=inserts,
+            deletes=deletes,
+            footprint=self._footprint(inserts, deletes),
+            transactions=transactions or TransactionManager(),
+        )
+        with self._queue_lock:
+            self._queue.append(pending)
+        # leader election: whoever gets the lock drains the queue and
+        # processes everyone's requests.  The acquire is deliberately
+        # non-blocking: done events are set just before the leader
+        # releases the lock, so followers blocking on acquire would
+        # form a convoy — each woken follower grabs and releases the
+        # lock in turn before the next round's leader can start, which
+        # measurably fragments batching.  A follower instead waits on
+        # its done event with a short timeout (the retry covers the
+        # case of a leader that exited without draining its request).
+        while not pending.done.is_set():
+            if self._leader_lock.acquire(blocking=False):
+                try:
+                    if not pending.done.is_set():
+                        self._process_batch()
+                finally:
+                    self._leader_lock.release()
+            else:
+                pending.done.wait(timeout=0.0005)
+        assert pending.result is not None
+        return pending.result
+
+    # -- footprints --------------------------------------------------------
+
+    def _footprint(
+        self,
+        inserts: dict[str, list[tuple]],
+        deletes: dict[str, list[tuple]],
+    ) -> _Footprint:
+        fp = _Footprint()
+        checker = self.db.checker
+        agg_specs = [
+            checker_.spec
+            for checker_ in self.tintin.safe_commit_proc.aggregate_checkers
+        ]
+        for source in (inserts, deletes):
+            for name, rows in source.items():
+                if not rows:
+                    continue
+                table = self.db.table(name)
+                key = normalize(name)
+                fp.event_tables.add(key)
+                schema = table.schema
+                if schema.primary_key:
+                    positions = schema.key_positions(schema.primary_key)
+                    stakes = {tuple(row[p] for p in positions) for row in rows}
+                else:
+                    stakes = set(rows)
+                fp.stakes.setdefault(key, set()).update(stakes)
+                # project staged rows onto every key space an FK can
+                # reference on this table (the PK or a UNIQUE key)
+                for inc in checker.incoming_fks(table):
+                    space = (key, _columns_key(inc.fk.ref_columns))
+                    bucket = fp.key_stakes.setdefault(space, set())
+                    for row in rows:
+                        value = tuple(row[p] for p in inc.parent_positions)
+                        if not any(v is None for v in value):
+                            bucket.add(value)
+                for spec in checker.outgoing_fks(table):
+                    space = (
+                        normalize(spec.fk.ref_table),
+                        _columns_key(spec.fk.ref_columns),
+                    )
+                    bucket = fp.refs.setdefault(space, set())
+                    for row in rows:
+                        value = tuple(row[p] for p in spec.positions)
+                        if not any(v is None for v in value):
+                            bucket.add(value)
+                for spec in agg_specs:
+                    if key == normalize(spec.inner_table):
+                        columns = spec.inner_key_columns
+                    elif key == normalize(spec.outer_table):
+                        columns = spec.outer_key_columns
+                    else:
+                        continue
+                    positions = schema.key_positions(columns)
+                    fp.agg_groups.setdefault(spec.name, set()).update(
+                        tuple(row[p] for p in positions) for row in rows
+                    )
+        return fp
+
+    def _negation_coupling(self) -> dict:
+        """``{positive table: set of tables negated alongside it}`` over
+        every installed assertion's denials.
+
+        This is what makes the refs-vs-refs check precise: two sessions
+        referencing the same parent key only interact when the parent
+        is universally quantified over a table they both put events in
+        (e.g. both touch the lineitems of one order under an
+        at-least-one assertion) — sharing a customer or partsupp parent
+        that no negation quantifies over stays groupable.  Recomputed
+        per batch (a handful of literal scans): caching by assertion
+        names would go stale when an assertion is re-added under the
+        same name with a different body.
+        """
+        from ..logic.literals import Atom
+
+        coupling: dict = {}
+        for assertion in self.tintin.assertions.values():
+            for denial in assertion.denials:
+                negated: set = set()
+                wildcard = False
+                for atom in denial.negative_atoms:
+                    if atom.predicate.kind == "base":
+                        negated.add(normalize(atom.predicate.name))
+                    else:
+                        wildcard = True
+                for conj in denial.negated_conjunctions:
+                    for item in conj.items:
+                        if not isinstance(item, Atom):
+                            continue
+                        if item.predicate.kind == "base":
+                            negated.add(normalize(item.predicate.name))
+                        else:
+                            wildcard = True
+                if not negated and not wildcard:
+                    continue
+                for atom in denial.positive_atoms:
+                    if atom.predicate.kind != "base":
+                        continue
+                    key = normalize(atom.predicate.name)
+                    if wildcard:
+                        coupling[key] = ANY_TABLE
+                    elif coupling.get(key) is not ANY_TABLE:
+                        coupling.setdefault(key, set()).update(negated)
+        return coupling
+
+    # -- the commit window -------------------------------------------------
+
+    def _gather(self) -> None:
+        """Wait (briefly) for concurrent submitters to join the batch.
+
+        Sleeping releases the GIL, which is what actually lets the
+        other client threads finish staging and enqueue; polling in
+        slices ends the wait one slice after arrivals settle.
+        """
+        deadline = time.perf_counter() + self.gather_seconds
+        interval = self.gather_seconds / 4
+        with self._queue_lock:
+            previous = len(self._queue)
+        while time.perf_counter() < deadline:
+            time.sleep(interval)
+            with self._queue_lock:
+                current = len(self._queue)
+            if current >= self.max_batch or (previous and current == previous):
+                break
+            previous = current
+
+    def _process_batch(self) -> None:
+        if self.gather_seconds:
+            self._gather()
+        with self._queue_lock:
+            batch = []
+            while self._queue and len(batch) < self.max_batch:
+                batch.append(self._queue.popleft())
+        if not batch:
+            return
+        self.stats.batches += 1
+        self.stats.commits += len(batch)
+        start = time.perf_counter()
+        try:
+            with self.rwlock.write_locked():
+                # the window needs no trigger toggling: apply_batch
+                # writes base tables directly (trigger-free physical
+                # ops), and capture triggers stay armed so a default-
+                # session INSERT can never slip past staging — its
+                # capture blocks on the read lock until the window ends
+                #
+                # the default session (global capture) may have staged
+                # events outside any Session; stash and restore them so
+                # the scheduler can use the global tables as its
+                # scratchpad
+                stashed = self.events.snapshot_events()
+                try:
+                    for group in self._partition(batch):
+                        self.stats.max_group_size = max(
+                            self.stats.max_group_size, len(group)
+                        )
+                        self._commit_group(group)
+                finally:
+                    self.events.load_events(*stashed)
+        except BaseException as exc:
+            # an unexpected engine error must not strand the batch:
+            # every undecided member gets a rejection naming the error
+            # (their events are consumed either way), then the leader's
+            # own caller sees the exception
+            for pending in batch:
+                if pending.result is None:
+                    pending.result = CommitResult(
+                        committed=False,
+                        constraint_error=f"commit window failed: {exc}",
+                    )
+            raise
+        finally:
+            self.stats.check_seconds += time.perf_counter() - start
+            for pending in batch:
+                pending.done.set()
+
+    def _partition(
+        self, batch: list[_PendingCommit]
+    ) -> list[list[_PendingCommit]]:
+        """Split the FIFO batch into runs of pairwise-compatible members
+        (order-preserving, so serial fallbacks keep submission order)."""
+        if self.policy == "serial":
+            return [[pending] for pending in batch]
+        coupling = self._negation_coupling()
+        groups: list[list[_PendingCommit]] = []
+        current: list[_PendingCommit] = []
+        for pending in batch:
+            if current and not all(
+                pending.footprint.compatible(other.footprint, coupling)
+                for other in current
+            ):
+                groups.append(current)
+                current = []
+            current.append(pending)
+        if current:
+            groups.append(current)
+        return groups
+
+    def _commit_group(self, group: list[_PendingCommit]) -> None:
+        if len(group) == 1:
+            self._commit_serially(group)
+            return
+        # fast path: union validation + one combined apply
+        union_ins: dict[str, list[tuple]] = {}
+        union_del: dict[str, list[tuple]] = {}
+        for pending in group:
+            for table, rows in pending.inserts.items():
+                union_ins.setdefault(table, []).extend(rows)
+            for table, rows in pending.deletes.items():
+                union_del.setdefault(table, []).extend(rows)
+        self.events.load_events(union_ins, union_del)
+        violations, checked, skipped = self.tintin.safe_commit_proc.check_only(
+            self.db
+        )
+        if violations:
+            # someone's events violate: replay strictly serially so the
+            # violation lands on the session that staged it
+            self.stats.fallbacks += 1
+            self._commit_serially(group)
+            return
+        # per-member applied-row accounting, so a grouped commit reports
+        # the same number the serial protocol would: staged deletes of
+        # rows an earlier batch already removed apply as no-ops
+        applied_by_member = []
+        for pending in group:
+            applied = sum(len(rows) for rows in pending.inserts.values())
+            for table_name, rows in pending.deletes.items():
+                table = self.db.table(table_name)
+                applied += sum(
+                    1 for row in rows if table.find_rowid(row) is not None
+                )
+            applied_by_member.append(applied)
+        try:
+            with self.db.transaction_scope(self._group_transactions):
+                self.db.apply_batch(union_ins, union_del)
+        except ConstraintViolation:
+            self.stats.fallbacks += 1
+            self._commit_serially(group)
+            return
+        finally:
+            self.events.truncate_events()
+        self.stats.group_fast_path += len(group)
+        for pending, applied in zip(group, applied_by_member):
+            pending.result = CommitResult(
+                committed=True,
+                applied_rows=applied,
+                checked_views=checked,
+                skipped_views=skipped,
+                group_size=len(group),
+            )
+
+    def _commit_serially(self, group: list[_PendingCommit]) -> None:
+        """The exact single-session protocol, one member at a time."""
+        for pending in group:
+            self.stats.serial_commits += 1
+            self.events.load_events(pending.inserts, pending.deletes)
+            violations, checked, skipped = (
+                self.tintin.safe_commit_proc.check_only(self.db)
+            )
+            if violations:
+                self.events.truncate_events()
+                pending.result = CommitResult(
+                    committed=False,
+                    violations=violations,
+                    checked_views=checked,
+                    skipped_views=skipped,
+                )
+                continue
+            try:
+                with self.db.transaction_scope(pending.transactions):
+                    applied = self.db.apply_batch(
+                        pending.inserts, pending.deletes
+                    )
+            except ConstraintViolation as exc:
+                pending.result = CommitResult(
+                    committed=False,
+                    constraint_error=str(exc),
+                    checked_views=checked,
+                    skipped_views=skipped,
+                )
+                continue
+            finally:
+                self.events.truncate_events()
+            pending.result = CommitResult(
+                committed=True,
+                applied_rows=applied,
+                checked_views=checked,
+                skipped_views=skipped,
+            )

@@ -1,0 +1,423 @@
+"""Per-session staged updates: the multi-client generalization of the
+paper's event tables.
+
+The paper stages one proposed update in the global ``ins_T``/``del_T``
+tables and validates it at ``safeCommit``.  Event tables are naturally
+*per-client* state, so a :class:`Session` owns a private staging
+overlay — shape-identical ins/del tables that live outside the shared
+catalog.  Another session can never observe them: base tables hold only
+committed data, and the global event tables are populated exclusively
+inside the commit scheduler's serialized window.
+
+Reads are snapshot-consistent.  A plain query takes the scheduler's
+shared read lock, so it sees base state entirely before or entirely
+after any other session's commit — never halfway through one.  When the
+session has staged events of its own, the read additionally sees them
+("read your own writes"): the overlay is spliced into the base tables
+under the exclusive lock, the query runs, and the splice is undone —
+a begin/query/rollback against the hypothetical post-commit state.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from ..errors import ExecutionError, SessionExpired
+from ..minidb.schema import normalize
+from ..minidb.storage import Table
+from ..minidb.transactions import TransactionManager
+from ..sqlparser import nodes as n
+from ..core.event_tables import (
+    del_table_name,
+    event_schema,
+    ins_table_name,
+    stage_delete,
+    stage_insert,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.safe_commit import CommitResult
+    from ..core.tintin import Tintin
+    from .scheduler import CommitScheduler
+
+
+class SessionEvents:
+    """A session's private staging area: one ins/del table pair per
+    instrumented base table, outside the shared catalog."""
+
+    def __init__(self, tintin: "Tintin"):
+        self._db = tintin.db
+        self._tables: dict[str, tuple[Table, Table]] = {}
+        for name in tintin.events.captured_tables:
+            base = self._db.table(name)
+            key = normalize(name)
+            self._tables[key] = (
+                Table(event_schema(base.schema, ins_table_name(name)), "session"),
+                Table(event_schema(base.schema, del_table_name(name)), "session"),
+            )
+
+    def pair(self, table: str) -> tuple[Table, Table]:
+        key = normalize(table)
+        pair = self._tables.get(key)
+        if pair is None:
+            raise ExecutionError(
+                f"table {table!r} is not instrumented for capture — "
+                "sessions can only stage updates on captured tables"
+            )
+        return pair
+
+    def captured(self, table: str) -> bool:
+        return normalize(table) in self._tables
+
+    def snapshot(self) -> tuple[dict[str, list[tuple]], dict[str, list[tuple]]]:
+        """Copy the staged events as ``(inserts, deletes)`` row dicts."""
+        inserts: dict[str, list[tuple]] = {}
+        deletes: dict[str, list[tuple]] = {}
+        for key, (ins, dels) in self._tables.items():
+            if len(ins):
+                inserts[key] = ins.rows_snapshot()
+            if len(dels):
+                deletes[key] = dels.rows_snapshot()
+        return inserts, deletes
+
+    def counts(self) -> dict[str, tuple[int, int]]:
+        return {
+            key: (len(ins), len(dels))
+            for key, (ins, dels) in self._tables.items()
+        }
+
+    def has_events(self) -> bool:
+        return any(
+            len(ins) or len(dels) for ins, dels in self._tables.values()
+        )
+
+    def truncate(self) -> int:
+        removed = 0
+        for ins, dels in self._tables.values():
+            removed += ins.truncate()
+            removed += dels.truncate()
+        return removed
+
+
+class Session:
+    """One client's view of the database: private staging + snapshot reads.
+
+    Created via :meth:`repro.core.Tintin.create_session` (or the
+    :class:`SessionManager` directly).  All staging respects the same
+    net-event invariants the capture triggers maintain, evaluated
+    against the session's own overlay — never another session's.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        tintin: "Tintin",
+        scheduler: "CommitScheduler",
+        manager: Optional["SessionManager"] = None,
+        ttl: Optional[float] = None,
+    ):
+        self.session_id = session_id
+        self.tintin = tintin
+        self.db = tintin.db
+        self.scheduler = scheduler
+        self._manager = manager
+        self.ttl = ttl
+        self.created_at = time.monotonic()
+        self.last_used = self.created_at
+        self.events = SessionEvents(tintin)
+        #: per-session undo log: bound to the committing thread while
+        #: this session's batch (or spliced read) touches base tables
+        self.transactions = TransactionManager()
+        self._expired = False
+        self.commits = 0
+        self.rejections = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def expired(self) -> bool:
+        if self._expired:
+            return True
+        if self.ttl is not None and (
+            time.monotonic() - self.last_used > self.ttl
+        ):
+            self.expire()  # lapsed TTL: discard staged events too
+        return self._expired
+
+    def expire(self) -> int:
+        """Kill the session, discarding any staged events.
+
+        Returns the number of staged event rows dropped — they were
+        never validated or applied, exactly as if the client had
+        disconnected before calling safeCommit.
+        """
+        self._expired = True
+        dropped = self.events.truncate()
+        if self._manager is not None:
+            self._manager._forget(self.session_id)
+        return dropped
+
+    close = expire
+
+    def _check_alive(self) -> None:
+        if self.expired:
+            raise SessionExpired(
+                f"session {self.session_id!r} has expired; its staged "
+                "events were discarded"
+            )
+        self.last_used = time.monotonic()
+
+    # -- staging -----------------------------------------------------------
+
+    def _stage_insert_locked(self, table: str, rows: Iterable[tuple]) -> int:
+        """Stage insertions; caller must hold the scheduler read lock."""
+        base = self.db.table(table)
+        validated = [base.validate_row(tuple(row)) for row in rows]
+        if validated:
+            ins, dels = self.events.pair(table)
+            stage_insert(base, ins, dels, validated)
+        return len(validated)
+
+    def _stage_delete_locked(self, table: str, rows: Iterable[tuple]) -> int:
+        """Stage deletions; caller must hold the scheduler read lock."""
+        base = self.db.table(table)
+        validated = [base.validate_row(tuple(row)) for row in rows]
+        if validated:
+            ins, dels = self.events.pair(table)
+            stage_delete(base, ins, dels, validated)
+        return len(validated)
+
+    def insert(self, table: str, rows: Iterable[tuple]) -> int:
+        """Stage row insertions (the session-private counterpart of the
+        INSTEAD OF capture trigger)."""
+        self._check_alive()
+        self.events.pair(table)  # fail fast on uncaptured tables
+        with self.scheduler.rwlock.read_locked():
+            return self._stage_insert_locked(table, rows)
+
+    def delete(self, table: str, rows: Iterable[tuple]) -> int:
+        """Stage row deletions against the current base state."""
+        self._check_alive()
+        self.events.pair(table)
+        with self.scheduler.rwlock.read_locked():
+            return self._stage_delete_locked(table, rows)
+
+    def execute(self, sql: str):
+        """Execute one SQL statement in this session.
+
+        INSERT/DELETE/UPDATE are parsed through the shared DML AST
+        cache and staged privately (an UPDATE stages delete-old +
+        insert-new, the paper's event model).  SELECTs run as snapshot
+        reads.  DDL is rejected — schema changes go through the
+        database facade, not a session.
+        """
+        self._check_alive()
+        if self.db.plan_cache_enabled and sql in self.db.plan_cache:
+            # a known SELECT: skip the parse entirely (query() executes
+            # through the prepared-plan cache keyed on this text)
+            return self.query(sql)
+        stmt = self.db.parse_dml_cached(sql)
+        if isinstance(stmt, n.SelectStatement):
+            if self.db.plan_cache_enabled:
+                # seed the plan cache from the AST we just parsed so
+                # query() does not parse the same text a second time
+                self.db.prepare_cached(sql, stmt.query)
+            return self.query(sql)
+        # resolution (WHERE/SELECT evaluation against base) and staging
+        # happen under ONE read-lock acquisition: a commit window
+        # sliding between them could make the resolved rows stale
+        # (e.g. an UPDATE re-inserting a row another session deleted)
+        if isinstance(stmt, n.Insert):
+            with self.scheduler.rwlock.read_locked():
+                table, rows = self.db.resolve_insert_rows(stmt)
+                return self._stage_insert_locked(table.name, rows)
+        if isinstance(stmt, n.Delete):
+            # WHERE is evaluated against the base table only — faithful
+            # INSTEAD OF trigger behaviour (see event_tables docstring)
+            with self.scheduler.rwlock.read_locked():
+                table, victims = self.db.resolve_delete_rows(stmt)
+                return self._stage_delete_locked(table.name, victims)
+        if isinstance(stmt, n.Update):
+            with self.scheduler.rwlock.read_locked():
+                table, old_rows, new_rows = self.db.resolve_update_rows(stmt)
+                self._stage_delete_locked(table.name, old_rows)
+                self._stage_insert_locked(table.name, new_rows)
+            return len(old_rows)
+        raise ExecutionError(
+            f"sessions cannot execute {type(stmt).__name__} — only DML "
+            "and SELECT run inside a session"
+        )
+
+    def discard(self) -> int:
+        """Drop the staged update without validating it."""
+        self._check_alive()
+        return self.events.truncate()
+
+    # -- introspection -----------------------------------------------------
+
+    def pending_counts(self) -> dict[str, tuple[int, int]]:
+        return self.events.counts()
+
+    def has_pending_events(self) -> bool:
+        return self.events.has_events()
+
+    # -- snapshot reads ----------------------------------------------------
+
+    def query(self, sql: str):
+        """Run a SELECT against a consistent snapshot: committed base
+        state plus (only) this session's staged events."""
+        self._check_alive()
+        if not self.events.has_events():
+            with self.scheduler.rwlock.read_locked():
+                return self.db.query(sql)
+        # read-your-writes: splice the overlay into the base tables
+        # under the exclusive lock, query, and undo the splice — no
+        # other session can run a read or commit in between, and base
+        # state is bit-identical afterwards (undo log replay).
+        with self.scheduler.rwlock.write_locked():
+            undo: list[tuple[str, Table, tuple]] = []
+            try:
+                self._splice_in(undo)
+                return self.db.query(sql)
+            finally:
+                self._splice_out(undo)
+
+    def rows(self, table: str) -> list[tuple]:
+        """The session's effective rows of one table: base − staged
+        deletions + staged insertions."""
+        self._check_alive()
+        base = self.db.table(table)
+        if not self.events.captured(table):
+            with self.scheduler.rwlock.read_locked():
+                return base.rows_snapshot()
+        ins, dels = self.events.pair(table)
+        with self.scheduler.rwlock.read_locked():
+            staged_deletes = set(dels.rows_snapshot())
+            result = [
+                row for row in base.rows_snapshot() if row not in staged_deletes
+            ]
+            result.extend(ins.rows_snapshot())
+        return result
+
+    def _splice_in(self, undo: list[tuple[str, Table, tuple]]) -> None:
+        inserts, deletes = self.events.snapshot()
+        for name, rows in deletes.items():
+            base = self.db.table(name)
+            for row in rows:
+                if base.delete_row(row):
+                    undo.append(("deleted", base, row))
+                # a concurrent commit may have removed the row since it
+                # was staged; the snapshot then simply lacks it
+        for name, rows in inserts.items():
+            base = self.db.table(name)
+            for row in rows:
+                try:
+                    base.insert(row)
+                except Exception:
+                    # e.g. another session committed the same key since
+                    # staging; the snapshot shows the committed row
+                    continue
+                undo.append(("inserted", base, row))
+
+    @staticmethod
+    def _splice_out(undo: list[tuple[str, Table, tuple]]) -> None:
+        for action, base, row in reversed(undo):
+            if action == "inserted":
+                base.delete_row(row)
+            else:
+                base.insert(row)
+
+    # -- committing --------------------------------------------------------
+
+    def commit(self) -> "CommitResult":
+        """Validate-and-apply this session's staged update through the
+        serialized commit scheduler (group commit may batch it with
+        other sessions' compatible updates)."""
+        self._check_alive()
+        result = self.scheduler.commit(self)
+        if result.committed:
+            self.commits += 1
+        else:
+            self.rejections += 1
+        return result
+
+    safe_commit = commit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "expired" if self.expired else "active"
+        return f"Session({self.session_id!r}, {state})"
+
+
+class SessionManager:
+    """Creates, tracks and expires sessions for one :class:`Tintin`."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        tintin: "Tintin",
+        default_ttl: Optional[float] = None,
+        policy: str = "group",
+        gather_seconds: float = 0.0,
+    ):
+        from .scheduler import CommitScheduler  # local: avoid import cycle
+
+        self.tintin = tintin
+        self.default_ttl = default_ttl
+        self.scheduler = CommitScheduler(
+            tintin, policy=policy, gather_seconds=gather_seconds
+        )
+        self._sessions: dict[str, Session] = {}
+        self._lock = threading.Lock()
+
+    def create(self, ttl: Optional[float] = None) -> Session:
+        session_id = f"s{next(self._ids):04d}"
+        session = Session(
+            session_id,
+            self.tintin,
+            self.scheduler,
+            manager=self,
+            ttl=ttl if ttl is not None else self.default_ttl,
+        )
+        with self._lock:
+            self._sessions[session_id] = session
+        return session
+
+    def get(self, session_id: str) -> Session:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None or session.expired:
+            raise SessionExpired(
+                f"session {session_id!r} is unknown or expired"
+            )
+        return session
+
+    def _forget(self, session_id: str) -> None:
+        with self._lock:
+            self._sessions.pop(session_id, None)
+
+    def expire_idle(self, max_idle_seconds: float) -> list[str]:
+        """Expire every session idle longer than ``max_idle_seconds``;
+        their staged events are discarded.  Returns the expired ids."""
+        now = time.monotonic()
+        with self._lock:
+            idle = [
+                s
+                for s in self._sessions.values()
+                if now - s.last_used > max_idle_seconds
+            ]
+        for session in idle:
+            session.expire()
+        return [s.session_id for s in idle]
+
+    @property
+    def active_count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def active_sessions(self) -> list[Session]:
+        with self._lock:
+            return list(self._sessions.values())
