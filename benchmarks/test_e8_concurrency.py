@@ -15,7 +15,15 @@ Acceptance (ISSUE 2):
   concurrently accept/reject the exact same updates and leave the
   database in the same state (with planted violations in the mix).
 
-Set ``E8_SMOKE=1`` (CI) for a reduced sweep with a relaxed bar — the
+Acceptance (ISSUE 3, staged reads):
+
+* with 8 sessions each holding staged events and running an OLTP read
+  mix (cheap dimension lookups + a pending-update check), the
+  overlay-merge read path achieves >= 4x the aggregate reads/sec of
+  the splice baseline, without a single plan-cache invalidation or
+  ``data_version`` bump.
+
+Set ``E8_SMOKE=1`` (CI) for a reduced sweep with relaxed bars — the
 full acceptance numbers live in ``BENCH_concurrency.json``.
 """
 
@@ -29,7 +37,10 @@ from repro.bench import (
     concurrency_payload,
     concurrency_table,
     measure_concurrent_throughput,
+    measure_staged_read_throughput,
     plan_cache_line,
+    staged_read_payload,
+    staged_read_table,
     write_json_baseline,
 )
 from repro.tpch import (
@@ -229,9 +240,92 @@ def run_differential(workers: int = 6, rounds: int = 10):
     }
 
 
+#: ISSUE 3 staged-read comparison: 8 sessions, each holding a staged
+#: multi-order update, run a 90/10 OLTP read mix (cheap dimension
+#: lookups + one pending-update check).  The splice baseline pays the
+#: full splice-in/splice-out of every staged row on *every* read and
+#: serializes all readers behind the write lock; the overlay-merge
+#: path merges at scan time under the shared lock.
+READ_SESSIONS = 8
+STAGED_ORDERS = 48 if SMOKE else 96
+READS_PER_SESSION = 40 if SMOKE else 80
+READ_ACCEPTANCE = 2.0 if SMOKE else 4.0
+
+READ_SCRIPT = tuple(
+    f"SELECT * FROM customer AS c WHERE c.c_custkey = {key}"
+    for key in (11, 42, 77, 123, 200)
+) + tuple(
+    f"SELECT * FROM nation AS n WHERE n.n_nationkey = {key}"
+    for key in (3, 7, 14, 21)
+) + (
+    "SELECT o.o_orderkey, l.l_linenumber FROM orders AS o, lineitem AS l "
+    f"WHERE l.l_orderkey = o.o_orderkey AND o.o_orderkey >= {KEY_BASE}",
+)
+
+
+def stage_reader_sessions(tintin: Tintin, count: int, orders_each: int):
+    """One session per reader, each staging a private multi-order
+    update (orders + two lineitems each, RF1-style)."""
+    rng = random.Random(7)
+    partsupp = tintin.db.table("partsupp").rows_snapshot()
+    customers = [row[0] for row in tintin.db.table("customer").scan()]
+    sessions = []
+    for worker in range(count):
+        session = tintin.create_session()
+        for i in range(orders_each):
+            key = KEY_BASE + worker * KEY_STRIDE + i
+            ps = rng.choice(partsupp)
+            session.insert("orders", [(key, rng.choice(customers), 100.0)])
+            session.insert(
+                "lineitem",
+                [(key, 1, ps[0], ps[1], 5), (key, 2, ps[0], ps[1], 3)],
+            )
+        sessions.append(session)
+    return sessions
+
+
+def run_staged_reads():
+    """Overlay-merge vs splice-baseline aggregate read throughput."""
+    tintin = build_server()
+    sessions = stage_reader_sessions(tintin, READ_SESSIONS, STAGED_ORDERS)
+    # warm up both paths (plan cache, lazily built indexes) so the
+    # measurement compares steady-state executors, not first-touch work
+    for sql in READ_SCRIPT:
+        sessions[0].query(sql)
+        sessions[0].query_spliced(sql)
+    overlay = measure_staged_read_throughput(
+        tintin, sessions, READS_PER_SESSION, READ_SCRIPT, mode="overlay"
+    )
+    splice = measure_staged_read_throughput(
+        tintin, sessions, READS_PER_SESSION, READ_SCRIPT, mode="splice"
+    )
+    return overlay, splice
+
+
+_STAGED_READS: dict = {}
+
+
 def test_differential_sequential_vs_concurrent(benchmark):
     summary = benchmark.pedantic(run_differential, rounds=1, iterations=1)
     assert summary["sequential_equals_concurrent"]
+
+
+def test_e8_staged_reads(benchmark):
+    overlay, splice = benchmark.pedantic(
+        run_staged_reads, rounds=1, iterations=1
+    )
+    _STAGED_READS["payload"] = staged_read_payload(overlay, splice)
+    print()
+    print("E8: staged-event reads — overlay-merge vs splice baseline")
+    print(staged_read_table(overlay, splice))
+    # overlay reads are pure: no base-table mutation, no plan churn
+    assert overlay.data_version_delta == 0
+    assert overlay.plan_cache_invalidations == 0
+    speedup = overlay.reads_per_second / splice.reads_per_second
+    assert speedup >= READ_ACCEPTANCE, (
+        f"overlay-merge reads x{speedup:.2f} over the splice baseline "
+        f"is below the {READ_ACCEPTANCE}x acceptance bar"
+    )
 
 
 def test_e8_report(benchmark):
@@ -251,6 +345,9 @@ def test_e8_report(benchmark):
     print(concurrency_table(results))
     print(plan_cache_line(db))
     payload = concurrency_payload(results, differential, db)
+    if "payload" not in _STAGED_READS:
+        _STAGED_READS["payload"] = staged_read_payload(*run_staged_reads())
+    payload["staged_reads"] = _STAGED_READS["payload"]
 
     by_sessions = {r.sessions: r for r in results}
     top = max(SESSION_SWEEP)

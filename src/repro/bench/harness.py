@@ -174,6 +174,108 @@ def measure_concurrent_throughput(
 
 
 @dataclass
+class StagedReadResult:
+    """Aggregate read throughput of sessions holding staged events (E8).
+
+    ``mode`` is ``"overlay"`` (the production overlay-merge path:
+    shared lock, base tables untouched) or ``"splice"`` (the historical
+    baseline: exclusive lock, staged events physically spliced in and
+    out around every query).
+    """
+
+    mode: str
+    sessions: int
+    reads: int
+    seconds: float
+    staged_rows: int
+    plan_cache_invalidations: int = 0
+    data_version_delta: int = 0
+
+    @property
+    def reads_per_second(self) -> float:
+        if self.seconds <= 0:
+            return float("inf")
+        return self.reads / self.seconds
+
+
+def measure_staged_read_throughput(
+    tintin: Tintin,
+    sessions: list,
+    reads_per_session: int,
+    sql,
+    mode: str = "overlay",
+) -> StagedReadResult:
+    """Aggregate reads/sec of one reader thread per session.
+
+    Every session must already hold staged events, so each read
+    exercises the read-your-writes path: ``mode="overlay"`` uses
+    ``session.query`` (concurrent readers), ``mode="splice"`` uses
+    ``session.query_spliced`` (the serialized mutate-and-undo
+    baseline).  ``sql`` is one statement or a read script (a sequence
+    cycled through per reader — an OLTP mix of cheap lookups and
+    pending-update checks).  The clock starts at the barrier and stops
+    when the last reader finishes.
+    """
+    if mode not in ("overlay", "splice"):
+        raise ValueError(f"unknown staged-read mode {mode!r}")
+    script = (sql,) if isinstance(sql, str) else tuple(sql)
+    db = tintin.db
+    staged_rows = sum(
+        ins + dels
+        for session in sessions
+        for ins, dels in session.pending_counts().values()
+    )
+    invalidations_before = db.plan_cache_stats.invalidations
+    version_before = db.data_version()
+    barrier = threading.Barrier(len(sessions) + 1)
+    completed = [0] * len(sessions)
+    errors: list[BaseException] = []
+
+    def reader(index: int, session) -> None:
+        read = session.query if mode == "overlay" else session.query_spliced
+        barrier.wait()
+        try:
+            for round_no in range(reads_per_session):
+                read(script[round_no % len(script)])
+                completed[index] += 1
+        except BaseException as exc:  # surface after join, never silently
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=reader, args=(index, session))
+        for index, session in enumerate(sessions)
+    ]
+    gc.collect()
+    gc.disable()
+    try:
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
+    if errors:
+        raise RuntimeError(
+            f"{len(errors)} reader thread(s) failed during the "
+            f"{mode} measurement"
+        ) from errors[0]
+    return StagedReadResult(
+        mode=mode,
+        sessions=len(sessions),
+        reads=sum(completed),
+        seconds=elapsed,
+        staged_rows=staged_rows,
+        plan_cache_invalidations=(
+            db.plan_cache_stats.invalidations - invalidations_before
+        ),
+        data_version_delta=db.data_version() - version_before,
+    )
+
+
+@dataclass
 class CellResult:
     """Timing results of one workload cell."""
 

@@ -6,7 +6,12 @@ import json
 from typing import Iterable, Optional
 
 from ..minidb.database import Database
-from .harness import CellResult, CommitRateResult, ConcurrencyResult
+from .harness import (
+    CellResult,
+    CommitRateResult,
+    ConcurrencyResult,
+    StagedReadResult,
+)
 
 
 def format_seconds(seconds: float) -> str:
@@ -169,6 +174,55 @@ def concurrency_payload(
     if db is not None:
         payload["plan_cache"] = plan_cache_metrics(db)
     return payload
+
+
+def staged_read_table(overlay: StagedReadResult, splice: StagedReadResult) -> str:
+    """The E8 staged-read grid: overlay-merge vs splice-baseline
+    aggregate reads/sec for sessions holding staged events."""
+    speedup = (
+        overlay.reads_per_second / splice.reads_per_second
+        if splice.reads_per_second > 0
+        else float("inf")
+    )
+    lines = [
+        f"{'mode':>8} {'sessions':>8} {'reads':>7} {'reads/s':>9} "
+        f"{'replans':>8} {'dv-delta':>9}"
+    ]
+    for r in (overlay, splice):
+        lines.append(
+            f"{r.mode:>8} {r.sessions:>8} {r.reads:>7} "
+            f"{r.reads_per_second:>9.0f} {r.plan_cache_invalidations:>8} "
+            f"{r.data_version_delta:>9}"
+        )
+    lines.append(f"overlay-merge speedup: x{speedup:.1f}")
+    return "\n".join(lines)
+
+
+def staged_read_payload(
+    overlay: StagedReadResult, splice: StagedReadResult
+) -> dict:
+    """JSON-serializable summary of the E8 staged-read comparison."""
+    speedup = (
+        round(overlay.reads_per_second / splice.reads_per_second, 2)
+        if splice.reads_per_second > 0
+        else None
+    )
+    def row(r: StagedReadResult) -> dict:
+        return {
+            "mode": r.mode,
+            "sessions": r.sessions,
+            "reads": r.reads,
+            "staged_rows": r.staged_rows,
+            "reads_per_second": round(r.reads_per_second, 1),
+            "plan_cache_invalidations": r.plan_cache_invalidations,
+            "data_version_delta": r.data_version_delta,
+        }
+
+    return {
+        "overlay": row(overlay),
+        "splice": row(splice),
+        "overlay_speedup": speedup,
+    }
 
 
 def write_json_baseline(path: str, payload: dict) -> None:

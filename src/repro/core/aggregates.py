@@ -265,9 +265,17 @@ class AggregateChecker:
 
     # -- checking ---------------------------------------------------------
 
-    def check(self, db: Database) -> Optional[Violation]:
-        """Find new-state violations among update-adjacent groups."""
+    def check(self, db: Database, overlays: Optional[dict] = None) -> Optional[Violation]:
+        """Find new-state violations among update-adjacent groups.
+
+        ``overlays`` (normalized table name ->
+        :class:`~repro.minidb.storage.TableOverlay`) merges staged
+        rows into the named tables at read time — the commit scheduler
+        validates a batch by overlaying the event tables instead of
+        physically loading them.
+        """
         spec = self.spec
+        reader = _OverlayReader(overlays)
         outer = db.table(spec.outer_table)
         ins_outer = db.table(ins_table_name(spec.outer_table))
         del_outer = db.table(del_table_name(spec.outer_table))
@@ -277,25 +285,25 @@ class AggregateChecker:
         outer_columns = spec.outer_key_columns
 
         candidates: dict[tuple, tuple] = {}
-        for row in ins_outer.scan():
+        for row in reader.scan(ins_outer):
             candidates[("ins", row)] = row
         # groups touched by inner insertions/deletions: probe the outer
         # table by the correlation key
         for event_table in (ins_inner, del_inner):
-            for event_row in event_table.scan():
+            for event_row in reader.scan(event_table):
                 key = tuple(
                     event_row[ip] for ip, _ in spec.correlation
                 )
                 if any(v is None for v in key):
                     continue
-                for outer_row in outer.lookup_secondary(outer_columns, key):
-                    if del_outer.contains_row(outer_row):
+                for outer_row in reader.probe(outer, outer_columns, key):
+                    if reader.contains(del_outer, outer_row):
                         continue  # the outer tuple is being removed
                     candidates[("base", outer_row)] = outer_row
 
         witnesses = []
         for candidate in candidates.values():
-            if self._violates(db, candidate, ins_inner, del_inner):
+            if self._violates(db, candidate, ins_inner, del_inner, reader):
                 witnesses.append(candidate)
         if not witnesses:
             return None
@@ -306,15 +314,17 @@ class AggregateChecker:
             rows=witnesses,
         )
 
-    def _violates(self, db, outer_row, ins_inner, del_inner) -> bool:
+    def _violates(self, db, outer_row, ins_inner, del_inner, reader) -> bool:
         spec = self.spec
         if spec.outer_condition is not None:
             if spec.outer_condition(outer_row, {}) is not True:
                 return False
-        value = self._new_state_aggregate(db, outer_row, ins_inner, del_inner)
+        value = self._new_state_aggregate(
+            db, outer_row, ins_inner, del_inner, reader
+        )
         return sql_compare(spec.op, value, spec.bound) is True
 
-    def _new_state_aggregate(self, db, outer_row, ins_inner, del_inner):
+    def _new_state_aggregate(self, db, outer_row, ins_inner, del_inner, reader):
         """AGG over (inner ∖ del_inner ∪ ins_inner) restricted to the
         outer row's group, via index probes."""
         spec = self.spec
@@ -325,12 +335,12 @@ class AggregateChecker:
 
         deleted = {
             row
-            for row in del_inner.lookup_secondary(inner_columns, key)
+            for row in reader.probe(del_inner, inner_columns, key)
         }
         count = 0
         values: list = []
         for source, skip_deleted in ((inner, True), (ins_inner, False)):
-            for row in source.lookup_secondary(inner_columns, key):
+            for row in reader.probe(source, inner_columns, key):
                 if skip_deleted and row in deleted:
                     continue
                 if (
@@ -395,6 +405,40 @@ class AggregateChecker:
             columns=list(outer.schema.column_names),
             rows=witnesses,
         )
+
+
+class _OverlayReader:
+    """Reads tables through an optional overlay map.
+
+    The commit scheduler validates staged updates by overlaying the
+    event tables rather than loading them; this adapter routes the
+    aggregate checker's scans/probes/membership tests through the
+    overlay when one is present, and straight at the table otherwise.
+    """
+
+    __slots__ = ("overlays",)
+
+    def __init__(self, overlays: Optional[dict]):
+        self.overlays = overlays or {}
+
+    def _overlay(self, table):
+        return self.overlays.get(table.schema.name.lower())
+
+    def scan(self, table):
+        overlay = self._overlay(table)
+        return table.scan() if overlay is None else overlay.scan(table)
+
+    def probe(self, table, columns, key):
+        overlay = self._overlay(table)
+        if overlay is None:
+            return table.lookup_secondary(columns, key)
+        return overlay.lookup(table, columns, key)
+
+    def contains(self, table, row) -> bool:
+        overlay = self._overlay(table)
+        if overlay is None:
+            return table.contains_row(row)
+        return overlay.contains(table, row)
 
 
 def _safe_inner_queries(assertion: Assertion):

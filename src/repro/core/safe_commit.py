@@ -21,6 +21,8 @@ from typing import Optional
 
 from ..errors import ConstraintViolation
 from ..minidb.database import Database, PreparedStatement
+from ..minidb.schema import normalize
+from ..minidb.storage import TableOverlay
 from .edc import EDC
 from .event_tables import EventTableManager
 
@@ -96,8 +98,8 @@ class SafeCommit:
         self.events = events
         self.compiled: list[CompiledEDC] = []
         #: aggregate-assertion checkers (the paper's future-work
-        #: extension); duck-typed: .check(db) -> Violation | None,
-        #: .driving_tables, .spec.name
+        #: extension); duck-typed: .check(db, overlays=None) ->
+        #: Violation | None, .driving_tables, .spec.name
         self.aggregate_checkers: list = []
 
     def register(self, compiled: CompiledEDC) -> None:
@@ -148,8 +150,19 @@ class SafeCommit:
             check_seconds=elapsed,
         )
 
-    def check_only(self, db: Database) -> tuple[list[Violation], int, int]:
+    def check_only(
+        self,
+        db: Database,
+        overlays: Optional[dict[str, TableOverlay]] = None,
+    ) -> tuple[list[Violation], int, int]:
         """Run the violation views without applying or truncating.
+
+        ``overlays`` (normalized table name ->
+        :class:`~repro.minidb.storage.TableOverlay`) merges a staged
+        update into the referenced tables at read time — the commit
+        scheduler validates a session's (or group's) events by
+        overlaying the *event tables* instead of physically loading
+        them, so validation never mutates shared state.
 
         Returns ``(violations, executed_view_count, skipped_view_count)``.
         """
@@ -157,7 +170,7 @@ class SafeCommit:
         checked = 0
         skipped = 0
         for compiled in self.compiled:
-            if self._trivially_empty(db, compiled):
+            if self._trivially_empty(db, compiled, overlays):
                 skipped += 1
                 continue
             checked += 1
@@ -166,11 +179,13 @@ class SafeCommit:
                 and compiled.prepared.db is db
                 and db.plan_cache_enabled
             ):
-                result = compiled.prepared.execute()
+                result = compiled.prepared.execute(overlays=overlays)
             else:
                 # fresh-plan path: parse and plan the view query anew
                 # (also the comparator the E7 bench measures against)
-                result = db.query(f"SELECT * FROM {compiled.view_name}")
+                result = db.query(
+                    f"SELECT * FROM {compiled.view_name}", overlays=overlays
+                )
             if result.rows:
                 violations.append(
                     Violation(
@@ -181,22 +196,49 @@ class SafeCommit:
                     )
                 )
         for checker in self.aggregate_checkers:
-            if all(len(db.table(t)) == 0 for t in checker.driving_tables):
+            if all(
+                self._effectively_empty(db, t, overlays)
+                for t in checker.driving_tables
+            ):
                 skipped += 1
                 continue
             checked += 1
-            violation = checker.check(db)
+            violation = checker.check(db, overlays)
             if violation is not None:
                 violations.append(violation)
         return violations, checked, skipped
 
-    @staticmethod
-    def _trivially_empty(db: Database, compiled: CompiledEDC) -> bool:
+    @classmethod
+    def _trivially_empty(
+        cls,
+        db: Database,
+        compiled: CompiledEDC,
+        overlays: Optional[dict[str, TableOverlay]],
+    ) -> bool:
         for table in compiled.event_tables:
-            if len(db.table(table)) == 0:
+            if cls._effectively_empty(db, table, overlays):
                 return True
         if compiled.guard_tables and all(
-            len(db.table(t)) == 0 for t in compiled.guard_tables
+            cls._effectively_empty(db, t, overlays)
+            for t in compiled.guard_tables
         ):
             return True
         return False
+
+    @staticmethod
+    def _effectively_empty(
+        db: Database,
+        name: str,
+        overlays: Optional[dict[str, TableOverlay]],
+    ) -> bool:
+        """Whether ``name`` is empty in the overlay-merged view.
+
+        Conservative on the non-empty side: a table whose rows are all
+        masked by overlay deletes still reports non-empty (the view
+        then executes and finds nothing — correct, just not skipped).
+        """
+        table = db.table(name)
+        if len(table):
+            return False
+        overlay = overlays.get(normalize(name)) if overlays else None
+        return overlay is None or not overlay.inserts

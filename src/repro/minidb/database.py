@@ -40,10 +40,10 @@ from ..sqlparser.parser import parse_statement
 from .catalog import Catalog, Procedure, Trigger, View
 from .constraints import ConstraintChecker, validate_foreign_keys
 from .expressions import Scope, compile_expr
-from .plan import PlanNode, execution_params
+from .plan import ExecutionContext, PlanNode, execution_params
 from .planner import Planner
 from .schema import Column, TableSchema
-from .storage import Table
+from .storage import Table, TableOverlay
 from .transactions import TransactionManager
 from .types import resolve_type
 
@@ -199,10 +199,24 @@ class PreparedStatement:
         # a view redefinition can change the list, so revalidate first
         return list(self._validated_state().columns)
 
-    def execute(self, params: Optional[dict] = None) -> ResultSet:
-        """Run the prepared plan under a fresh execution context."""
+    def execute(
+        self,
+        params: Optional[dict] = None,
+        overlays: Optional[dict[str, TableOverlay]] = None,
+    ) -> ResultSet:
+        """Run the prepared plan under a fresh execution context.
+
+        ``overlays`` (normalized table name ->
+        :class:`~repro.minidb.storage.TableOverlay`) merges staged
+        events into the named tables for this execution only — the
+        overlay-merge read path of server sessions.  The compiled plan
+        itself is shared and untouched.
+        """
         state = self._validated_state()
-        return ResultSet(list(state.columns), list(state.plan.run(params)))
+        ctx = ExecutionContext(overlays)
+        return ResultSet(
+            list(state.columns), list(state.plan.run(params, ctx))
+        )
 
     def explain(self) -> str:
         """The current physical plan as an indented tree."""
@@ -554,20 +568,32 @@ class Database:
             return self.call(stmt.name, *args)
         raise ExecutionError(f"cannot execute statement {type(stmt).__name__}")
 
-    def query(self, sql: str) -> ResultSet:
+    def query(
+        self,
+        sql: str,
+        overlays: Optional[dict[str, TableOverlay]] = None,
+    ) -> ResultSet:
         """Parse and run a SELECT/UNION, returning a ResultSet.
 
         Queries go through the prepared plan cache keyed on the SQL
         text: a repeated query skips the parser and planner entirely.
+        ``overlays`` merges staged events into the named base tables
+        for this execution only (see :meth:`PreparedStatement.execute`).
         """
         prepared, _, _ = self._prepare_text(sql, required_by="query()")
-        return prepared.execute()
+        return prepared.execute(overlays=overlays)
 
-    def query_ast(self, query: n.Query) -> ResultSet:
+    def query_ast(
+        self,
+        query: n.Query,
+        overlays: Optional[dict[str, TableOverlay]] = None,
+    ) -> ResultSet:
         planner = Planner(self.catalog)
         plan = planner.plan_query(query)
         columns = planner.output_columns(query)
-        return ResultSet(columns, list(plan.run()))
+        return ResultSet(
+            columns, list(plan.run(ctx=ExecutionContext(overlays)))
+        )
 
     def explain(self, sql: str) -> str:
         """The physical plan for a query, as an indented tree, headed by
@@ -984,10 +1010,9 @@ class Database:
         """Aggregate data-version stamp over the catalog's tables.
 
         Monotonically increasing with every row mutation; two equal
-        readings prove no base data changed in between.  (A session's
-        spliced read-your-writes query bumps and restores storage, so
-        *unequal* readings do not by themselves prove a user-visible
-        change.)
+        readings prove no base data changed in between.  Session reads
+        — including read-your-writes with staged events — go through
+        the overlay-merge path and never perturb the stamps.
         """
         return sum(t.data_version for t in self.catalog.tables(namespace))
 

@@ -41,7 +41,7 @@ from __future__ import annotations
 from typing import Callable, Iterator, Optional
 
 from .expressions import Compiled, Scope
-from .storage import Table
+from .storage import Table, TableOverlay
 
 #: Reserved ``params`` key carrying the :class:`ExecutionContext`.  All
 #: regular correlation keys are ``(binding, column)`` tuples, so a plain
@@ -53,16 +53,27 @@ class ExecutionContext:
     """Per-execution mutable state for a compiled plan.
 
     Compiled plans are immutable; every piece of state that one
-    execution must not leak into the next — today the memo tables of the
-    planner's generic subquery probes — lives here.  Each probe owns a
-    sentinel token allocated at compile time and retrieves its private
-    memo dict with :meth:`memo`.
+    execution must not leak into the next — the memo tables of the
+    planner's generic subquery probes, and the optional table
+    *overlays* — lives here.  Each probe owns a sentinel token
+    allocated at compile time and retrieves its private memo dict with
+    :meth:`memo`.
+
+    ``overlays`` maps a normalized base-table name to a
+    :class:`~repro.minidb.storage.TableOverlay`.  Scan and probe
+    operators merge the overlay into their output on the fly, so one
+    immutable plan can serve both plain reads (no overlay) and a
+    session's read-your-writes view — without ever mutating base
+    storage.
     """
 
-    __slots__ = ("_memos",)
+    __slots__ = ("_memos", "overlays")
 
-    def __init__(self):
+    def __init__(
+        self, overlays: Optional[dict[str, TableOverlay]] = None
+    ):
         self._memos: dict[object, dict] = {}
+        self.overlays = overlays or None
 
     def memo(self, token: object) -> dict:
         """The mutable memo dict owned by ``token`` for this execution."""
@@ -70,6 +81,13 @@ class ExecutionContext:
         if memo is None:
             memo = self._memos[token] = {}
         return memo
+
+    def overlay_for(self, table: Table) -> Optional[TableOverlay]:
+        """The overlay staged on ``table`` in this execution, if any."""
+        overlays = self.overlays
+        if overlays is None:
+            return None
+        return overlays.get(table.schema.name.lower())
 
 
 def execution_params(
@@ -92,6 +110,33 @@ def context_memo(params: dict, token: object) -> dict:
     if ctx is None:
         return {}
     return ctx.memo(token)
+
+
+def table_overlay(params: dict, table: Table) -> Optional[TableOverlay]:
+    """The overlay staged on ``table`` in the execution carried by
+    ``params`` (None for plain reads or bare executions)."""
+    ctx = params.get(CTX_KEY)
+    if ctx is None:
+        return None
+    return ctx.overlay_for(table)
+
+
+def scan_table(params: dict, table: Table) -> Iterator[tuple]:
+    """Scan ``table`` through the execution's overlay, if any."""
+    overlay = table_overlay(params, table)
+    if overlay is None:
+        return table.scan()
+    return overlay.scan(table)
+
+
+def probe_table(
+    params: dict, table: Table, columns: tuple[str, ...], key: tuple
+) -> Iterator[tuple]:
+    """Index-probe ``table`` through the execution's overlay, if any."""
+    overlay = table_overlay(params, table)
+    if overlay is None:
+        return table.lookup_secondary(columns, key)
+    return overlay.lookup(table, columns, key)
 
 
 class PlanNode:
@@ -128,7 +173,13 @@ class PlanNode:
 
 
 class SeqScan(PlanNode):
-    """Full scan of a base table under a binding name."""
+    """Full scan of a base table under a binding name.
+
+    When the execution carries an overlay for the table, the scan
+    merges it on the fly (staged deletes masked with multiset
+    semantics, staged inserts appended) — base storage is never read
+    through a mutated state.
+    """
 
     def __init__(self, table: Table, binding: str):
         self.table = table
@@ -139,7 +190,7 @@ class SeqScan(PlanNode):
         self.estimate = float(max(len(table), 1))
 
     def execute(self, params: dict) -> Iterator[tuple]:
-        return self.table.scan()
+        return scan_table(params, self.table)
 
     def describe(self) -> str:
         return f"SeqScan({self.table.name} AS {self.binding}, ~{len(self.table)} rows)"
@@ -251,11 +302,16 @@ class IndexJoin(PlanNode):
         residual = self.residual
         # build the index once up front so probes are O(1)
         table.ensure_secondary_index(columns)
+        overlay = table_overlay(params, table)
         for outer_row in self.outer.execute(params):
             key = tuple(outer_row[p] for p in positions)
             if any(v is None for v in key):
                 continue
-            for inner_row in table.lookup_secondary(columns, key):
+            if overlay is None:
+                matches = table.lookup_secondary(columns, key)
+            else:
+                matches = overlay.lookup(table, columns, key)
+            for inner_row in matches:
                 combined = outer_row + inner_row
                 if residual is None or residual(combined, params) is True:
                     yield combined

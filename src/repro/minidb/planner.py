@@ -48,6 +48,8 @@ from .plan import (
     UnionDistinct,
     aggregate_value,
     context_memo,
+    probe_table,
+    scan_table,
 )
 from .storage import Table
 
@@ -565,7 +567,7 @@ class Planner:
                 return 0 if func == "COUNT" else None
             values = []
             count = 0
-            for row in table.lookup_secondary(columns, key):
+            for row in probe_table(params, table, columns, key):
                 if residual_fn is not None and residual_fn(row, params) is not True:
                     continue
                 if arg_fn is None:
@@ -633,7 +635,7 @@ class Planner:
             key = tuple(fn((), params) for fn in key_exprs)
             if any(v is None for v in key):
                 return False
-            for row in table.lookup_secondary(columns, key):
+            for row in probe_table(params, table, columns, key):
                 if residual_fn is None or residual_fn(row, params) is True:
                     return True
             return False
@@ -796,19 +798,19 @@ class Planner:
                 if any(v is None for v in corr_values):
                     return False  # correlation with NULL: empty set
                 if corr_exprs:
-                    rows = table.lookup_secondary(
-                        tuple(columns[1:]), tuple(corr_values)
+                    rows = probe_table(
+                        params, table, tuple(columns[1:]), tuple(corr_values)
                     )
                 else:
-                    rows = table.scan()
+                    rows = scan_table(params, table)
                 for row in rows:
                     if residual_fn is None or residual_fn(row, params) is True:
                         return None
                 return False
             if any(v is None for v in corr_values):
                 return False
-            for row in table.lookup_secondary(
-                columns, tuple([subject] + corr_values)
+            for row in probe_table(
+                params, table, columns, tuple([subject] + corr_values)
             ):
                 if residual_fn is None or residual_fn(row, params) is True:
                     return True

@@ -12,6 +12,7 @@ and is what gives the incremental checks their locality.
 from __future__ import annotations
 
 import threading
+from collections import Counter
 from typing import Iterable, Iterator, Optional
 
 from ..errors import ConstraintViolation, ExecutionError
@@ -93,6 +94,151 @@ class SecondaryIndex:
 
 
 _EMPTY_SET: set[int] = set()
+
+
+def _first_wins(
+    rows: list[tuple], unique_indexes: list["UniqueIndex"]
+) -> list[tuple]:
+    """Keep the first row per unique key (later collisions dropped)."""
+    kept: list[tuple] = []
+    seen: list[set] = [set() for _ in unique_indexes]
+    for row in rows:
+        keys = [index.key_of(row) for index in unique_indexes]
+        if any(
+            key is not None and key in taken
+            for key, taken in zip(keys, seen)
+        ):
+            continue
+        for key, taken in zip(keys, seen):
+            if key is not None:
+                taken.add(key)
+        kept.append(row)
+    return kept
+
+
+class TableOverlay:
+    """Staged events applied to one table at *read* time.
+
+    An overlay is the read-side view of a staging area: ``inserts`` are
+    rows appended to the table's committed contents, ``deletes`` a
+    **multiset** of rows masked out of them (counted, so a staged
+    delete of one copy of a duplicated row hides exactly one copy, not
+    all of them).  Executors merge the overlay on the fly — the base
+    table is never touched, which is what lets overlay readers share
+    the read lock and keeps ``data_version``/row counts stable.
+
+    Overlays are immutable snapshots: build one from the staging
+    tables, run any number of reads against it, throw it away.
+    """
+
+    __slots__ = ("inserts", "deletes", "_insert_indexes")
+
+    def __init__(
+        self,
+        inserts: Iterable[tuple] = (),
+        deletes: Iterable[tuple] = (),
+        table: Optional["Table"] = None,
+    ):
+        rows = list(inserts)
+        if table is not None and table.unique_indexes and len(rows) > 1:
+            # first-wins among the staged inserts themselves: staging
+            # tables are constraint-free, so two different tuples can
+            # be staged under one unique key — physically, the second
+            # insert would fail on the duplicate key (splice semantics)
+            rows = _first_wins(rows, table.unique_indexes)
+        self.inserts: list[tuple] = rows
+        self.deletes: Counter = Counter(deletes)
+        #: key positions -> {key: [overlay rows]} memo for index probes
+        self._insert_indexes: dict[tuple[int, ...], dict] = {}
+
+    def __bool__(self) -> bool:
+        return bool(self.inserts or self.deletes)
+
+    def mask(self, rows: Iterable[tuple]) -> Iterator[tuple]:
+        """Yield ``rows`` minus the staged deletes (multiset semantics:
+        each staged delete hides one copy)."""
+        deletes = self.deletes
+        if not deletes:
+            yield from rows
+            return
+        masked: Counter = Counter()
+        for row in rows:
+            limit = deletes.get(row, 0)
+            if limit and masked[row] < limit:
+                masked[row] += 1
+                continue
+            yield row
+
+    def conflicts(self, table: "Table", row: tuple) -> bool:
+        """Whether a staged insert is shadowed by committed data: some
+        unique key of ``row`` is held by a base row that the staged
+        deletes do not mask.  Mirrors the splice baseline, where the
+        physical insert fails on the duplicate key and the snapshot
+        shows the committed row — without this, a read could observe
+        two rows under one primary key.
+        """
+        deletes = self.deletes
+        for index in table.unique_indexes:
+            key = index.key_of(row)
+            if key is None:
+                continue
+            rowid = index.lookup(key)
+            if rowid is None:
+                continue
+            if not deletes.get(table.row_by_id(rowid)):
+                return True
+        return False
+
+    def visible_inserts(self, table: "Table") -> Iterator[tuple]:
+        """Staged inserts not shadowed by committed unique keys."""
+        if not table.unique_indexes:
+            return iter(self.inserts)
+        return (
+            row for row in self.inserts if not self.conflicts(table, row)
+        )
+
+    def scan(self, table: "Table") -> Iterator[tuple]:
+        """The merged full scan: base rows minus staged deletes, then
+        the staged inserts."""
+        yield from self.mask(table.scan())
+        yield from self.visible_inserts(table)
+
+    def _inserts_by_key(self, positions: tuple[int, ...]) -> dict:
+        index = self._insert_indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self.inserts:
+                key = tuple(row[p] for p in positions)
+                index.setdefault(key, []).append(row)
+            self._insert_indexes[positions] = index
+        return index
+
+    def lookup(
+        self, table: "Table", columns: tuple[str, ...], key: tuple
+    ) -> Iterator[tuple]:
+        """The merged index probe: base index hits minus staged
+        deletes, then staged inserts matching ``key``."""
+        index = table.ensure_secondary_index(columns)
+        yield from self.mask(
+            table.row_by_id(rowid) for rowid in index.lookup_rowids(key)
+        )
+        for row in self._inserts_by_key(index.positions).get(key, ()):
+            if not table.unique_indexes or not self.conflicts(table, row):
+                yield row
+
+    def contains(self, table: "Table", row: tuple) -> bool:
+        """Whole-tuple membership in the merged view."""
+        for staged in self.inserts:
+            if staged == row and not self.conflicts(table, staged):
+                return True
+        if not table.contains_row(row):
+            return False
+        limit = self.deletes.get(row, 0)
+        if not limit:
+            return True
+        # masked copies: visible iff base holds more copies than deletes
+        copies = sum(1 for existing in table.scan() if existing == row)
+        return copies > limit
 
 
 class Table:

@@ -6,13 +6,17 @@ concurrent service:
 * :class:`Session` / :class:`SessionManager` — each client owns a
   private ``ins_T``/``del_T`` overlay (:class:`SessionEvents`), so no
   session ever observes another's uncommitted events;
-* snapshot reads — ``session.query`` runs under a read/write lock
-  (:class:`ReadWriteLock`) against committed base state plus only the
-  session's own staged events;
+* snapshot reads — ``session.query`` runs under the shared side of a
+  read/write lock (:class:`ReadWriteLock`) against committed base
+  state plus only the session's own staged events, merged at
+  execution time as :class:`~repro.minidb.storage.TableOverlay`
+  overlays (base tables are never touched; any number of readers run
+  concurrently);
 * :class:`CommitScheduler` — serializes validate-and-apply through a
   FIFO queue with group-commit batching: compatible (key-disjoint)
-  updates are validated in one violation-view pass and applied in one
-  trigger-disable window.
+  updates are validated in one violation-view pass — the events
+  presented to the views as overlays on the global event tables — and
+  applied in one combined batch.
 """
 
 from .locks import ReadWriteLock

@@ -12,14 +12,15 @@ concurrent default-session staging blocks on the read lock).
 
 Inside the window the batch is split into *groups* of pairwise
 compatible members.  A compatible group takes the fast path: all
-members' events are loaded into the global event tables together, the
-violation views run **once** over the union, and one combined
-``apply_batch`` applies everything — k commits for the price of one
-validation pass.  Any violation, constraint error or incompatibility
-falls back to the strict serial protocol (load one member's events,
-validate, apply, truncate — exactly the single-session semantics, in
-FIFO order), which also attributes each violation to the session that
-staged the offending events.
+members' events are presented to the violation views together as
+**overlays** on the (empty-during-the-window) global event tables —
+the views run **once** over the union without physically loading a
+row — and one combined ``apply_batch`` applies everything: k commits
+for the price of one validation pass.  Any violation, constraint error
+or incompatibility falls back to the strict serial protocol (overlay
+one member's events, validate, apply — exactly the single-session
+semantics, in FIFO order), which also attributes each violation to the
+session that staged the offending events.
 
 Compatibility is a conservative static check on the members' *key
 footprints*:
@@ -57,7 +58,9 @@ from typing import TYPE_CHECKING, Optional
 
 from ..errors import ConstraintViolation
 from ..minidb.schema import normalize
+from ..minidb.storage import TableOverlay
 from ..minidb.transactions import TransactionManager
+from ..core.event_tables import del_table_name, ins_table_name
 from ..core.safe_commit import CommitResult
 from .locks import ReadWriteLock
 
@@ -406,10 +409,12 @@ class CommitScheduler:
                 # capture blocks on the read lock until the window ends
                 #
                 # the default session (global capture) may have staged
-                # events outside any Session; stash and restore them so
-                # the scheduler can use the global tables as its
-                # scratchpad
+                # events outside any Session; stash them and empty the
+                # global tables so each group's validation — which
+                # overlays its events on those tables — sees exactly
+                # its own update, then restore at window end
                 stashed = self.events.snapshot_events()
+                self.events.truncate_events()
                 try:
                     for group in self._partition(batch):
                         self.stats.max_group_size = max(
@@ -457,6 +462,24 @@ class CommitScheduler:
             groups.append(current)
         return groups
 
+    def _event_overlays(
+        self,
+        inserts: dict[str, list[tuple]],
+        deletes: dict[str, list[tuple]],
+    ) -> dict[str, TableOverlay]:
+        """Present a staged update as overlays on the global event
+        tables: the violation views (which reference ``ins_T``/
+        ``del_T``) then see exactly this update without a single row
+        being physically loaded — validation is a pure read."""
+        overlays: dict[str, TableOverlay] = {}
+        for table, rows in inserts.items():
+            if rows:
+                overlays[normalize(ins_table_name(table))] = TableOverlay(rows)
+        for table, rows in deletes.items():
+            if rows:
+                overlays[normalize(del_table_name(table))] = TableOverlay(rows)
+        return overlays
+
     def _commit_group(self, group: list[_PendingCommit]) -> None:
         if len(group) == 1:
             self._commit_serially(group)
@@ -469,9 +492,8 @@ class CommitScheduler:
                 union_ins.setdefault(table, []).extend(rows)
             for table, rows in pending.deletes.items():
                 union_del.setdefault(table, []).extend(rows)
-        self.events.load_events(union_ins, union_del)
         violations, checked, skipped = self.tintin.safe_commit_proc.check_only(
-            self.db
+            self.db, overlays=self._event_overlays(union_ins, union_del)
         )
         if violations:
             # someone's events violate: replay strictly serially so the
@@ -498,8 +520,6 @@ class CommitScheduler:
             self.stats.fallbacks += 1
             self._commit_serially(group)
             return
-        finally:
-            self.events.truncate_events()
         self.stats.group_fast_path += len(group)
         for pending, applied in zip(group, applied_by_member):
             pending.result = CommitResult(
@@ -511,15 +531,23 @@ class CommitScheduler:
             )
 
     def _commit_serially(self, group: list[_PendingCommit]) -> None:
-        """The exact single-session protocol, one member at a time."""
+        """The exact single-session protocol, one member at a time.
+
+        Each member's events are overlaid on the (empty) global event
+        tables for its validation pass, then applied directly — the
+        global tables are never written inside the window.
+        """
         for pending in group:
             self.stats.serial_commits += 1
-            self.events.load_events(pending.inserts, pending.deletes)
             violations, checked, skipped = (
-                self.tintin.safe_commit_proc.check_only(self.db)
+                self.tintin.safe_commit_proc.check_only(
+                    self.db,
+                    overlays=self._event_overlays(
+                        pending.inserts, pending.deletes
+                    ),
+                )
             )
             if violations:
-                self.events.truncate_events()
                 pending.result = CommitResult(
                     committed=False,
                     violations=violations,
@@ -540,8 +568,6 @@ class CommitScheduler:
                     skipped_views=skipped,
                 )
                 continue
-            finally:
-                self.events.truncate_events()
             pending.result = CommitResult(
                 committed=True,
                 applied_rows=applied,

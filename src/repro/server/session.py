@@ -9,13 +9,23 @@ catalog.  Another session can never observe them: base tables hold only
 committed data, and the global event tables are populated exclusively
 inside the commit scheduler's serialized window.
 
-Reads are snapshot-consistent.  A plain query takes the scheduler's
-shared read lock, so it sees base state entirely before or entirely
-after any other session's commit — never halfway through one.  When the
-session has staged events of its own, the read additionally sees them
-("read your own writes"): the overlay is spliced into the base tables
-under the exclusive lock, the query runs, and the splice is undone —
-a begin/query/rollback against the hypothetical post-commit state.
+Reads are snapshot-consistent.  Every query — with or without staged
+events — takes the scheduler's shared read lock, so it sees base state
+entirely before or entirely after any other session's commit — never
+halfway through one.  When the session has staged events of its own,
+the read additionally sees them ("read your own writes") through the
+**overlay-merge** execution path: the staged events ride along as a
+:class:`~repro.minidb.storage.TableOverlay` map inside the execution
+context, and scan/probe operators merge them on the fly (staged
+deletes masked with multiset semantics, staged inserts appended).
+Base tables are never touched, ``Table.data_version`` and row counts
+stay stable (so pure reads cannot invalidate cached plans), and any
+number of readers — with or without staged events — run concurrently.
+
+The historical splice path (physically splice the overlay into the
+base tables under the exclusive lock, query, undo) survives as
+:meth:`Session.query_spliced`, a differential oracle for the
+overlay-merge executor.
 """
 
 from __future__ import annotations
@@ -23,11 +33,12 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterable, Optional
 
-from ..errors import ExecutionError, SessionExpired
+from ..errors import ConstraintViolation, ExecutionError, SessionExpired
 from ..minidb.schema import normalize
-from ..minidb.storage import Table
+from ..minidb.storage import Table, TableOverlay
 from ..minidb.transactions import TransactionManager
 from ..sqlparser import nodes as n
 from ..core.event_tables import (
@@ -51,6 +62,10 @@ class SessionEvents:
     def __init__(self, tintin: "Tintin"):
         self._db = tintin.db
         self._tables: dict[str, tuple[Table, Table]] = {}
+        #: (staging version, overlay map) memo — rebuilt only after the
+        #: staging tables actually changed, so repeated reads between
+        #: stagings share one immutable overlay (and its probe indexes)
+        self._overlay_cache: Optional[tuple[int, Optional[dict]]] = None
         for name in tintin.events.captured_tables:
             base = self._db.table(name)
             key = normalize(name)
@@ -58,6 +73,16 @@ class SessionEvents:
                 Table(event_schema(base.schema, ins_table_name(name)), "session"),
                 Table(event_schema(base.schema, del_table_name(name)), "session"),
             )
+
+    def _staging_version(self) -> int:
+        """Monotonic stamp over the staging tables: any staging
+        mutation bumps some table's ``data_version``, so equal sums
+        prove the staged events are unchanged."""
+        return sum(
+            table.data_version
+            for pair in self._tables.values()
+            for table in pair
+        )
 
     def pair(self, table: str) -> tuple[Table, Table]:
         key = normalize(table)
@@ -82,6 +107,28 @@ class SessionEvents:
             if len(dels):
                 deletes[key] = dels.rows_snapshot()
         return inserts, deletes
+
+    def overlays(self) -> Optional[dict[str, TableOverlay]]:
+        """The staged events as a read-time overlay map (normalized
+        base-table name -> :class:`TableOverlay`); ``None`` when
+        nothing is staged.  The overlay snapshots the staging tables,
+        so it stays stable even if staging continues afterwards; the
+        snapshot is memoized until the staging tables change, so
+        repeated reads pay nothing to rebuild it."""
+        version = self._staging_version()
+        cached = self._overlay_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        overlays: dict[str, TableOverlay] = {}
+        for key, (ins, dels) in self._tables.items():
+            if len(ins) or len(dels):
+                overlays[key] = TableOverlay(
+                    ins.rows_snapshot(),
+                    dels.rows_snapshot(),
+                    table=self._db.table(key),
+                )
+        self._overlay_cache = (version, overlays or None)
+        return overlays or None
 
     def counts(self) -> dict[str, tuple[int, int]]:
         return {
@@ -132,6 +179,11 @@ class Session:
         #: this session's batch (or spliced read) touches base tables
         self.transactions = TransactionManager()
         self._expired = False
+        #: commit-in-flight pin count: while positive, idle/TTL expiry
+        #: must not reap the session (its staged events are owned by a
+        #: queued commit request); guarded by ``_pin_lock``
+        self._pins = 0
+        self._pin_lock = threading.Lock()
         self.commits = 0
         self.rejections = 0
 
@@ -141,21 +193,46 @@ class Session:
     def expired(self) -> bool:
         if self._expired:
             return True
-        if self.ttl is not None and (
-            time.monotonic() - self.last_used > self.ttl
+        if (
+            self.ttl is not None
+            and not self.pinned
+            and time.monotonic() - self.last_used > self.ttl
         ):
             self.expire()  # lapsed TTL: discard staged events too
         return self._expired
+
+    @property
+    def pinned(self) -> bool:
+        """Whether a commit currently owns this session's staged events."""
+        with self._pin_lock:
+            return self._pins > 0
+
+    @contextmanager
+    def _commit_pin(self):
+        """Pin the session for the duration of a commit: expiry sweeps
+        skip pinned sessions, and a direct ``expire()`` leaves the
+        staged events alone (the queued commit request owns them)."""
+        with self._pin_lock:
+            self._pins += 1
+        try:
+            yield
+        finally:
+            with self._pin_lock:
+                self._pins -= 1
 
     def expire(self) -> int:
         """Kill the session, discarding any staged events.
 
         Returns the number of staged event rows dropped — they were
         never validated or applied, exactly as if the client had
-        disconnected before calling safeCommit.
+        disconnected before calling safeCommit.  If a commit is in
+        flight (the session is pinned), the staged events are *not*
+        discarded: they already belong to the queued commit request,
+        whose validate-and-apply decision stands; the session merely
+        becomes unusable afterwards.
         """
         self._expired = True
-        dropped = self.events.truncate()
+        dropped = 0 if self.pinned else self.events.truncate()
         if self._manager is not None:
             self._manager._forget(self.session_id)
         return dropped
@@ -268,15 +345,32 @@ class Session:
 
     def query(self, sql: str):
         """Run a SELECT against a consistent snapshot: committed base
-        state plus (only) this session's staged events."""
+        state plus (only) this session's staged events.
+
+        Staged events are merged at read time as table overlays inside
+        the execution context — base tables are never touched, so the
+        read runs under the **shared** lock concurrently with every
+        other reader, perturbs no ``data_version`` stamp or row count,
+        and can never spuriously invalidate a cached plan.
+        """
+        self._check_alive()
+        with self.scheduler.rwlock.read_locked():
+            return self.db.query(sql, overlays=self.events.overlays())
+
+    def query_spliced(self, sql: str):
+        """The historical splice read path, kept as a differential
+        oracle (and baseline) for the overlay-merge executor: splice
+        the staged events into the base tables under the exclusive
+        lock, query, and undo the splice — no other session can run a
+        read or commit in between, and base state is bit-identical
+        afterwards (undo replay).  Unlike :meth:`query` it serializes
+        every reader and bumps ``data_version`` stamps; production
+        reads should use :meth:`query`.
+        """
         self._check_alive()
         if not self.events.has_events():
             with self.scheduler.rwlock.read_locked():
                 return self.db.query(sql)
-        # read-your-writes: splice the overlay into the base tables
-        # under the exclusive lock, query, and undo the splice — no
-        # other session can run a read or commit in between, and base
-        # state is bit-identical afterwards (undo log replay).
         with self.scheduler.rwlock.write_locked():
             undo: list[tuple[str, Table, tuple]] = []
             try:
@@ -287,20 +381,18 @@ class Session:
 
     def rows(self, table: str) -> list[tuple]:
         """The session's effective rows of one table: base − staged
-        deletions + staged insertions."""
+        deletions + staged insertions (multiset semantics: one staged
+        delete of a duplicated row hides exactly one copy)."""
         self._check_alive()
         base = self.db.table(table)
-        if not self.events.captured(table):
-            with self.scheduler.rwlock.read_locked():
-                return base.rows_snapshot()
-        ins, dels = self.events.pair(table)
         with self.scheduler.rwlock.read_locked():
-            staged_deletes = set(dels.rows_snapshot())
-            result = [
-                row for row in base.rows_snapshot() if row not in staged_deletes
-            ]
-            result.extend(ins.rows_snapshot())
-        return result
+            overlays = (
+                self.events.overlays() if self.events.captured(table) else None
+            )
+            overlay = (overlays or {}).get(normalize(table))
+            if overlay is None:
+                return base.rows_snapshot()
+            return list(overlay.scan(base))
 
     def _splice_in(self, undo: list[tuple[str, Table, tuple]]) -> None:
         inserts, deletes = self.events.snapshot()
@@ -316,9 +408,12 @@ class Session:
             for row in rows:
                 try:
                     base.insert(row)
-                except Exception:
-                    # e.g. another session committed the same key since
-                    # staging; the snapshot shows the committed row
+                except ConstraintViolation:
+                    # another session committed the same key since
+                    # staging; the snapshot shows the committed row.
+                    # Anything else (type error, index corruption) is a
+                    # real failure and must propagate, not silently
+                    # drop the row from the snapshot.
                     continue
                 undo.append(("inserted", base, row))
 
@@ -335,9 +430,19 @@ class Session:
     def commit(self) -> "CommitResult":
         """Validate-and-apply this session's staged update through the
         serialized commit scheduler (group commit may batch it with
-        other sessions' compatible updates)."""
-        self._check_alive()
-        result = self.scheduler.commit(self)
+        other sessions' compatible updates).
+
+        The session is *pinned* for the duration: an idle-expiry sweep
+        (or TTL lapse) racing the queued request cannot discard the
+        staged events mid-validation.
+        """
+        self._check_alive()  # unpinned: a lapsed TTL raises here
+        with self._commit_pin():
+            # re-check: an expiry sweep may have reaped the session
+            # between the TTL check and the pin (its events were then
+            # discarded — there is nothing left to commit)
+            self._check_alive()
+            result = self.scheduler.commit(self)
         if result.committed:
             self.commits += 1
         else:
@@ -401,17 +506,28 @@ class SessionManager:
 
     def expire_idle(self, max_idle_seconds: float) -> list[str]:
         """Expire every session idle longer than ``max_idle_seconds``;
-        their staged events are discarded.  Returns the expired ids."""
+        their staged events are discarded.  Returns the expired ids.
+
+        Sessions with a commit in flight are skipped: the queued
+        request owns their staged events, and reaping them
+        mid-validation would discard (or worse, half-discard) an
+        update the scheduler is about to decide on.  A session that
+        pins itself between the scan and the ``expire()`` call is
+        still safe — ``expire()`` leaves a pinned session's events
+        alone.
+        """
         now = time.monotonic()
         with self._lock:
             idle = [
                 s
                 for s in self._sessions.values()
-                if now - s.last_used > max_idle_seconds
+                if now - s.last_used > max_idle_seconds and not s.pinned
             ]
         for session in idle:
+            if session.pinned:  # pinned since the scan: leave it alone
+                continue
             session.expire()
-        return [s.session_id for s in idle]
+        return [s.session_id for s in idle if s.expired]
 
     @property
     def active_count(self) -> int:

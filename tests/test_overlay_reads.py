@@ -1,0 +1,384 @@
+"""The overlay-merge snapshot read path.
+
+Session reads with staged events must (a) return exactly what the
+splice oracle returns (base − staged deletes + staged inserts, through
+every operator and probe shape), (b) never touch base storage —
+``data_version`` stamps, row counts and plan-cache statistics are
+unperturbed by pure reads — and (c) run under the *shared* lock, so
+readers with staged events are truly concurrent.
+"""
+
+import threading
+
+import pytest
+
+from repro import Database, Tintin
+from repro.errors import ConstraintViolation
+from repro.minidb.storage import TableOverlay
+
+ASSERTION = (
+    "CREATE ASSERTION atLeastOneItem CHECK (NOT EXISTS ("
+    "SELECT * FROM orders AS o WHERE NOT EXISTS ("
+    "SELECT * FROM items AS i WHERE i.order_id = o.id)))"
+)
+
+
+def build_tintin(*assertions, extra_ddl=()) -> Tintin:
+    db = Database("overlay-test")
+    db.execute("CREATE TABLE orders (id INTEGER PRIMARY KEY)")
+    db.execute(
+        "CREATE TABLE items (order_id INTEGER, n INTEGER, "
+        "PRIMARY KEY (order_id, n), "
+        "FOREIGN KEY (order_id) REFERENCES orders (id))"
+    )
+    for sql in extra_ddl:
+        db.execute(sql)
+    tintin = Tintin(db)
+    tintin.install()
+    for sql in assertions or (ASSERTION,):
+        tintin.add_assertion(sql)
+    return tintin
+
+
+def commit_order(tintin: Tintin, key: int, items: int = 1):
+    session = tintin.create_session()
+    session.insert("orders", [(key,)])
+    session.insert("items", [(key, n) for n in range(1, items + 1)])
+    result = session.commit()
+    assert result.committed, result
+    session.expire()
+
+
+class TestTableOverlay:
+    def test_scan_masks_deletes_and_appends_inserts(self):
+        db = Database("t")
+        table = db.create_table("CREATE TABLE t (x INTEGER)")
+        for value in (1, 2, 2, 3):
+            table.insert((value,))
+        overlay = TableOverlay(inserts=[(9,)], deletes=[(2,)])
+        assert sorted(overlay.scan(table)) == [(1,), (2,), (3,), (9,)]
+
+    def test_multiset_masking_hides_one_copy_per_delete(self):
+        db = Database("t")
+        table = db.create_table("CREATE TABLE t (x INTEGER)")
+        for value in (5, 5, 5):
+            table.insert((value,))
+        one = TableOverlay(deletes=[(5,)])
+        assert list(one.scan(table)) == [(5,), (5,)]
+        two = TableOverlay(deletes=[(5,), (5,)])
+        assert list(two.scan(table)) == [(5,)]
+
+    def test_lookup_merges_index_hits_with_overlay(self):
+        db = Database("t")
+        table = db.create_table("CREATE TABLE t (k INTEGER, v INTEGER)")
+        for row in ((1, 10), (1, 11), (2, 20)):
+            table.insert(row)
+        overlay = TableOverlay(inserts=[(1, 12), (3, 30)], deletes=[(1, 10)])
+        hits = sorted(overlay.lookup(table, ("k",), (1,)))
+        assert hits == [(1, 11), (1, 12)]
+        assert list(overlay.lookup(table, ("k",), (3,))) == [(3, 30)]
+        assert sorted(overlay.lookup(table, ("k",), (2,))) == [(2, 20)]
+
+    def test_contains_respects_masking(self):
+        db = Database("t")
+        table = db.create_table("CREATE TABLE t (x INTEGER)")
+        table.insert((1,))
+        table.insert((1,))
+        assert TableOverlay(deletes=[(1,)]).contains(table, (1,))
+        assert not TableOverlay(deletes=[(1,), (1,)]).contains(table, (1,))
+        assert TableOverlay(inserts=[(7,)]).contains(table, (7,))
+
+
+class TestOverlayVsSpliceDifferential:
+    """The overlay-merge executor and the splice oracle must agree on
+    every query shape the planner can produce."""
+
+    QUERIES = (
+        "SELECT * FROM orders",
+        "SELECT * FROM items WHERE items.order_id = 1",
+        # IndexJoin / HashJoin over a table with staged events
+        "SELECT o.id, i.n FROM orders AS o, items AS i "
+        "WHERE i.order_id = o.id",
+        # correlated NOT EXISTS probe (the EDC shape)
+        "SELECT * FROM orders AS o WHERE NOT EXISTS ("
+        "SELECT * FROM items AS i WHERE i.order_id = o.id)",
+        # IN probe against a staged table
+        "SELECT * FROM orders AS o WHERE o.id IN ("
+        "SELECT i.order_id FROM items AS i)",
+        # scalar aggregate subquery probing a staged table
+        "SELECT * FROM orders AS o WHERE ("
+        "SELECT COUNT(*) FROM items AS i WHERE i.order_id = o.id) > 1",
+        # ungrouped aggregates over staged tables
+        "SELECT COUNT(*) FROM items",
+        "SELECT COUNT(*), MAX(i.n) FROM items AS i",
+    )
+
+    def _staged_session(self):
+        tintin = build_tintin()
+        for key in (1, 2, 3):
+            commit_order(tintin, key, items=2)
+        session = tintin.create_session()
+        session.insert("orders", [(10,)])
+        session.insert("items", [(10, 1), (10, 2), (1, 9)])
+        session.delete("items", [(2, 1), (2, 2)])
+        session.delete("orders", [(3,)])
+        return session
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_overlay_equals_splice(self, sql):
+        session = self._staged_session()
+        overlay = session.query(sql)
+        spliced = session.query_spliced(sql)
+        assert sorted(overlay.rows) == sorted(spliced.rows)
+
+    def test_plain_read_unchanged_without_staged_events(self):
+        tintin = build_tintin()
+        commit_order(tintin, 1)
+        session = tintin.create_session()
+        assert sorted(session.query("SELECT * FROM orders").rows) == [(1,)]
+
+    def test_conflicting_committed_key_shadows_staged_insert(self):
+        """If another session commits the same unique key after this
+        session staged an insert, the snapshot shows the committed row
+        — never two rows under one primary key — exactly like the
+        splice baseline, where the physical insert fails."""
+        tintin = build_tintin()
+        commit_order(tintin, 1)
+        session = tintin.create_session()
+        session.insert("orders", [(2,)])
+        session.insert("items", [(2, 1)])
+        commit_order(tintin, 2)  # the key lands in base after staging
+        overlay = sorted(session.query("SELECT * FROM orders").rows)
+        spliced = sorted(session.query_spliced("SELECT * FROM orders").rows)
+        assert overlay == spliced == [(1,), (2,)]
+
+    def test_colliding_staged_inserts_are_first_wins(self):
+        """Staging tables are constraint-free, so two different tuples
+        can be staged under one primary key; physically the second
+        insert would fail on the duplicate key, so the overlay keeps
+        the first and drops the later collision — never two rows under
+        one key, and always in agreement with the splice oracle."""
+        tintin = build_tintin(
+            ASSERTION,
+            extra_ddl=(
+                "CREATE TABLE prices (id INTEGER PRIMARY KEY, p INTEGER)",
+            ),
+        )
+        session = tintin.create_session()
+        session.insert("prices", [(5, 10)])
+        session.insert("prices", [(5, 11)])
+        overlay = session.query("SELECT * FROM prices").rows
+        spliced = session.query_spliced("SELECT * FROM prices").rows
+        assert overlay == spliced == [(5, 10)]
+        assert session.rows("prices") == [(5, 10)]
+
+    def test_staged_update_of_committed_row(self):
+        """delete-old + insert-new over the same primary key (a staged
+        UPDATE): the staged delete unmasks the key, so the new version
+        is visible and the old one is not."""
+        tintin = build_tintin(
+            ASSERTION,
+            extra_ddl=(
+                "CREATE TABLE prices (id INTEGER PRIMARY KEY, p INTEGER)",
+            ),
+        )
+        boot = tintin.create_session()
+        boot.insert("prices", [(1, 10)])
+        assert boot.commit().committed
+        session = tintin.create_session()
+        session.execute("UPDATE prices SET p = 20 WHERE id = 1")
+        assert session.query("SELECT * FROM prices").rows == [(1, 20)]
+        assert session.query_spliced("SELECT * FROM prices").rows == [(1, 20)]
+
+    def test_rows_matches_query_star(self):
+        session = self._staged_session()
+        for table in ("orders", "items"):
+            assert sorted(session.rows(table)) == sorted(
+                session.query(f"SELECT * FROM {table}").rows
+            )
+
+
+class TestReadsLeaveNoTrace:
+    """Satellite regression: spliced reads used to bump
+    ``Table.data_version`` and row counts, spuriously invalidating
+    prepared plans through the drift check.  Overlay reads must leave
+    every stamp and every plan-cache counter (except hits) alone."""
+
+    def test_data_version_and_plan_cache_unperturbed(self):
+        tintin = build_tintin()
+        db = tintin.db
+        for key in (1, 2):
+            commit_order(tintin, key)
+        session = tintin.create_session()
+        session.insert("orders", [(5,)])
+        session.insert("items", [(5, 1)])
+        session.delete("items", [(1, 1)])
+
+        # warm the cache so the loop below is pure hits
+        session.query("SELECT * FROM orders")
+        session.rows("orders")
+        stamp = db.data_version()
+        stats = db.plan_cache_stats
+        misses, invalidations = stats.misses, stats.invalidations
+        hits_before = stats.hits
+
+        for _ in range(10):
+            session.query("SELECT * FROM orders")
+            session.query(
+                "SELECT o.id, i.n FROM orders AS o, items AS i "
+                "WHERE i.order_id = o.id"
+            )
+            session.rows("items")
+
+        assert db.data_version() == stamp
+        assert stats.invalidations == invalidations
+        assert stats.misses == misses + 1  # only the join text was new
+        assert stats.hits > hits_before  # reads reuse cached plans
+
+    def test_base_rows_identical_after_read(self):
+        tintin = build_tintin()
+        commit_order(tintin, 1)
+        before = sorted(tintin.db.table("orders").rows_snapshot())
+        session = tintin.create_session()
+        session.insert("orders", [(2,)])
+        session.delete("orders", [(1,)])
+        session.query("SELECT * FROM orders")
+        assert sorted(tintin.db.table("orders").rows_snapshot()) == before
+
+
+class TestMultisetRows:
+    """Satellite regression: ``Session.rows`` used a set for staged
+    deletes, so one staged delete of a duplicated row hid every copy."""
+
+    def _tintin_with_duplicates(self):
+        tintin = build_tintin(
+            ASSERTION,
+            extra_ddl=("CREATE TABLE log (msg VARCHAR(10))",),
+        )
+        # keyless table: duplicates are legal; create them physically
+        # (set-semantic staging would refuse to stage a duplicate)
+        log = tintin.db.table("log")
+        for _ in range(3):
+            log.insert(("dup",))
+        return tintin
+
+    def test_one_staged_delete_hides_one_copy(self):
+        tintin = self._tintin_with_duplicates()
+        session = tintin.create_session()
+        session.delete("log", [("dup",)])
+        assert session.rows("log") == [("dup",), ("dup",)]
+        assert len(session.query("SELECT * FROM log")) == 2
+
+    def test_overlay_and_splice_agree_on_duplicates(self):
+        tintin = self._tintin_with_duplicates()
+        session = tintin.create_session()
+        session.delete("log", [("dup",)])
+        overlay = session.query("SELECT * FROM log").rows
+        spliced = session.query_spliced("SELECT * FROM log").rows
+        assert sorted(overlay) == sorted(spliced)
+
+
+class TestSpliceErrorNarrowing:
+    """Satellite regression: ``_splice_in`` swallowed *all* insert
+    exceptions; only duplicate-key conflicts (a concurrent commit beat
+    the staged row) are legitimate to ignore."""
+
+    def test_duplicate_key_is_tolerated(self):
+        tintin = build_tintin()
+        commit_order(tintin, 1)
+        session = tintin.create_session()
+        session.insert("orders", [(2,)])
+        session.insert("items", [(2, 1)])
+        # another session commits the same order key after staging
+        commit_order(tintin, 2)
+        result = session.query_spliced("SELECT * FROM orders")
+        assert sorted(result.rows) == [(1,), (2,)]
+
+    def test_real_errors_propagate(self, monkeypatch):
+        tintin = build_tintin()
+        session = tintin.create_session()
+        session.insert("orders", [(1,)])
+        session.insert("items", [(1, 1)])
+
+        from repro.minidb.storage import Table
+
+        def broken_insert(self, row):
+            raise RuntimeError("index corruption")
+
+        monkeypatch.setattr(Table, "insert", broken_insert)
+        with pytest.raises(RuntimeError):
+            session.query_spliced("SELECT * FROM orders")
+
+
+class TestReaderConcurrency:
+    """Readers with staged events must share the read lock: no reader
+    ever takes the exclusive side, and N readers hold the shared side
+    simultaneously."""
+
+    def test_overlay_reads_never_take_the_write_lock(self):
+        tintin = build_tintin()
+        commit_order(tintin, 1)
+        session = tintin.create_session()
+        session.insert("orders", [(2,)])
+        session.insert("items", [(2, 1)])
+        lock = tintin.sessions.scheduler.rwlock
+        writes = []
+        original = lock.acquire_write
+
+        def tracking_acquire():
+            writes.append(threading.current_thread().name)
+            original()
+
+        lock.acquire_write = tracking_acquire
+        try:
+            session.query("SELECT * FROM orders")
+            session.rows("orders")
+        finally:
+            del lock.acquire_write
+        assert writes == []
+
+    def test_staged_readers_hold_the_read_lock_together(self):
+        """Deterministic overlap proof: every reader must be inside the
+        shared section at the same time to pass the barrier — a
+        serializing (write-locked) read path would deadlock the
+        barrier and fail."""
+        readers = 4
+        tintin = build_tintin()
+        commit_order(tintin, 1)
+        sessions = []
+        for key in range(10, 10 + readers):
+            s = tintin.create_session()
+            s.insert("orders", [(key,)])
+            s.insert("items", [(key, 1)])
+            sessions.append(s)
+
+        lock = tintin.sessions.scheduler.rwlock
+        barrier = threading.Barrier(readers)
+        original = lock.acquire_read
+
+        def rendezvous_acquire():
+            original()
+            barrier.wait(timeout=10)
+
+        lock.acquire_read = rendezvous_acquire
+        results = {}
+
+        def read(index, session):
+            results[index] = sorted(
+                session.query("SELECT * FROM orders").rows
+            )
+
+        threads = [
+            threading.Thread(target=read, args=(i, s))
+            for i, s in enumerate(sessions)
+        ]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            del lock.acquire_read
+        assert not barrier.broken
+        for index, session in enumerate(sessions):
+            assert results[index] == [(1,), (10 + index,)]

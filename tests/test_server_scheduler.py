@@ -123,6 +123,73 @@ class TestDifferential:
         }
 
 
+class TestConcurrentReaderDifferential:
+    def test_staged_readers_during_group_commits(self):
+        """N reader threads, each holding staged events, query through
+        the overlay-merge path while writers drive group commits.
+        Every observed snapshot must be self-consistent: committed
+        base state (the assertions hold in every committed state) plus
+        exactly the reader's own staged rows — and at quiescence each
+        reader's result must equal the single-threaded splice oracle.
+        """
+        readers, writers, rounds = 4, 3, 12
+        tintin = build_tintin(policy="group", gather_seconds=0.001)
+
+        reader_sessions = []
+        for index in range(readers):
+            session = tintin.create_session()
+            key = 900_000 + index
+            session.insert("orders", [(key,)])
+            session.insert("items", [(key, 1, 5)])
+            reader_sessions.append((key, session))
+
+        itemless = (
+            "SELECT * FROM orders AS o WHERE NOT EXISTS ("
+            "SELECT * FROM items AS i WHERE i.order_id = o.id)"
+        )
+        stop = threading.Event()
+        anomalies = []
+
+        def reader(key, session):
+            own = f"SELECT * FROM orders AS o WHERE o.id = {key}"
+            while not stop.is_set():
+                if session.query(itemless).rows:
+                    anomalies.append((key, "itemless witness"))
+                if sorted(session.query(own).rows) != [(key,)]:
+                    anomalies.append((key, "own staged row invisible"))
+
+        def writer(worker):
+            session = tintin.create_session()
+            for round_no in range(rounds):
+                key = worker * 1000 + round_no
+                session.insert("orders", [(key,)])
+                session.insert("items", [(key, 1, 5)])
+                assert session.commit().committed
+
+        reader_threads = [
+            threading.Thread(target=reader, args=item)
+            for item in reader_sessions
+        ]
+        writer_threads = [
+            threading.Thread(target=writer, args=(w,)) for w in range(writers)
+        ]
+        for t in reader_threads + writer_threads:
+            t.start()
+        for t in writer_threads:
+            t.join()
+        stop.set()
+        for t in reader_threads:
+            t.join()
+        assert anomalies == []
+        assert len(tintin.db.table("orders")) == writers * rounds
+        # quiescent differential: overlay reads == the splice oracle
+        for _, session in reader_sessions:
+            for sql in ("SELECT * FROM orders", "SELECT * FROM items"):
+                assert sorted(session.query(sql).rows) == sorted(
+                    session.query_spliced(sql).rows
+                )
+
+
 class TestGroupCommit:
     def test_batches_form_under_concurrency(self):
         tintin = build_tintin(gather_seconds=0.05)

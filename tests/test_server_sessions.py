@@ -72,15 +72,20 @@ class TestIsolation:
         assert sorted(other.query("SELECT * FROM items").rows) == [(1, 1)]
         assert tintin.db.table("items").rows_snapshot() == [(1, 1)]
 
-    def test_splice_read_restores_base_exactly(self):
+    def test_splice_oracle_restores_base_exactly(self):
         tintin = build_tintin()
         commit_order(tintin, 1)
         before = sorted(tintin.db.table("orders").rows_snapshot())
         session = tintin.create_session()
         session.insert("orders", [(2,)])
         session.delete("orders", [(1,)])
-        session.query("SELECT * FROM orders")
+        # the splice differential oracle mutates and restores ...
+        session.query_spliced("SELECT * FROM orders")
         assert sorted(tintin.db.table("orders").rows_snapshot()) == before
+        # ... while the production overlay read never touches base at all
+        stamp = tintin.db.data_version()
+        assert sorted(session.query("SELECT * FROM orders").rows) == [(2,)]
+        assert tintin.db.data_version() == stamp
 
     def test_data_version_stamps_commits_and_reads(self):
         tintin = build_tintin()
@@ -280,6 +285,74 @@ class TestExpiry:
         assert expired == [idle.session_id]
         assert busy.expired is False
         assert tintin.sessions.active_count == 1
+
+    def test_expire_idle_skips_session_with_commit_in_flight(self):
+        """A session reaped while its commit is queued must not have
+        its staged events discarded mid-validation: the commit pins
+        the session, and the idle sweep skips pinned sessions."""
+        tintin = build_tintin()
+        session = tintin.create_session()
+        session.insert("orders", [(1,)])
+        session.insert("items", [(1, 1)])
+        scheduler = tintin.sessions.scheduler
+
+        # hold the leader lock so the commit stays queued (in flight)
+        scheduler._leader_lock.acquire()
+        result_box = {}
+
+        def committer():
+            result_box["result"] = session.commit()
+
+        thread = threading.Thread(target=committer)
+        thread.start()
+        try:
+            # wait until the request is queued (the session is pinned)
+            for _ in range(2000):
+                if session.pinned and scheduler._queue:
+                    break
+                threading.Event().wait(0.001)
+            assert session.pinned
+            # an aggressive sweep (everything counts as idle) must not
+            # reap the session whose commit is being decided
+            reaped = tintin.sessions.expire_idle(0.0)
+            assert session.session_id not in reaped
+            assert not session.expired
+        finally:
+            scheduler._leader_lock.release()
+        thread.join(timeout=10)
+        assert result_box["result"].committed
+        assert sorted(tintin.db.table("orders").rows_snapshot()) == [(1,)]
+
+    def test_direct_expire_during_commit_leaves_staged_events_alone(self):
+        """Even an explicit ``expire()`` racing a queued commit must
+        not discard the events the request owns — the commit decision
+        stands; the session merely dies afterwards."""
+        tintin = build_tintin()
+        session = tintin.create_session()
+        session.insert("orders", [(1,)])
+        session.insert("items", [(1, 1)])
+        scheduler = tintin.sessions.scheduler
+        scheduler._leader_lock.acquire()
+        result_box = {}
+
+        def committer():
+            result_box["result"] = session.commit()
+
+        thread = threading.Thread(target=committer)
+        thread.start()
+        try:
+            for _ in range(2000):
+                if session.pinned and scheduler._queue:
+                    break
+                threading.Event().wait(0.001)
+            dropped = session.expire()
+            assert dropped == 0  # the queued request owns the events
+        finally:
+            scheduler._leader_lock.release()
+        thread.join(timeout=10)
+        assert result_box["result"].committed
+        assert sorted(tintin.db.table("orders").rows_snapshot()) == [(1,)]
+        assert session.expired  # the session is unusable afterwards
 
 
 class TestViolationAttribution:
