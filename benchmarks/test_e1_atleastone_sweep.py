@@ -17,7 +17,13 @@ data/update ratio).
 import pytest
 
 from conftest import applied_workload, cached_workload
-from repro.bench import CellResult, e1_table, plan_cache_line, time_call
+from repro.bench import (
+    CellResult,
+    durability_line,
+    e1_table,
+    plan_cache_line,
+    time_call,
+)
 from repro.tpch import AT_LEAST_ONE_LINEITEM
 
 #: data-scale axis, ratio 1:2:5 like the paper's 1-5 GB
@@ -74,6 +80,7 @@ def test_e1_report(benchmark):
     print("E1: atLeastOneLineItem, incremental vs non-incremental")
     print(e1_table(cells))
     print(plan_cache_line(cached_workload(SCALES[-1], UPDATES[-1], ASSERTIONS).db))
+    print(durability_line(cached_workload(SCALES[-1], UPDATES[-1], ASSERTIONS).tintin))
     # the paper's qualitative claims must hold:
     # (1) TINTIN always wins
     assert all(c.speedup > 1.0 for c in cells)

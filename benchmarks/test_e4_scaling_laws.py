@@ -15,7 +15,7 @@ Two series over ``atLeastOneLineItem``:
 import pytest
 
 from conftest import applied_workload, cached_workload
-from repro.bench import plan_cache_line, series_table, time_call
+from repro.bench import durability_line, plan_cache_line, series_table, time_call
 from repro.tpch import AT_LEAST_ONE_LINEITEM
 
 ASSERTIONS = (AT_LEAST_ONE_LINEITEM,)
@@ -67,6 +67,7 @@ def test_e4_report(benchmark):
     print(f"E4b: fixed update ({FIXED_UPDATE} orders), growing data")
     print(series_table("data size", scale_rows))
     print(plan_cache_line(cached_workload(FIXED_SCALE, FIXED_UPDATE, ASSERTIONS).db))
+    print(durability_line(cached_workload(FIXED_SCALE, FIXED_UPDATE, ASSERTIONS).tintin))
 
     # scaling law 1: incremental cost grows with the update
     first_incremental = update_rows[0][1]

@@ -36,6 +36,7 @@ from repro import Database, Tintin
 from repro.bench import (
     concurrency_payload,
     concurrency_table,
+    durability_line,
     measure_concurrent_throughput,
     measure_staged_read_throughput,
     plan_cache_line,
@@ -331,19 +332,21 @@ def test_e8_staged_reads(benchmark):
 def test_e8_report(benchmark):
     def sweep():
         results = []
-        last_db = None
+        last_tintin = None
         for sessions in SESSION_SWEEP:
             tintin, result = run_sweep_point(sessions)
-            last_db = tintin.db
+            last_tintin = tintin
             results.append(result)
-        return results, last_db
+        return results, last_tintin
 
-    (results, db) = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    (results, tintin) = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    db = tintin.db
     differential = run_differential(workers=4, rounds=5)
     print()
     print("E8: multi-session group commit — aggregate commits/sec by sessions")
     print(concurrency_table(results))
     print(plan_cache_line(db))
+    print(durability_line(tintin))
     payload = concurrency_payload(results, differential, db)
     if "payload" not in _STAGED_READS:
         _STAGED_READS["payload"] = staged_read_payload(*run_staged_reads())

@@ -39,20 +39,24 @@ every other session until committed.
 """
 
 from .core import Assertion, CommitResult, Tintin, Violation
+from .durability import DurabilityManager, RecoveryReport, recover
 from .minidb import Database, ResultSet
 from .server import CommitScheduler, Session, SessionManager
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Assertion",
     "CommitResult",
     "CommitScheduler",
     "Database",
+    "DurabilityManager",
+    "RecoveryReport",
     "ResultSet",
     "Session",
     "SessionManager",
     "Tintin",
     "Violation",
+    "recover",
     "__version__",
 ]

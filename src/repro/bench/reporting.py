@@ -122,6 +122,68 @@ def plan_cache_line(db: Database) -> str:
     )
 
 
+def durability_metrics(tintin=None) -> dict:
+    """The durability counters of an engine, JSON-ready.
+
+    Attached to every experiment's report alongside the plan-cache
+    block, so a run always records whether (and how) commits were
+    logged.  ``tintin=None`` or an engine without an attached manager
+    reports ``{"mode": "off"}`` — the in-memory-only configuration.
+    """
+    manager = getattr(tintin, "durability", None)
+    if manager is None:
+        return {"mode": "off", "attached": False}
+    metrics = manager.metrics()
+    metrics["attached"] = True
+    if tintin.serving:
+        stats = tintin.sessions.scheduler.stats
+        metrics["scheduler_wal_appends"] = stats.wal_appends
+        metrics["scheduler_wal_fsyncs"] = stats.wal_fsyncs
+    return metrics
+
+
+def durability_line(tintin=None) -> str:
+    """One printable line of durability metrics for experiment reports."""
+    m = durability_metrics(tintin)
+    if not m["attached"]:
+        return "durability: off (no WAL attached — in-memory only)"
+    if m["mode"] == "off":
+        return (
+            f"durability: off (checkpoint-only, "
+            f"{m['checkpoints']} checkpoint(s))"
+        )
+    shared = (
+        m["appends"] / m["fsyncs"] if m.get("fsyncs") else float("inf")
+    )
+    return (
+        f"durability: {m['mode']} — {m['appends']} append(s) / "
+        f"{m['fsyncs']} fsync(s) ({shared:.1f} records/fsync), "
+        f"{m['bytes_written']}B logged, {m['checkpoints']} checkpoint(s)"
+    )
+
+
+def durability_table(rows: Iterable[dict]) -> str:
+    """The E9 grid: per (durability mode, session count), aggregate
+    commits/sec plus the WAL activity that produced them.  The
+    ``commits/fsync`` column is group commit made visible: how many
+    acknowledged commits shared each durable flush."""
+    lines = [
+        f"{'mode':>8} {'sessions':>8} {'commits':>8} {'c/s':>8} "
+        f"{'appends':>8} {'fsyncs':>7} {'commits/fsync':>14}"
+    ]
+    for r in rows:
+        fsyncs = r.get("wal_fsyncs", 0)
+        appends = r.get("wal_appends", 0)
+        per = (
+            f"{r['commits'] / fsyncs:>14.1f}" if fsyncs else f"{'-':>14}"
+        )
+        lines.append(
+            f"{r['mode']:>8} {r['sessions']:>8} {r['commits']:>8} "
+            f"{r['commits_per_second']:>8.0f} {appends:>8} {fsyncs:>7} {per}"
+        )
+    return "\n".join(lines)
+
+
 def concurrency_table(results: Iterable[ConcurrencyResult]) -> str:
     """The E8 grid: per session count, aggregate commits/sec, the
     speedup over the single-session row, and how the scheduler batched

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
-from ..errors import CompilationError, SessionError
+from ..errors import CompilationError, DurabilityError, SessionError
 from ..minidb.database import Database
 from .assertion import Assertion
 from .baseline import NonIncrementalChecker
@@ -38,6 +38,7 @@ from .safe_commit import CommitResult, CompiledEDC, SafeCommit
 from .sql_generator import SQLGenerator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..durability import DurabilityManager, RecoveryReport
     from ..server import Session, SessionManager
 
 SAFE_COMMIT_PROCEDURE = "safeCommit"
@@ -56,6 +57,123 @@ class Tintin:
         self.reports: dict[str, OptimizationReport] = {}
         self._installed = False
         self._sessions: Optional["SessionManager"] = None
+        #: write-ahead logging / checkpointing, attached by :meth:`open`
+        self.durability: Optional["DurabilityManager"] = None
+        #: what recovery found when :meth:`open` rebuilt from disk
+        self.recovery_report: Optional["RecoveryReport"] = None
+
+    # -- durability ---------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        durability: str = "batch",
+        optimize: bool = True,
+        db: Optional[Database] = None,
+    ) -> "Tintin":
+        """Open (or create) a durable TINTIN engine rooted at ``path``.
+
+        If the directory already holds a checkpoint or write-ahead log,
+        the engine is rebuilt from disk first (see
+        :func:`repro.durability.recover`); ``recovery_report`` on the
+        returned instance describes what was replayed.  Otherwise a
+        fresh engine starts — pass ``db`` to bootstrap from an already
+        populated in-memory database.  Bulk-loaded rows are *not*
+        logged, so a bootstrap writes an immediate checkpoint: without
+        it, the WAL's batches would reference tables replay cannot
+        rebuild, and a commit could be acknowledged as durable while
+        being unrecoverable.  (Call :meth:`checkpoint` again after
+        further bulk loads through ``insert_rows(bypass_triggers=
+        True)`` — those bypass the log by design.)
+
+        ``durability`` selects how committed batches reach disk:
+        ``"off"`` (checkpoint-only), ``"commit"`` (append + fsync per
+        commit, strict per-transaction durability) or ``"batch"``
+        (group commit: one combined record and one shared fsync per
+        compatible commit group).
+        """
+        from ..durability import (
+            DurabilityManager,
+            has_durable_state,
+            recover,
+        )
+
+        if has_durable_state(path):
+            if db is not None:
+                raise DurabilityError(
+                    f"{path!r} already holds durable state; open() can "
+                    "only bootstrap a fresh directory from an existing "
+                    "database"
+                )
+            tintin, report = recover(path, optimize=optimize)
+            tintin.recovery_report = report
+        else:
+            tintin = cls(db if db is not None else Database(), optimize=optimize)
+        tintin._attach_durability(DurabilityManager(path, durability))
+        if db is not None:
+            # bootstrap: make the unlogged pre-existing state durable
+            # NOW, so every subsequently acknowledged commit is
+            # actually recoverable
+            tintin.checkpoint()
+        return tintin
+
+    def _attach_durability(self, manager: "DurabilityManager") -> None:
+        if self.durability is not None:
+            raise DurabilityError(
+                "a durability manager is already attached to this engine"
+            )
+        self.durability = manager
+        # facade-level schema DDL flows into the WAL from here on
+        self.db.ddl_listener = manager.log_ddl
+        manager.log_open(self.db.name)
+
+    def checkpoint(self) -> dict:
+        """Write an atomic full-state snapshot and compact the WAL.
+
+        Excludes concurrent commits (takes the scheduler's write lock
+        when the server layer is active), so the snapshot is one
+        consistent cut.  Returns the checkpoint document.
+        """
+        if self.durability is None:
+            raise DurabilityError(
+                "no durability manager attached — open the engine with "
+                "Tintin.open(path)"
+            )
+        if self._sessions is not None:
+            with self._sessions.scheduler.rwlock.write_locked():
+                return self.durability.checkpoint(self)
+        return self.durability.checkpoint(self)
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Detach and close the durability layer.
+
+        By default a final checkpoint is written first, so the next
+        :meth:`open` restores instantly instead of replaying the WAL.
+        ``close(checkpoint=False)`` skips it — recovery then replays
+        the log, exactly as after a crash.  A no-op for engines opened
+        without durability.  When the server layer is active, close
+        serializes with in-flight commit windows (their log flush runs
+        inside the scheduler's leader critical section), so a racing
+        group commit is either fully flushed before the final
+        checkpoint or queued after the detach (and then commits
+        non-durably, like any post-close commit).
+        """
+        if self.durability is None:
+            return
+        if self._sessions is not None:
+            with self._sessions.scheduler.quiesced():
+                self._close_detach(checkpoint)
+        else:
+            self._close_detach(checkpoint)
+
+    def _close_detach(self, checkpoint: bool) -> None:
+        if checkpoint:
+            self.checkpoint()
+        self.db.ddl_listener = None
+        manager = self.durability
+        self.durability = None
+        manager.close()
 
     # -- installation -------------------------------------------------------
 
@@ -65,11 +183,13 @@ class Tintin:
         captured = self.events.install(tables)
         self.db.create_procedure(
             SAFE_COMMIT_PROCEDURE,
-            lambda db: self.safe_commit_proc(db),
+            lambda db: self._durable_safe_commit(db),
             description="TINTIN: check assertions, then commit or reject "
             "the captured update",
         )
         self._installed = True
+        if self.durability is not None:
+            self.durability.log_ddl("install", tables=list(captured))
         return captured
 
     @property
@@ -105,6 +225,8 @@ class Tintin:
             self.safe_commit_proc.register_aggregate(AggregateChecker(spec))
             self.baseline.register(assertion)
             self.assertions[assertion.name] = assertion
+            if self.durability is not None:
+                self.durability.log_ddl("assertion_add", sql=assertion.sql)
             return assertion
 
         compiler = DenialCompiler(self.db.catalog)
@@ -146,6 +268,8 @@ class Tintin:
 
         self.baseline.register(assertion)
         self.assertions[assertion.name] = assertion
+        if self.durability is not None:
+            self.durability.log_ddl("assertion_add", sql=assertion.sql)
         return assertion
 
     def drop_assertion(self, name: str) -> None:
@@ -160,6 +284,8 @@ class Tintin:
         for denial in assertion.denials:
             self.safe_commit_proc.unregister_assertion(denial.name)
         self.baseline.unregister(name)
+        if self.durability is not None:
+            self.durability.log_ddl("assertion_drop", name=assertion.name)
 
     # -- sessions (the multi-client server facade) -------------------------
 
@@ -251,10 +377,40 @@ class Tintin:
             return scheduler.commit_events(*staged)
         return self.db.call(SAFE_COMMIT_PROCEDURE)
 
+    def _logged_commit(self, checker) -> CommitResult:
+        """Run a commit procedure with WAL logging around it.
+
+        The staged update is snapshotted before ``checker`` consumes it
+        and — only if the commit succeeded — appended to the write-
+        ahead log and fsynced before the result is returned, so an
+        acknowledged single-session commit is always durable.  Session
+        commits take the scheduler's group-commit logging path instead
+        and never reach this wrapper.
+        """
+        manager = self.durability
+        if manager is None or not manager.durable:
+            return checker()
+        inserts, deletes = self.events.snapshot_events()
+        result = checker()
+        if result.committed and (inserts or deletes):
+            from ..durability.manager import touched_counts
+
+            manager.append_batch(
+                inserts,
+                deletes,
+                counts=touched_counts(self.db, inserts, deletes),
+                sync=True,
+            )
+        return result
+
+    def _durable_safe_commit(self, db: Database) -> CommitResult:
+        """The stored-procedure body: safeCommit plus WAL logging."""
+        return self._logged_commit(lambda: self.safe_commit_proc(db))
+
     def full_check_commit(self) -> CommitResult:
         """The non-incremental comparator: apply, re-run full assertion
         queries, roll back on violation (paper §4 baseline)."""
-        return self.baseline(self.db)
+        return self._logged_commit(lambda: self.baseline(self.db))
 
     def check_pending(self) -> CommitResult:
         """Check the captured update without committing or discarding it."""

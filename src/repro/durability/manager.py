@@ -1,0 +1,212 @@
+"""The durability manager: one directory, one WAL, one checkpoint.
+
+A :class:`DurabilityManager` is the attachment point between the
+in-memory engine and disk.  It owns the directory layout
+(``wal.log`` + ``checkpoint.json``), the open log handle, and the
+durability *mode*:
+
+``"off"``
+    nothing is logged; explicit :meth:`checkpoint` calls are the only
+    durability (bulk-load-then-checkpoint, or none at all);
+``"commit"``
+    every committed batch is appended **and fsynced individually**, in
+    commit order, before the client is acknowledged — the classic
+    per-transaction durability protocol.  The commit scheduler
+    degenerates to strict one-at-a-time processing in this mode,
+    because the WAL order *is* the commit order and each commit's
+    acknowledgement waits on its own fsync;
+``"batch"``
+    group commit: the scheduler appends **one combined record per
+    commit group** and performs **one fsync per group** — N sessions
+    share a single fsync, which is where group commit pays off.
+
+DDL (schema, capture installation, assertion add/drop) is always
+synced immediately in both durable modes: it is rare, and replay
+correctness depends on it strictly preceding the batches that assume
+it.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from ..errors import DurabilityError
+from ..minidb.schema import TableSchema
+from .checkpoint import (
+    build_checkpoint_payload,
+    load_checkpoint,
+    write_checkpoint,
+)
+from .recovery import wal_path
+from .wal import WriteAheadLog, batch_payload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.tintin import Tintin
+
+DURABILITY_MODES = ("off", "commit", "batch")
+
+
+def touched_counts(db, inserts: dict, deletes: dict) -> dict[str, int]:
+    """Per-table row counts right after a batch applied.
+
+    Stored in the batch's WAL record; recovery re-verifies each one
+    after replaying the batch, catching any divergence between the log
+    and the data it claims to describe.
+    """
+    names = []
+    for source in (inserts, deletes):
+        for name, rows in source.items():
+            if rows and name not in names:
+                names.append(name)
+    return {name: len(db.table(name)) for name in names}
+
+
+@dataclass
+class DurabilityStats:
+    """Manager-level counters (the WAL adds its own byte-level stats)."""
+
+    checkpoints: int = 0
+    logged_batches: int = 0
+    logged_ddl: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "checkpoints": self.checkpoints,
+            "logged_batches": self.logged_batches,
+            "logged_ddl": self.logged_ddl,
+        }
+
+
+class DurabilityManager:
+    """Owns a durability directory and its write-ahead log."""
+
+    def __init__(self, directory: str, mode: str = "batch"):
+        if mode not in DURABILITY_MODES:
+            raise DurabilityError(
+                f"unknown durability mode {mode!r} "
+                f"(expected one of {', '.join(DURABILITY_MODES)})"
+            )
+        self.directory = directory
+        self.mode = mode
+        os.makedirs(directory, exist_ok=True)
+        # the WAL is opened in every mode (an existing torn tail gets
+        # truncated, and sequence numbering continues), but "off" never
+        # appends to it
+        self.wal = WriteAheadLog(wal_path(directory))
+        # seq continuity across compaction does not depend on the
+        # truncate marker alone: a crash between the file truncation
+        # and the marker's fsync would otherwise restart numbering
+        # below the checkpoint's high-water mark and make replay skip
+        # new records as already covered
+        checkpoint = load_checkpoint(directory)
+        if checkpoint is not None:
+            self.wal.advance_seq(checkpoint.get("wal_seq", 0))
+        self.stats = DurabilityStats()
+        #: serializes appends/syncs from concurrent writers (the commit
+        #: scheduler's window is already exclusive, but DDL and the
+        #: single-session facade can race it)
+        self._lock = threading.Lock()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        """Whether committed batches are being logged at all."""
+        return self.mode != "off"
+
+    def metrics(self) -> dict:
+        payload = {"mode": self.mode, "directory": self.directory}
+        payload.update(self.stats.snapshot())
+        payload.update(self.wal.stats.snapshot())
+        return payload
+
+    # -- logging -----------------------------------------------------------
+
+    def log_open(self, database: str) -> None:
+        """Stamp a fresh log with the database name (header record)."""
+        if not self.durable:
+            return
+        with self._lock:
+            if self.wal.last_seq == 0:
+                self.wal.append("open", database=database)
+                self.wal.sync()
+
+    def log_ddl(self, event: str, **payload) -> None:
+        """Record one DDL event; always synced immediately."""
+        if not self.durable:
+            return
+        with self._lock:
+            schema = payload.get("schema")
+            if isinstance(schema, TableSchema):
+                payload["schema"] = schema.to_dict()
+            self.wal.append(event, **payload)
+            self.wal.sync()
+            self.stats.logged_ddl += 1
+
+    def append_batch(
+        self,
+        inserts: dict,
+        deletes: dict,
+        counts: Optional[dict] = None,
+        sync: bool = True,
+    ) -> None:
+        """Append one committed batch record; optionally fsync now.
+
+        The single-session facade passes ``sync=True`` (its commit is
+        its own flush).  The commit scheduler always passes
+        ``sync=False`` and issues the durability fsync through
+        :meth:`sync` in its window flush — one flush per window, which
+        is one per commit in ``commit`` mode (singleton windows) and
+        one shared by the whole group in ``batch`` mode.
+        """
+        if not self.durable:
+            return
+        with self._lock:
+            self.wal.append("batch", **batch_payload(inserts, deletes, counts))
+            self.stats.logged_batches += 1
+            if sync:
+                self.wal.sync()
+
+    def sync(self) -> None:
+        """Make every appended record durable (the group fsync)."""
+        if not self.durable:
+            return
+        with self._lock:
+            self.wal.sync()
+
+    # -- checkpoints -------------------------------------------------------
+
+    def checkpoint(self, tintin: "Tintin") -> dict:
+        """Write a full snapshot, then truncate (compact) the WAL.
+
+        The caller must exclude concurrent commits (``Tintin.checkpoint``
+        takes the scheduler's write lock when the server layer is
+        active); this method only sequences the disk steps: durable
+        checkpoint first, WAL truncation second, so a crash in between
+        loses nothing — replay skips records the checkpoint covers.
+        """
+        with self._lock:
+            payload = build_checkpoint_payload(tintin, self.wal.last_seq)
+            write_checkpoint(self.directory, payload)
+            self.wal.truncate()
+            self.stats.checkpoints += 1
+        return payload
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self.wal.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.wal.closed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DurabilityManager({self.directory!r}, mode={self.mode!r}, "
+            f"seq={self.wal.last_seq})"
+        )

@@ -1,0 +1,422 @@
+"""The write-ahead log: length-prefixed, checksummed, versioned records.
+
+The WAL is the redo log of the durability subsystem.  Every record is a
+JSON object framed as::
+
+    +----------------+----------------+------------------+
+    | length (u32 BE)| CRC32 (u32 BE) | payload (UTF-8)  |
+    +----------------+----------------+------------------+
+
+preceded (once, at file start) by an 8-byte versioned magic header.
+The CRC covers the payload bytes, so a torn write — a crash mid-append
+leaves a short or garbled final frame — is *detected*, never
+mis-parsed: scanning stops at the first frame that fails to decode,
+and everything from that point on is treated as the log's end (the
+same discipline PostgreSQL applies to its redo log).  Reopening for
+append truncates the damaged tail so new frames always start at a
+boundary.  A file whose 8-byte header is missing or carries a foreign
+format version raises :class:`~repro.errors.WALCorruptionError`
+instead — that is not a crash artifact, it is not our log.
+
+Record types (the ``"type"`` field):
+
+``create_table`` / ``drop_table``
+    schema DDL issued through the database facade;
+``install``
+    event-capture installation (tables instrumented by TINTIN);
+``assertion_add`` / ``assertion_drop``
+    assertion DDL — the record carries the original ``CREATE
+    ASSERTION`` SQL, so recovery re-runs the whole compilation
+    pipeline and rebuilds the EDC views bit-for-bit;
+``batch``
+    one *committed* event batch: the inserts/deletes ``safeCommit``
+    (or a whole commit group) applied, plus the per-table row counts
+    observed right after the apply, which recovery re-verifies.
+
+Every record carries a monotonically increasing ``seq``.  Checkpoints
+remember the last sequence they include, so replay after a crash that
+hit between checkpoint-rename and WAL-truncation skips the prefix the
+checkpoint already covers instead of double-applying it.
+
+Row values are the engine's scalar types (int, float, str, bool,
+None); JSON round-trips all of them exactly (including ±infinity),
+and the decoder restores rows as tuples.  NaN is the one value the
+codec refuses: ``NaN != NaN`` would poison the row-equality checks
+replay verification relies on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..errors import DurabilityError, WALCorruptionError
+
+#: 8-byte file header: magic + format version.  Bump the last byte on
+#: any incompatible frame or payload change.
+WAL_MAGIC = b"TNTWAL\x00\x01"
+
+_FRAME = struct.Struct(">II")  # payload length, CRC32(payload)
+
+
+# -- record codec -----------------------------------------------------------
+
+
+def rows_to_payload(rows: Iterable[tuple]) -> list[list]:
+    """Rows as JSON-ready lists (tuples do not survive JSON).
+
+    The input is iterated exactly once (generators welcome), with the
+    NaN guard applied during materialization — NaN breaks the
+    row-equality checks recovery verification depends on.
+    """
+    payload: list[list] = []
+    for row in rows:
+        row = list(row)
+        for value in row:
+            if isinstance(value, float) and math.isnan(value):
+                raise DurabilityError(
+                    "NaN cannot be logged: it breaks the row-equality "
+                    "checks recovery verification depends on"
+                )
+        payload.append(row)
+    return payload
+
+
+def rows_from_payload(rows: Iterable[Iterable]) -> list[tuple]:
+    """The inverse of :func:`rows_to_payload`."""
+    return [tuple(row) for row in rows]
+
+
+def batch_payload(
+    inserts: dict[str, list[tuple]],
+    deletes: dict[str, list[tuple]],
+    counts: Optional[dict[str, int]] = None,
+) -> dict:
+    """The body of a ``batch`` record (no seq/type yet)."""
+    payload = {
+        "ins": {t: rows_to_payload(r) for t, r in inserts.items() if r},
+        "del": {t: rows_to_payload(r) for t, r in deletes.items() if r},
+    }
+    if counts is not None:
+        payload["counts"] = counts
+    return payload
+
+
+def decode_batch(record: dict) -> tuple[dict[str, list[tuple]], dict[str, list[tuple]]]:
+    """A ``batch`` record's events as ``(inserts, deletes)`` tuple dicts."""
+    return (
+        {t: rows_from_payload(r) for t, r in record["ins"].items()},
+        {t: rows_from_payload(r) for t, r in record["del"].items()},
+    )
+
+
+def encode_record(record: dict) -> bytes:
+    """Frame one record: length + CRC32 + compact JSON payload.
+
+    ``allow_nan`` stays on so ±infinity (legal DOUBLE values) encode;
+    NaN never reaches here — :func:`rows_to_payload` rejects it.
+    """
+    payload = json.dumps(
+        record, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_records(
+    data: bytes, offset: int = 0
+) -> tuple[list[dict], int, Optional[str]]:
+    """Scan frames from ``offset``; stop at the first invalid one.
+
+    Returns ``(records, valid_length, tail_error)`` where
+    ``valid_length`` is the byte length of the decodable prefix
+    (including ``offset``) and ``tail_error`` describes why scanning
+    stopped early (``None`` when the data ends exactly on a frame
+    boundary).  The caller decides whether a non-empty tail is a
+    tolerable torn write or corruption.
+    """
+    records: list[dict] = []
+    position = offset
+    total = len(data)
+    while position < total:
+        if position + _FRAME.size > total:
+            return records, position, "truncated frame header"
+        length, crc = _FRAME.unpack_from(data, position)
+        start = position + _FRAME.size
+        end = start + length
+        if end > total:
+            return records, position, "truncated payload"
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return records, position, "checksum mismatch"
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return records, position, "undecodable payload"
+        if not isinstance(record, dict):
+            return records, position, "non-object record"
+        records.append(record)
+        position = end
+    return records, position, None
+
+
+# -- the log file -----------------------------------------------------------
+
+
+@dataclass
+class WalStats:
+    """Counters for one log's lifetime in this process."""
+
+    appends: int = 0
+    fsyncs: int = 0
+    bytes_written: int = 0
+    truncations: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "appends": self.appends,
+            "fsyncs": self.fsyncs,
+            "bytes_written": self.bytes_written,
+            "truncations": self.truncations,
+        }
+
+
+@dataclass
+class WalScan:
+    """Result of reading a log file back."""
+
+    records: list[dict] = field(default_factory=list)
+    valid_length: int = len(WAL_MAGIC)
+    tail_error: Optional[str] = None
+    torn_bytes: int = 0
+
+
+def read_wal(path: str) -> WalScan:
+    """Read every decodable record of a WAL file (tolerating a torn tail).
+
+    Raises :class:`WALCorruptionError` for a missing/foreign header —
+    the file is not (this version of) a WAL at all.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if len(data) < len(WAL_MAGIC):
+        if WAL_MAGIC.startswith(data):
+            # torn creation: the crash hit between creating the file
+            # and the header write becoming durable.  An empty (or
+            # partial-header) log holds no records by construction —
+            # recoverable, not foreign.
+            return WalScan(
+                records=[],
+                valid_length=0,
+                tail_error="torn header (file created but never written)",
+                torn_bytes=len(data),
+            )
+        raise WALCorruptionError(
+            f"{path!r} does not start with the WAL magic header "
+            f"(format {WAL_MAGIC!r})"
+        )
+    if data[: len(WAL_MAGIC)] != WAL_MAGIC:
+        raise WALCorruptionError(
+            f"{path!r} does not start with the WAL magic header "
+            f"(format {WAL_MAGIC!r})"
+        )
+    records, valid_length, tail_error = decode_records(data, len(WAL_MAGIC))
+    return WalScan(
+        records=records,
+        valid_length=valid_length,
+        tail_error=tail_error,
+        torn_bytes=len(data) - valid_length,
+    )
+
+
+class WriteAheadLog:
+    """Append-only framed log with explicit fsync control.
+
+    ``append`` buffers a frame; ``sync`` makes everything appended so
+    far durable.  Callers choose the batching: the commit scheduler's
+    group-commit path appends one combined record per group and syncs
+    once, which is exactly where N sessions share a single fsync.
+
+    Opening an existing file truncates any torn tail (crash artifact)
+    so new appends always start at a frame boundary, and resumes the
+    sequence numbering after the highest sequence seen.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.stats = WalStats()
+        self._synced = True
+        self._failed = False
+        # read_wal distinguishes a torn creation artifact (empty file
+        # or a strict prefix of the magic — valid_length 0) from a
+        # foreign file, which raises WALCorruptionError rather than
+        # being silently overwritten
+        scan = read_wal(path) if os.path.exists(path) else None
+        if scan is not None and scan.valid_length >= len(WAL_MAGIC):
+            self.last_seq = max(
+                (r.get("seq", 0) for r in scan.records), default=0
+            )
+            self._handle = open(path, "r+b")
+            if scan.torn_bytes:
+                self._handle.truncate(scan.valid_length)
+                self.stats.truncations += 1
+            self._handle.seek(scan.valid_length)
+            self._synced_offset = scan.valid_length
+        else:
+            # fresh log, or rewriting a torn creation artifact
+            self.last_seq = 0
+            self._handle = open(path, "w+b")
+            self._handle.write(WAL_MAGIC)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            _fsync_directory(os.path.dirname(path) or ".")
+            self._synced_offset = len(WAL_MAGIC)
+        self._synced_seq = self.last_seq
+
+    # -- writing -----------------------------------------------------------
+
+    def _check_usable(self) -> None:
+        if self._failed:
+            raise DurabilityError(
+                f"write-ahead log {self.path!r} failed a flush; its "
+                "unsynced records were discarded and the log is closed "
+                "to writes — reopen the engine to continue"
+            )
+
+    def advance_seq(self, seq: int) -> None:
+        """Never assign sequences at or below ``seq``.
+
+        The durability manager seeds this from the checkpoint's
+        ``wal_seq`` on open: a crash between the WAL-file truncation
+        and the truncate marker's fsync leaves a header-only log, and
+        without re-seeding, new records would restart at 1 and replay
+        would skip them as checkpoint-covered — silent loss of
+        acknowledged commits.
+        """
+        if seq > self.last_seq:
+            self.last_seq = seq
+            self._synced_seq = max(self._synced_seq, seq)
+
+    def append(self, record_type: str, **fields) -> dict:
+        """Buffer one record; returns it (with its assigned ``seq``)."""
+        self._check_usable()
+        self.last_seq += 1
+        record = {"type": record_type, "seq": self.last_seq, **fields}
+        frame = encode_record(record)
+        self._handle.write(frame)
+        self._synced = False
+        self.stats.appends += 1
+        self.stats.bytes_written += len(frame)
+        return record
+
+    def sync(self) -> None:
+        """Flush buffered frames and fsync — the durability point.
+
+        A failed fsync is terminal (the fsyncgate lesson: the kernel
+        may have dropped the dirty pages, so retrying proves nothing).
+        The unsynced tail is rolled back — through a *fresh* file
+        descriptor, because the failed handle's own buffer must never
+        flush again (an ENOSPC flush retried by a later ``close``
+        would make a commit that was reported FAILED durable after
+        all) — and the log refuses further writes.
+        """
+        self._check_usable()
+        try:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except BaseException:
+            self._failed = True
+            self.last_seq = self._synced_seq
+            # kill the buffered handle's OS-level fd, then immediately
+            # tear down the Python object (its flush attempt dies on
+            # EBADF here and now): whatever sat in its userspace
+            # buffer can never reach this file — or, via fd reuse,
+            # anyone else's
+            try:
+                os.close(self._handle.fileno())
+            except OSError:  # pragma: no cover - already gone
+                pass
+            try:
+                self._handle.close()
+            except (OSError, ValueError):
+                pass
+            # roll the file itself back to the durable prefix and
+            # fsync the truncation, via a fresh descriptor
+            try:
+                fd = os.open(self.path, os.O_RDWR)
+                try:
+                    os.ftruncate(fd, self._synced_offset)
+                    os.fsync(fd)
+                finally:
+                    os.close(fd)
+            except OSError:  # pragma: no cover - cascading I/O failure
+                pass  # the log is poisoned either way; reopen truncates
+            raise
+        self._synced = True
+        self._synced_offset = self._handle.tell()
+        self._synced_seq = self.last_seq
+        self.stats.fsyncs += 1
+
+    def truncate(self) -> None:
+        """Discard every record (post-checkpoint compaction).
+
+        Sequence numbering continues — the checkpoint remembers the
+        last sequence it covers, and record sequences must stay
+        monotonic across truncation so replay can tell a pre-checkpoint
+        record from a post-checkpoint one no matter when the crash hit.
+        A ``truncate`` marker record is written immediately, carrying
+        the next sequence number: without it, reopening the compacted
+        log in a fresh process would restart numbering at 1, and replay
+        would skip the new records as "already covered by the
+        checkpoint" — silently losing acknowledged commits.
+        """
+        self._check_usable()
+        self._handle.truncate(len(WAL_MAGIC))
+        self._handle.seek(len(WAL_MAGIC))
+        self._synced_offset = len(WAL_MAGIC)
+        self._synced_seq = self.last_seq
+        self.append("truncate")
+        self.sync()
+        self.stats.truncations += 1
+
+    def close(self) -> None:
+        if self._handle.closed:
+            return
+        if self._failed:
+            # the OS fd was already closed by the failure path; tear
+            # down the Python object without letting it flush
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover - EBADF from dead fd
+                pass
+            return
+        if not self._synced:
+            self.sync()
+        self._handle.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WriteAheadLog({self.path!r}, seq={self.last_seq})"
+
+
+def _fsync_directory(path: str) -> None:
+    """fsync a directory so a just-created/renamed entry is durable.
+
+    Best-effort on platforms whose directories cannot be opened
+    (Windows); the data-file fsyncs still hold there.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -103,6 +103,33 @@ class SessionExpired(SessionError):
 
 
 # ---------------------------------------------------------------------------
+# Durability
+
+
+class DurabilityError(ReproError):
+    """Base class for write-ahead log / checkpoint / recovery failures."""
+
+
+class WALCorruptionError(DurabilityError):
+    """The file is not a readable write-ahead log of this format.
+
+    Raised when the 8-byte magic header is missing or carries a
+    foreign format version — the file is not (this version of) a WAL
+    at all.  A damaged *frame* inside an otherwise valid log is
+    handled differently: scanning stops there and everything from that
+    point on is treated as the log's end (the torn-tail discipline
+    PostgreSQL applies to its redo log), because a redo log cannot
+    distinguish a crash artifact from later corruption without frame-
+    level redundancy it does not carry.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """Recovered state failed verification (row counts, catalog shape,
+    sequence gaps, or a replayed batch the engine rejects)."""
+
+
+# ---------------------------------------------------------------------------
 # Logic layer
 
 

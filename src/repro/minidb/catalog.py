@@ -247,6 +247,38 @@ class Catalog:
                 if normalize(trigger.table) == key:
                     trigger.enabled = enabled
 
+    # -- stable shape serialization (durability subsystem) -------------------
+
+    def shape_signature(self) -> str:
+        """A stable hash of the catalog's *shape*: table schemas (with
+        namespaces), view names and output columns, trigger names, and
+        procedure names — no row data.
+
+        The checkpoint writer stores this signature; recovery recomputes
+        it after rebuilding the catalog (DDL replay + assertion
+        re-compilation) and refuses to proceed on a mismatch, so a
+        recovered engine provably carries the same catalog shape as the
+        one that wrote the checkpoint.
+        """
+        import hashlib
+        import json
+
+        with self._lock:
+            shape = {
+                "tables": sorted(
+                    (normalize(t.schema.name), t.namespace, t.schema.to_dict())
+                    for t in self._tables.values()
+                ),
+                "views": sorted(
+                    (normalize(v.name), list(v.columns))
+                    for v in self._views.values()
+                ),
+                "triggers": sorted(normalize(n) for n in self._triggers),
+                "procedures": sorted(normalize(n) for n in self._procedures),
+            }
+        payload = json.dumps(shape, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     # -- procedures ----------------------------------------------------------------
 
     def add_procedure(self, procedure: Procedure) -> None:

@@ -360,6 +360,13 @@ class Database:
         self._dml_ast_cache: "OrderedDict[str, n.Statement]" = OrderedDict()
         self._dml_ast_capacity = plan_cache_size
         self._dml_ast_lock = threading.Lock()
+        #: optional DDL observer ``(event, **payload)`` invoked after a
+        #: facade-level schema change succeeds.  The durability manager
+        #: installs itself here so CREATE/DROP TABLE issued through the
+        #: database reach the write-ahead log; event-namespace tables
+        #: (TINTIN's capture machinery) are recreated by replaying the
+        #: higher-level ``install`` record instead and bypass this hook.
+        self.ddl_listener = None
 
     # -- transactions (per-session binding) ---------------------------------
 
@@ -542,6 +549,16 @@ class Database:
             return None
         if isinstance(stmt, n.CreateView):
             self.create_view(stmt.name, stmt.query)
+            if self.ddl_listener is not None:
+                # user-issued views are WAL-logged as printed SQL;
+                # TINTIN's assertion views bypass this (they call
+                # create_view directly and are rebuilt by assertion
+                # replay instead)
+                from ..sqlparser.printer import print_query
+
+                self.ddl_listener(
+                    "create_view", name=stmt.name, sql=print_query(stmt.query)
+                )
             return None
         if isinstance(stmt, n.CreateAssertion):
             raise ExecutionError(
@@ -550,10 +567,14 @@ class Database:
                 "paper's point)"
             )
         if isinstance(stmt, n.DropTable):
-            self.catalog.drop_table(stmt.name, stmt.if_exists)
+            dropped = self.catalog.drop_table(stmt.name, stmt.if_exists)
+            if dropped and self.ddl_listener is not None:
+                self.ddl_listener("drop_table", name=stmt.name)
             return None
         if isinstance(stmt, n.DropView):
-            self.catalog.drop_view(stmt.name, stmt.if_exists)
+            dropped_view = self.catalog.drop_view(stmt.name, stmt.if_exists)
+            if dropped_view and self.ddl_listener is not None:
+                self.ddl_listener("drop_view", name=stmt.name)
             return None
         if isinstance(stmt, n.Insert):
             return self._execute_insert(stmt)
@@ -657,7 +678,10 @@ class Database:
             stmt.uniques,
         )
         validate_foreign_keys(self.catalog, schema)
-        return self.catalog.add_table(schema, namespace)
+        table = self.catalog.add_table(schema, namespace)
+        if self.ddl_listener is not None:
+            self.ddl_listener("create_table", schema=schema, namespace=namespace)
+        return table
 
     def create_table(self, sql: str, namespace: str = "main") -> Table:
         stmt = parse_statement(sql)

@@ -152,5 +152,63 @@ class TableSchema:
         """Positions of the given columns, in order."""
         return tuple(self.column_index(c) for c in columns)
 
+    # -- stable serialization (durability subsystem) ----------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-ready description of this schema.
+
+        The encoding is *stable*: two schemas constructed the same way
+        serialize identically, and :meth:`from_dict` reconstructs an
+        equivalent schema — the round trip the checkpoint writer and
+        WAL DDL records rely on.
+        """
+        return {
+            "name": self.name,
+            "columns": [
+                {
+                    "name": c.name,
+                    "type": {"kind": c.sql_type.kind, "length": c.sql_type.length},
+                    "not_null": c.not_null,
+                }
+                for c in self.columns
+            ],
+            "primary_key": list(self.primary_key),
+            "uniques": [list(u) for u in self.uniques],
+            "foreign_keys": [
+                {
+                    "columns": list(fk.columns),
+                    "ref_table": fk.ref_table,
+                    "ref_columns": list(fk.ref_columns),
+                }
+                for fk in self.foreign_keys
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TableSchema":
+        """Rebuild a schema from :meth:`to_dict` output."""
+        columns = [
+            Column(
+                c["name"],
+                SQLType(c["type"]["kind"], c["type"]["length"]),
+                c["not_null"],
+            )
+            for c in payload["columns"]
+        ]
+        return cls(
+            payload["name"],
+            columns,
+            tuple(payload["primary_key"]),
+            tuple(
+                ForeignKey(
+                    tuple(fk["columns"]),
+                    fk["ref_table"],
+                    tuple(fk["ref_columns"]),
+                )
+                for fk in payload["foreign_keys"]
+            ),
+            tuple(tuple(u) for u in payload["uniques"]),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TableSchema({self.name!r}, {len(self.columns)} columns)"

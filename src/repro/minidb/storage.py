@@ -392,6 +392,22 @@ class Table:
                 return rowid
         return None
 
+    def load_rows(self, rows: Iterable[Iterable]) -> int:
+        """Bulk-load serialized rows (checkpoint/WAL recovery path).
+
+        Each row is validated (type coercion re-canonicalizes values
+        that lost their exact Python type in serialization — JSON turns
+        tuples into lists, for instance) and inserted with all indexes
+        maintained.  Constraint enforcement beyond unique keys is the
+        caller's concern: recovered rows were committed, so they are
+        consistent by construction.
+        """
+        count = 0
+        for row in rows:
+            self.insert(self.validate_row(tuple(row)))
+            count += 1
+        return count
+
     def truncate(self) -> int:
         """Remove all rows; returns how many were removed."""
         count = len(self._rows)

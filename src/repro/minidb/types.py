@@ -8,6 +8,7 @@ NULL is Python ``None``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -102,6 +103,14 @@ def coerce(value, sql_type: SQLType, column: str = "?"):
         if isinstance(value, bool):
             raise TypeCheckError(f"column {column}: boolean given for DOUBLE")
         if isinstance(value, (int, float)):
+            if isinstance(value, float) and math.isnan(value):
+                # NaN breaks row equality (NaN != NaN): event-capture
+                # dedup, index lookups and WAL replay verification all
+                # compare whole rows, so NaN can never enter a table —
+                # rejected here, before any staging or apply decision
+                raise TypeCheckError(
+                    f"column {column}: NaN is not a storable DOUBLE"
+                )
             return float(value)
         raise TypeCheckError(f"column {column}: {value!r} is not a DOUBLE")
     if kind == "VARCHAR":

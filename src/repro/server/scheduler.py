@@ -53,6 +53,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -164,6 +165,11 @@ class SchedulerStats:
     fallbacks: int = 0
     max_group_size: int = 0
     check_seconds: float = 0.0
+    #: durability counters: WAL records appended and fsyncs issued by
+    #: this scheduler (``wal_fsyncs`` < ``wal_appends`` is group commit
+    #: at work — several commits' records shared one fsync)
+    wal_appends: int = 0
+    wal_fsyncs: int = 0
 
     def snapshot(self) -> dict:
         return {
@@ -173,6 +179,8 @@ class SchedulerStats:
             "serial_commits": self.serial_commits,
             "fallbacks": self.fallbacks,
             "max_group_size": self.max_group_size,
+            "wal_appends": self.wal_appends,
+            "wal_fsyncs": self.wal_fsyncs,
         }
 
 
@@ -212,6 +220,20 @@ class CommitScheduler:
         self._leader_lock = threading.Lock()
         #: undo-log manager for combined (multi-session) applies
         self._group_transactions = TransactionManager()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @contextmanager
+    def quiesced(self):
+        """Hold the leader critical section: no commit window — and,
+        crucially, no window's WAL flush (the flush runs inside this
+        section) — can execute while the caller is inside.  This is
+        what ``Tintin.close`` wraps its final checkpoint and log
+        detach in, so an in-flight group commit is either fully
+        flushed before the shutdown or processed after it.
+        """
+        with self._leader_lock:
+            yield
 
     # -- submission --------------------------------------------------------
 
@@ -389,17 +411,31 @@ class CommitScheduler:
             previous = current
 
     def _process_batch(self) -> None:
-        if self.gather_seconds:
+        """Drain, decide and (when durable) flush one commit window."""
+        # per-commit durability (durability="commit") means NO group
+        # commit: the WAL order is the commit order and every commit
+        # owns the exclusive window for its whole validate-apply-log-
+        # fsync critical section, exactly the classic pre-group-commit
+        # engine (InnoDB's prepare_commit_mutex era).  One request per
+        # window, no gathering — batching is the very thing the mode
+        # disables, and the E9 experiment's baseline.
+        manager = self._durability()
+        per_commit = manager is not None and manager.mode == "commit"
+        if self.gather_seconds and not per_commit:
             self._gather()
         with self._queue_lock:
             batch = []
-            while self._queue and len(batch) < self.max_batch:
+            limit = 1 if per_commit else self.max_batch
+            while self._queue and len(batch) < limit:
                 batch.append(self._queue.popleft())
         if not batch:
             return
         self.stats.batches += 1
         self.stats.commits += len(batch)
         start = time.perf_counter()
+        #: committed members whose WAL records are appended but not yet
+        #: durable; their results are withheld until the window flush
+        deferred: list[tuple[_PendingCommit, CommitResult]] = []
         try:
             with self.rwlock.write_locked():
                 # the window needs no trigger toggling: apply_batch
@@ -420,14 +456,22 @@ class CommitScheduler:
                         self.stats.max_group_size = max(
                             self.stats.max_group_size, len(group)
                         )
-                        self._commit_group(group)
+                        self._commit_group(group, deferred)
                 finally:
                     self.events.load_events(*stashed)
         except BaseException as exc:
-            # an unexpected engine error must not strand the batch:
-            # every undecided member gets a rejection naming the error
-            # (their events are consumed either way), then the leader's
-            # own caller sees the exception
+            # an unexpected engine error must not strand the batch —
+            # but members whose *own* groups already committed (applied
+            # and WAL-appended, results riding in ``deferred``) must
+            # not be swallowed by a later group's failure: flush their
+            # records and acknowledge them first.  _flush_window is
+            # failure-safe — if the flush itself dies it assigns
+            # rejections, so either way every deferred member is
+            # decided here.  Only the truly undecided members then get
+            # the window-failure rejection, and the leader's own
+            # caller sees the original exception.
+            if deferred:
+                self._flush_window(deferred, raise_on_failure=False)
             for pending in batch:
                 if pending.result is None:
                     pending.result = CommitResult(
@@ -437,15 +481,107 @@ class CommitScheduler:
             raise
         finally:
             self.stats.check_seconds += time.perf_counter() - start
+            # members with an immediate verdict (rejections, and every
+            # member when nothing was logged) are released here; the
+            # committed-and-logged ones are withheld until the flush
             for pending in batch:
+                if pending.result is not None:
+                    pending.done.set()
+        if deferred:
+            # the durability point — the WRITE lock is already
+            # released (early lock release, as in Aether-style group
+            # commit), so sessions stage their next updates under the
+            # read lock while the fsync waits on the disk; the leader
+            # lock is still held, which keeps close()/shutdown from
+            # interleaving with an in-flight flush.  Readers may
+            # briefly observe committed-but-not-yet-durable state;
+            # acknowledgements wait for the flush, so no client is
+            # ever told "committed" before its record is on disk.
+            self._flush_window(deferred)
+
+    def _flush_window(
+        self,
+        deferred: list[tuple[_PendingCommit, CommitResult]],
+        raise_on_failure: bool = True,
+    ) -> None:
+        """One fsync makes every record this window appended durable,
+        then the withheld committed results become visible.
+
+        Failure-safe: whatever happens, every deferred member gets a
+        result and its done event — a dying flush must not strand the
+        committing sessions in their wait loops.  The window-failure
+        handler passes ``raise_on_failure=False`` so a flush error
+        cannot mask the original window exception.
+
+        On flush failure the WAL rolls back its unsynced frames and
+        poisons itself (every later durable commit is refused), so a
+        rejected commit can never become durable later.  The batch's
+        rows, however, were already applied under the write lock and
+        stay visible in memory — the engine serves state ahead of its
+        log until it is reopened, the same divergence a PostgreSQL
+        instance has between a failed WAL flush and its PANIC restart.
+        """
+        manager = self._durability()
+        try:
+            if manager is not None:
+                manager.sync()
+                self.stats.wal_fsyncs += 1
+        except BaseException as exc:
+            for pending, _ in deferred:
+                pending.result = CommitResult(
+                    committed=False,
+                    constraint_error=f"log flush failed: {exc}",
+                )
                 pending.done.set()
+            if raise_on_failure:
+                raise
+            return
+        for pending, result in deferred:
+            pending.result = result
+            pending.done.set()
+
+    def _durability(self):
+        """The attached durability manager, or None when commits are
+        not being logged (no manager, or mode ``"off"``)."""
+        manager = self.tintin.durability
+        if manager is not None and manager.durable:
+            return manager
+        return None
+
+    def _log_committed(
+        self,
+        manager,
+        inserts: dict[str, list[tuple]],
+        deletes: dict[str, list[tuple]],
+    ) -> None:
+        """Append one committed batch's WAL record (unsynced — the
+        window flush issues the shared fsync after lock release)."""
+        from ..durability.manager import touched_counts
+
+        manager.append_batch(
+            inserts,
+            deletes,
+            counts=touched_counts(self.db, inserts, deletes),
+            sync=False,
+        )
+        self.stats.wal_appends += 1
 
     def _partition(
         self, batch: list[_PendingCommit]
     ) -> list[list[_PendingCommit]]:
         """Split the FIFO batch into runs of pairwise-compatible members
-        (order-preserving, so serial fallbacks keep submission order)."""
-        if self.policy == "serial":
+        (order-preserving, so serial fallbacks keep submission order).
+
+        Per-commit durability (``durability="commit"``) forces singleton
+        groups: the WAL order is the commit order and every commit's
+        acknowledgement must wait on its *own* fsync, which is exactly
+        the strict pre-group-commit protocol — and the baseline the E9
+        experiment measures ``"batch"`` mode against.
+        """
+        manager = self._durability()
+        if self.policy == "serial" or (
+            manager is not None and manager.mode == "commit"
+        ):
             return [[pending] for pending in batch]
         coupling = self._negation_coupling()
         groups: list[list[_PendingCommit]] = []
@@ -480,9 +616,13 @@ class CommitScheduler:
                 overlays[normalize(del_table_name(table))] = TableOverlay(rows)
         return overlays
 
-    def _commit_group(self, group: list[_PendingCommit]) -> None:
+    def _commit_group(
+        self,
+        group: list[_PendingCommit],
+        deferred: list[tuple[_PendingCommit, CommitResult]],
+    ) -> None:
         if len(group) == 1:
-            self._commit_serially(group)
+            self._commit_serially(group, deferred)
             return
         # fast path: union validation + one combined apply
         union_ins: dict[str, list[tuple]] = {}
@@ -499,7 +639,7 @@ class CommitScheduler:
             # someone's events violate: replay strictly serially so the
             # violation lands on the session that staged it
             self.stats.fallbacks += 1
-            self._commit_serially(group)
+            self._commit_serially(group, deferred)
             return
         # per-member applied-row accounting, so a grouped commit reports
         # the same number the serial protocol would: staged deletes of
@@ -518,25 +658,51 @@ class CommitScheduler:
                 self.db.apply_batch(union_ins, union_del)
         except ConstraintViolation:
             self.stats.fallbacks += 1
-            self._commit_serially(group)
+            self._commit_serially(group, deferred)
             return
+        manager = self._durability()
+        durable = manager is not None and bool(union_ins or union_del)
+        if durable:
+            # the group-commit payoff: ONE combined WAL record for the
+            # whole group, made durable by the window's single shared
+            # fsync.  Results are deferred until that flush, so a
+            # failed fsync can never acknowledge a commit that is not
+            # on disk.
+            self._log_committed(manager, union_ins, union_del)
         self.stats.group_fast_path += len(group)
         for pending, applied in zip(group, applied_by_member):
-            pending.result = CommitResult(
+            result = CommitResult(
                 committed=True,
                 applied_rows=applied,
                 checked_views=checked,
                 skipped_views=skipped,
                 group_size=len(group),
             )
+            if durable:
+                deferred.append((pending, result))
+            else:
+                pending.result = result
 
-    def _commit_serially(self, group: list[_PendingCommit]) -> None:
+    def _commit_serially(
+        self,
+        group: list[_PendingCommit],
+        deferred: list[tuple[_PendingCommit, CommitResult]],
+    ) -> None:
         """The exact single-session protocol, one member at a time.
 
         Each member's events are overlaid on the (empty) global event
         tables for its validation pass, then applied directly — the
         global tables are never written inside the window.
+
+        Durability: each committed member's WAL record is appended
+        here (in commit order) and made durable by the window flush
+        after lock release — one fsync per window, which in ``commit``
+        mode (singleton windows) is exactly one fsync per commit.
+        Committed results ride in ``deferred`` until that flush, so a
+        member is never acknowledged before its record is on disk;
+        rejections carry no record and are assigned immediately.
         """
+        manager = self._durability()
         for pending in group:
             self.stats.serial_commits += 1
             violations, checked, skipped = (
@@ -568,9 +734,14 @@ class CommitScheduler:
                     skipped_views=skipped,
                 )
                 continue
-            pending.result = CommitResult(
+            result = CommitResult(
                 committed=True,
                 applied_rows=applied,
                 checked_views=checked,
                 skipped_views=skipped,
             )
+            if manager is not None and pending.size:
+                self._log_committed(manager, pending.inserts, pending.deletes)
+                deferred.append((pending, result))
+            else:
+                pending.result = result
