@@ -108,9 +108,15 @@ class Tintin:
                 )
             tintin, report = recover(path, optimize=optimize)
             tintin.recovery_report = report
+            # single-pass open: the recovery report already carries the
+            # checkpoint's wal_seq and the log's decodable prefix, so
+            # the manager opens for append without a second checkpoint
+            # parse or WAL scan
+            manager = DurabilityManager(path, durability, recovered=report)
         else:
             tintin = cls(db if db is not None else Database(), optimize=optimize)
-        tintin._attach_durability(DurabilityManager(path, durability))
+            manager = DurabilityManager(path, durability)
+        tintin._attach_durability(manager)
         if db is not None:
             # bootstrap: make the unlogged pre-existing state durable
             # NOW, so every subsequently acknowledged commit is
@@ -124,6 +130,8 @@ class Tintin:
                 "a durability manager is already attached to this engine"
             )
         self.durability = manager
+        # the catalog resolves the v2 codec's schema ordinals
+        manager.bind_db(self.db)
         # facade-level schema DDL flows into the WAL from here on
         self.db.ddl_listener = manager.log_ddl
         manager.log_open(self.db.name)
@@ -162,8 +170,13 @@ class Tintin:
         if self.durability is None:
             return
         if self._sessions is not None:
-            with self._sessions.scheduler.quiesced():
+            scheduler = self._sessions.scheduler
+            with scheduler.quiesced():
                 self._close_detach(checkpoint)
+            # the durability layer is detached: retire the log-writer
+            # thread (post-close commits are non-durable and never
+            # submit to it)
+            scheduler.stop_log_writer()
         else:
             self._close_detach(checkpoint)
 

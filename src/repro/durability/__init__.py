@@ -23,6 +23,7 @@ from .checkpoint import (
     CHECKPOINT_FILE,
     CHECKPOINT_FORMAT,
     build_checkpoint_payload,
+    checkpoint_load_count,
     checkpoint_path,
     load_checkpoint,
     write_checkpoint,
@@ -36,20 +37,33 @@ from .recovery import (
     wal_path,
 )
 from .wal import (
+    BATCH_V2_TAG,
     WAL_MAGIC,
+    WAL_MAGIC_V1,
+    WalResume,
     WalScan,
     WalStats,
     WriteAheadLog,
+    batch_counts,
     batch_payload,
     decode_batch,
+    decode_batch_v2,
+    decode_batch_v2_at,
     decode_records,
+    encode_batch_v2,
     encode_record,
     read_wal,
+    read_wal_fused,
+    record_seq,
+    record_type,
     rows_from_payload,
     rows_to_payload,
+    scan_frames_fused,
+    wal_scan_count,
 )
 
 __all__ = [
+    "BATCH_V2_TAG",
     "CHECKPOINT_FILE",
     "CHECKPOINT_FORMAT",
     "DURABILITY_MODES",
@@ -58,21 +72,33 @@ __all__ = [
     "RecoveryReport",
     "WAL_FILE",
     "WAL_MAGIC",
+    "WAL_MAGIC_V1",
+    "WalResume",
     "WalScan",
     "WalStats",
     "WriteAheadLog",
+    "batch_counts",
     "batch_payload",
     "build_checkpoint_payload",
+    "checkpoint_load_count",
     "checkpoint_path",
     "decode_batch",
+    "decode_batch_v2",
+    "decode_batch_v2_at",
     "decode_records",
+    "encode_batch_v2",
     "encode_record",
     "has_durable_state",
     "load_checkpoint",
     "read_wal",
+    "read_wal_fused",
+    "record_seq",
+    "record_type",
     "recover",
     "rows_from_payload",
     "rows_to_payload",
+    "scan_frames_fused",
     "wal_path",
+    "wal_scan_count",
     "write_checkpoint",
 ]

@@ -38,6 +38,15 @@ CHECKPOINT_FORMAT = 1
 
 CHECKPOINT_FILE = "checkpoint.json"
 
+#: how many times :func:`load_checkpoint` parsed a checkpoint document
+#: in this process — the single-pass-open regression asserts the delta
+_load_count = 0
+
+
+def checkpoint_load_count() -> int:
+    """Process-lifetime count of checkpoint parses."""
+    return _load_count
+
 
 def build_checkpoint_payload(tintin: "Tintin", wal_seq: int) -> dict:
     """Snapshot the engine as a JSON-ready checkpoint document.
@@ -92,16 +101,12 @@ def _build_checkpoint_locked(tintin: "Tintin", wal_seq: int) -> dict:
 
 
 def _in_creation_order(db, tables: list[dict]) -> list[dict]:
-    """Order serialized tables so every FK parent precedes its children.
-
-    The catalog's internal dict preserves creation order, which is a
-    valid topological order by construction (CREATE TABLE validates
-    that referenced parents already exist).
-    """
+    """Order serialized tables so every FK parent precedes its children
+    — and so restore-side table positions match the WAL's v2 schema
+    ordinals (see :meth:`Catalog.tables_in_creation_order`)."""
     created = [
         t.schema.name
-        for t in db.catalog._tables.values()
-        if t.namespace == "main"
+        for t in db.catalog.tables_in_creation_order(namespace="main")
     ]
     rank = {name.lower(): i for i, name in enumerate(created)}
     return sorted(tables, key=lambda t: rank[t["schema"]["name"].lower()])
@@ -137,9 +142,11 @@ def write_checkpoint(directory: str, payload: dict) -> str:
 
 def load_checkpoint(directory: str) -> Optional[dict]:
     """Read and validate the directory's checkpoint (None if absent)."""
+    global _load_count
     path = checkpoint_path(directory)
     if not os.path.exists(path):
         return None
+    _load_count += 1
     try:
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)

@@ -17,13 +17,29 @@ durability *mode*:
     acknowledgement waits on its own fsync;
 ``"batch"``
     group commit: the scheduler appends **one combined record per
-    commit group** and performs **one fsync per group** — N sessions
-    share a single fsync, which is where group commit pays off.
+    commit group** and the fsyncs are batched — one per window when
+    flushed inline, fewer under bursty load when the scheduler's
+    log-writer thread coalesces windows.
 
 DDL (schema, capture installation, assertion add/drop) is always
 synced immediately in both durable modes: it is rare, and replay
 correctness depends on it strictly preceding the batches that assume
 it.
+
+Committed batches are logged in WAL format v2 (binary typed columns,
+tables referenced by schema ordinal) whenever the engine's catalog is
+bound — :meth:`bind_db` supplies it, and the ordinal map is memoized
+on the catalog version so DDL invalidates it.  Batches v2 cannot
+express, and every manager without a bound catalog, fall back to the
+v1 JSON record; set :attr:`batch_format` to 1 to force v1 (the E9
+codec differential measures exactly that contrast).
+
+When ``Tintin.open`` recovered the engine from disk, it hands the
+recovery report to the constructor: the report already carries the
+checkpoint's ``wal_seq`` and the log's decodable prefix, so the
+manager opens the WAL for append *without* re-parsing the checkpoint
+or re-scanning the log — a durable open reads each on-disk structure
+exactly once.
 """
 
 from __future__ import annotations
@@ -34,17 +50,18 @@ from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
 from ..errors import DurabilityError
-from ..minidb.schema import TableSchema
+from ..minidb.schema import TableSchema, normalize
 from .checkpoint import (
     build_checkpoint_payload,
     load_checkpoint,
     write_checkpoint,
 )
-from .recovery import wal_path
-from .wal import WriteAheadLog, batch_payload
+from .recovery import RecoveryReport, wal_path
+from .wal import WalResume, WriteAheadLog
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.tintin import Tintin
+    from ..minidb.database import Database
 
 DURABILITY_MODES = ("off", "commit", "batch")
 
@@ -83,7 +100,12 @@ class DurabilityStats:
 class DurabilityManager:
     """Owns a durability directory and its write-ahead log."""
 
-    def __init__(self, directory: str, mode: str = "batch"):
+    def __init__(
+        self,
+        directory: str,
+        mode: str = "batch",
+        recovered: Optional[RecoveryReport] = None,
+    ):
         if mode not in DURABILITY_MODES:
             raise DurabilityError(
                 f"unknown durability mode {mode!r} "
@@ -91,20 +113,50 @@ class DurabilityManager:
             )
         self.directory = directory
         self.mode = mode
+        #: WAL format for committed batches: 2 = binary typed columns
+        #: (with automatic v1 fallback for inexpressible batches), 1 =
+        #: always the v1 JSON record
+        self.batch_format = 2
         os.makedirs(directory, exist_ok=True)
         # the WAL is opened in every mode (an existing torn tail gets
         # truncated, and sequence numbering continues), but "off" never
-        # appends to it
-        self.wal = WriteAheadLog(wal_path(directory))
-        # seq continuity across compaction does not depend on the
-        # truncate marker alone: a crash between the file truncation
-        # and the marker's fsync would otherwise restart numbering
-        # below the checkpoint's high-water mark and make replay skip
-        # new records as already covered
-        checkpoint = load_checkpoint(directory)
-        if checkpoint is not None:
-            self.wal.advance_seq(checkpoint.get("wal_seq", 0))
+        # appends to it.  Seq continuity across compaction does not
+        # depend on the truncate marker alone: a crash between the file
+        # truncation and the marker's fsync would otherwise restart
+        # numbering below the checkpoint's high-water mark and make
+        # replay skip new records as already covered — so the resume
+        # seq is the max over the log's records and the checkpoint's
+        # wal_seq, whichever way it is derived.
+        if recovered is not None:
+            # single-pass open: recovery just parsed the checkpoint and
+            # scanned the log; reuse its outcome instead of re-reading
+            resume = None
+            if recovered.wal_valid_length is not None:
+                resume = WalResume(
+                    valid_length=recovered.wal_valid_length,
+                    file_length=recovered.wal_file_length or 0,
+                    last_seq=max(
+                        recovered.last_seq, recovered.checkpoint_seq
+                    ),
+                )
+            self.wal = WriteAheadLog(wal_path(directory), resume=resume)
+            self.wal.advance_seq(recovered.checkpoint_seq)
+        else:
+            self.wal = WriteAheadLog(wal_path(directory))
+            checkpoint = load_checkpoint(directory)
+            if checkpoint is not None:
+                self.wal.advance_seq(checkpoint.get("wal_seq", 0))
         self.stats = DurabilityStats()
+        #: the engine's database, for schema-ordinal resolution (bound
+        #: by ``Tintin._attach_durability``; a standalone manager logs
+        #: v1 JSON batches)
+        self._db: Optional["Database"] = None
+        self._ordinal_version = -1
+        self._ordinals: dict[str, int] = {}
+        #: the catalog version as of the last WAL-logged DDL — v2
+        #: ordinal encoding is only safe when the live catalog matches
+        #: it (see :meth:`append_batch`)
+        self._ddl_synced_version = -1
         #: serializes appends/syncs from concurrent writers (the commit
         #: scheduler's window is already exclusive, but DDL and the
         #: single-session facade can race it)
@@ -122,6 +174,35 @@ class DurabilityManager:
         payload.update(self.stats.snapshot())
         payload.update(self.wal.stats.snapshot())
         return payload
+
+    # -- schema ordinals ---------------------------------------------------
+
+    def bind_db(self, db: "Database") -> None:
+        """Give the manager the catalog that resolves schema ordinals
+        (enables the v2 binary batch codec)."""
+        self._db = db
+        # everything in the catalog as of binding is (or will be)
+        # covered by the checkpoint/recovery state, not by pending DDL
+        # records — v2 encoding is safe from here
+        self._ddl_synced_version = db.catalog.version
+
+    def _ordinal_of(self, name: str) -> Optional[int]:
+        """The table's position in the catalog's creation-ordered
+        ``main``-namespace list (memoized on the catalog version, so
+        any DDL rebuilds the map).  Callers hold ``self._lock``."""
+        catalog = self._db.catalog
+        if catalog.version != self._ordinal_version:
+            # read the version first: racing DDL can only make the memo
+            # *stale* (rebuilt next call), never wrong for this version
+            version = catalog.version
+            self._ordinals = {
+                normalize(t.schema.name): i
+                for i, t in enumerate(
+                    catalog.tables_in_creation_order(namespace="main")
+                )
+            }
+            self._ordinal_version = version
+        return self._ordinals.get(normalize(name))
 
     # -- logging -----------------------------------------------------------
 
@@ -145,6 +226,10 @@ class DurabilityManager:
             self.wal.append(event, **payload)
             self.wal.sync()
             self.stats.logged_ddl += 1
+            if self._db is not None:
+                # the catalog state this DDL produced is now in the
+                # log; batches may reference it by ordinal again
+                self._ddl_synced_version = self._db.catalog.version
 
     def append_batch(
         self,
@@ -158,14 +243,33 @@ class DurabilityManager:
         The single-session facade passes ``sync=True`` (its commit is
         its own flush).  The commit scheduler always passes
         ``sync=False`` and issues the durability fsync through
-        :meth:`sync` in its window flush — one flush per window, which
-        is one per commit in ``commit`` mode (singleton windows) and
-        one shared by the whole group in ``batch`` mode.
+        :meth:`sync` — from its window flush in ``commit`` mode (one
+        fsync per commit) and from the log-writer thread in ``batch``
+        mode (one fsync per burst of windows).
         """
         if not self.durable:
             return
         with self._lock:
-            self.wal.append("batch", **batch_payload(inserts, deletes, counts))
+            # v2 ordinals are positions in the catalog's table list,
+            # so a batch record's ordinals are only meaningful if every
+            # catalog change before it is already in the log.  A live
+            # catalog NEWER than the last logged DDL means a DDL's
+            # mutation has landed but its WAL record has not (the
+            # listener fires after the catalog commit and may lose the
+            # race for this lock) — encoding ordinals now would let
+            # replay resolve them against the wrong table list.  Fall
+            # back to the name-based v1 record for exactly that window;
+            # the pending log_ddl resyncs the version right behind us.
+            ordinal_of = (
+                self._ordinal_of
+                if self._db is not None
+                and self.batch_format >= 2
+                and self._db.catalog.version == self._ddl_synced_version
+                else None
+            )
+            self.wal.append_batch(
+                inserts, deletes, counts, ordinal_of=ordinal_of
+            )
             self.stats.logged_batches += 1
             if sync:
                 self.wal.sync()

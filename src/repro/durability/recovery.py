@@ -9,6 +9,19 @@ full TINTIN compilation pipeline, and committed event batches through
 ``Database.apply_batch``.  There is nothing to undo: a batch only
 reaches the log after validation succeeded and the apply committed.
 
+The recovery pass is the durable open's *only* disk read: the
+:class:`RecoveryReport` carries the checkpoint's ``wal_seq``, the
+highest WAL sequence, and the log's decodable prefix length, and
+``Tintin.open`` hands all of it to the :class:`~repro.durability
+.manager.DurabilityManager` — which therefore neither re-parses the
+checkpoint nor re-scans the WAL.  One checkpoint parse, one log scan,
+per open.
+
+Checkpoint restore loads per-table rows in parallel (tables are
+independent once created in FK order); WAL format v2 batch records
+reference tables by schema ordinal, resolved against the catalog
+exactly as replay has rebuilt it at each record.
+
 Verification is built in rather than bolted on:
 
 * the checkpoint's per-table row counts are compared against the rows
@@ -27,16 +40,33 @@ from __future__ import annotations
 
 import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..errors import ConstraintViolation, RecoveryError
+from ..errors import ConstraintViolation, DurabilityError, RecoveryError
 from ..minidb.database import Database
 from ..minidb.schema import TableSchema
 from .checkpoint import load_checkpoint
-from .wal import WalScan, decode_batch, read_wal
+from .wal import (
+    WalScan,
+    decode_batch,
+    decode_batch_v2,
+    decode_batch_v2_at,
+    read_wal_fused,
+    record_seq,
+    record_type,
+)
 
 WAL_FILE = "wal.log"
+
+#: below this many total checkpointed rows a parallel restore is all
+#: thread-pool overhead; load serially instead.  Honesty note: on
+#: stock CPython the load is GIL-bound pure Python, so the pool mostly
+#: buys architecture (per-table independence is established and
+#: tested), not wall-clock — the win arrives with free-threaded
+#: builds, or if row decoding ever moves to a GIL-releasing codec.
+PARALLEL_RESTORE_MIN_ROWS = 4096
 
 
 def wal_path(directory: str) -> str:
@@ -54,7 +84,14 @@ def has_durable_state(directory: str) -> bool:
 
 @dataclass
 class RecoveryReport:
-    """What one recovery pass found and did."""
+    """What one recovery pass found and did.
+
+    Beyond the human-facing summary, the report is the single-pass
+    open's handoff: ``checkpoint_seq``, ``last_seq``,
+    ``wal_valid_length`` and ``wal_file_length`` tell the durability
+    manager everything a reopen-for-append needs, so it never touches
+    the checkpoint or scans the log a second time.
+    """
 
     directory: str
     checkpoint_used: bool = False
@@ -69,6 +106,12 @@ class RecoveryReport:
     last_seq: int = 0
     seconds: float = 0.0
     tables: dict[str, int] = field(default_factory=dict)
+    #: decodable prefix length of ``wal.log`` (None: no file on disk)
+    wal_valid_length: Optional[int] = None
+    #: on-disk byte size of ``wal.log`` the scan saw (None: no file)
+    wal_file_length: Optional[int] = None
+    #: how many worker threads the checkpoint restore used (1 = serial)
+    restore_workers: int = 1
 
     def __str__(self) -> str:
         source = "checkpoint + WAL" if self.checkpoint_used else "WAL"
@@ -83,6 +126,28 @@ class RecoveryReport:
             f"{self.rows_applied} row change(s), {self.ddl_replayed} DDL) "
             f"in {self.seconds * 1000:.1f}ms{tail}"
         )
+
+
+class _CatalogNames:
+    """The creation-ordered ``main``-namespace table list, memoized on
+    the catalog version — v2 batch records resolve their schema
+    ordinals through this, against the catalog exactly as replay has
+    rebuilt it when each record is reached."""
+
+    def __init__(self, db: Database):
+        self._db = db
+        self._version = -1
+        self._names: list[str] = []
+
+    def names(self) -> list[str]:
+        catalog = self._db.catalog
+        if catalog.version != self._version:
+            self._names = [
+                t.schema.name
+                for t in catalog.tables_in_creation_order(namespace="main")
+            ]
+            self._version = catalog.version
+        return self._names
 
 
 def recover(
@@ -104,7 +169,11 @@ def recover(
     path = wal_path(directory)
     scan = WalScan()
     if os.path.exists(path):
-        scan = read_wal(path)
+        # the fused scan: frames are decoded straight off the file
+        # bytes, v2 batch records arriving as already-decoded tuples
+        scan = read_wal_fused(path)
+        report.wal_valid_length = scan.valid_length
+        report.wal_file_length = scan.valid_length + scan.torn_bytes
     report.records_seen = len(scan.records)
     report.torn_tail = scan.tail_error
     report.torn_bytes = scan.torn_bytes
@@ -112,7 +181,7 @@ def recover(
     name = "db"
     if checkpoint is not None:
         name = checkpoint.get("database", name)
-    elif scan.records and scan.records[0].get("type") == "open":
+    elif scan.records and record_type(scan.records[0]) == "open":
         name = scan.records[0].get("database", name)
     db = Database(name)
     tintin = Tintin(db, optimize=optimize)
@@ -124,9 +193,10 @@ def recover(
         report.checkpoint_used = True
         report.checkpoint_seq = checkpoint_seq
 
+    names = _CatalogNames(db)
     last_seq = checkpoint_seq
     for record in scan.records:
-        seq = record.get("seq", 0)
+        seq = record_seq(record)
         if seq <= checkpoint_seq:
             continue  # the checkpoint already covers this record
         if seq <= last_seq:
@@ -135,9 +205,13 @@ def recover(
                 f"(after {last_seq}) — the log is inconsistent"
             )
         last_seq = seq
-        _replay_record(tintin, record, report)
+        _replay_record(tintin, record, report, names, scan.data)
         report.records_replayed += 1
-    report.last_seq = max(last_seq, scan.records[-1]["seq"]) if scan.records else last_seq
+    report.last_seq = (
+        max(last_seq, record_seq(scan.records[-1]))
+        if scan.records
+        else last_seq
+    )
 
     report.tables = {
         t.schema.name: len(t) for t in db.catalog.tables(namespace="main")
@@ -153,15 +227,34 @@ def _restore_checkpoint(
     tintin, checkpoint: dict, report: RecoveryReport
 ) -> None:
     db = tintin.db
+    # tables are created serially in FK (creation) order — add_table
+    # validates referenced parents exist — but row loading is
+    # independent per table once the schemas are in place, so big
+    # checkpoints load in parallel
+    entries = []
     for entry in checkpoint.get("tables", ()):
         schema = TableSchema.from_dict(entry["schema"])
         table = db.catalog.add_table(schema, entry.get("namespace", "main"))
-        loaded = table.load_rows(entry["rows"])
-        expected = checkpoint.get("row_counts", {}).get(schema.name)
+        entries.append((table, entry["rows"]))
+    expected_counts = checkpoint.get("row_counts", {})
+    total_rows = sum(len(rows) for _, rows in entries)
+    workers = min(len(entries), os.cpu_count() or 1)
+    if workers > 1 and total_rows >= PARALLEL_RESTORE_MIN_ROWS:
+        report.restore_workers = workers
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="tintin-restore"
+        ) as pool:
+            loaded_counts = list(
+                pool.map(lambda item: item[0].load_rows(item[1]), entries)
+            )
+    else:
+        loaded_counts = [table.load_rows(rows) for table, rows in entries]
+    for (table, _), loaded in zip(entries, loaded_counts):
+        expected = expected_counts.get(table.schema.name)
         if expected is not None and loaded != expected:
             raise RecoveryError(
-                f"table {schema.name!r}: checkpoint recorded {expected} "
-                f"row(s), loaded {loaded}"
+                f"table {table.schema.name!r}: checkpoint recorded "
+                f"{expected} row(s), loaded {loaded}"
             )
     captured = checkpoint.get("captured", ())
     if captured:
@@ -185,8 +278,26 @@ def _restore_checkpoint(
 # -- WAL replay -------------------------------------------------------------
 
 
-def _replay_record(tintin, record: dict, report: RecoveryReport) -> None:
+def _replay_record(
+    tintin, record, report: RecoveryReport, names: _CatalogNames, data: bytes
+) -> None:
     db = tintin.db
+    if type(record) is tuple:
+        # a fused-scan v2 batch: decode the frame span in place, name
+        # resolution against the catalog exactly as replay has rebuilt
+        # it — one pass, one dict build
+        _, seq, start, end = record
+        try:
+            inserts, deletes, counts = decode_batch_v2_at(
+                data, start, end, names.names()
+            )
+        except DurabilityError as exc:
+            raise RecoveryError(
+                f"batch record seq={seq} cannot be resolved against the "
+                f"replayed catalog: {exc}"
+            ) from exc
+        _replay_batch(tintin, seq, inserts, deletes, counts, report)
+        return
     kind = record.get("type")
     if kind == "open":
         return
@@ -222,27 +333,24 @@ def _replay_record(tintin, record: dict, report: RecoveryReport) -> None:
         report.ddl_replayed += 1
         return
     if kind == "batch":
-        inserts, deletes = decode_batch(record)
         try:
-            applied = db.apply_batch(inserts, deletes)
-        except ConstraintViolation as exc:
+            if record.get("binary"):
+                # lazy-payload (read_wal) representation — the fused
+                # scan never produces it, but decode it all the same
+                inserts, deletes, counts = decode_batch_v2(
+                    record["payload"], names.names()
+                )
+            else:
+                inserts, deletes = decode_batch(record)
+                counts = record.get("counts")
+        except DurabilityError as exc:
             raise RecoveryError(
-                f"replay of committed batch seq={record['seq']} was "
-                f"rejected by the engine: {exc} — the log and the data "
-                "disagree"
+                f"batch record seq={record.get('seq')} cannot be resolved "
+                f"against the replayed catalog: {exc}"
             ) from exc
-        report.batches_replayed += 1
-        report.rows_applied += applied
-        counts = record.get("counts")
-        if counts:
-            for table_name, expected in counts.items():
-                actual = len(db.table(table_name))
-                if actual != expected:
-                    raise RecoveryError(
-                        f"after replaying batch seq={record['seq']}, table "
-                        f"{table_name!r} holds {actual} row(s) but the log "
-                        f"recorded {expected}"
-                    )
+        _replay_batch(
+            tintin, record.get("seq"), inserts, deletes, counts, report
+        )
         return
     if kind in ("checkpoint", "truncate"):
         # informational markers: checkpointed state lives in the
@@ -250,3 +358,28 @@ def _replay_record(tintin, record: dict, report: RecoveryReport) -> None:
         # sequence high-water mark across compaction
         return
     raise RecoveryError(f"unknown WAL record type {kind!r} (seq={record.get('seq')})")
+
+
+def _replay_batch(
+    tintin, seq, inserts, deletes, counts, report: RecoveryReport
+) -> None:
+    db = tintin.db
+    try:
+        applied = db.apply_batch(inserts, deletes)
+    except ConstraintViolation as exc:
+        raise RecoveryError(
+            f"replay of committed batch seq={seq} was "
+            f"rejected by the engine: {exc} — the log and the data "
+            "disagree"
+        ) from exc
+    report.batches_replayed += 1
+    report.rows_applied += applied
+    if counts:
+        for table_name, expected in counts.items():
+            actual = len(db.table(table_name))
+            if actual != expected:
+                raise RecoveryError(
+                    f"after replaying batch seq={seq}, table "
+                    f"{table_name!r} holds {actual} row(s) but the log "
+                    f"recorded {expected}"
+                )

@@ -1,10 +1,10 @@
 """The write-ahead log: length-prefixed, checksummed, versioned records.
 
-The WAL is the redo log of the durability subsystem.  Every record is a
-JSON object framed as::
+The WAL is the redo log of the durability subsystem.  Every record is
+framed as::
 
     +----------------+----------------+------------------+
-    | length (u32 BE)| CRC32 (u32 BE) | payload (UTF-8)  |
+    | length (u32 BE)| CRC32 (u32 BE) | payload          |
     +----------------+----------------+------------------+
 
 preceded (once, at file start) by an 8-byte versioned magic header.
@@ -17,6 +17,27 @@ append truncates the damaged tail so new frames always start at a
 boundary.  A file whose 8-byte header is missing or carries a foreign
 format version raises :class:`~repro.errors.WALCorruptionError`
 instead — that is not a crash artifact, it is not our log.
+
+Two payload encodings coexist, distinguished by the payload's first
+byte:
+
+``{`` (0x7B)
+    **format v1**: a compact-JSON object.  All DDL records (they are
+    rare, human-debuggable, and synced immediately) and any batch a
+    v2 encoder cannot express use this form;
+``0xB2``
+    **format v2**: a binary ``batch`` record — length-prefixed typed
+    columns replacing the JSON row arrays, with tables referenced by
+    their *schema ordinal* (position in the catalog's creation-ordered
+    ``main``-namespace table list) instead of by name.  The ordinal is
+    resolved through the checkpointed catalog at replay time, which is
+    exactly the state replay has rebuilt by the time it reaches the
+    record.  See :func:`encode_batch_v2` for the layout.
+
+The file header's version byte records the format generation that
+*created* the file; readers accept both generations, so a log that
+starts life under v1 and continues in v2 after an upgrade recovers
+correctly — frame dispatch is per-record, not per-file.
 
 Record types (the ``"type"`` field):
 
@@ -39,10 +60,10 @@ hit between checkpoint-rename and WAL-truncation skips the prefix the
 checkpoint already covers instead of double-applying it.
 
 Row values are the engine's scalar types (int, float, str, bool,
-None); JSON round-trips all of them exactly (including ±infinity),
-and the decoder restores rows as tuples.  NaN is the one value the
-codec refuses: ``NaN != NaN`` would poison the row-equality checks
-replay verification relies on.
+None); both codecs round-trip all of them exactly (including
+±infinity) and restore rows as tuples.  NaN is the one value both
+refuse: ``NaN != NaN`` would poison the row-equality checks replay
+verification relies on.
 """
 
 from __future__ import annotations
@@ -53,18 +74,36 @@ import os
 import struct
 import zlib
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from ..errors import DurabilityError, WALCorruptionError
 
-#: 8-byte file header: magic + format version.  Bump the last byte on
-#: any incompatible frame or payload change.
-WAL_MAGIC = b"TNTWAL\x00\x01"
+#: 8-byte file header of logs created by this build: magic + format
+#: generation.  Readers accept :data:`WAL_MAGIC_V1` too — upgraded
+#: logs keep their original header and simply continue in v2 frames.
+WAL_MAGIC = b"TNTWAL\x00\x02"
+#: the header format v1 logs were created with (still readable)
+WAL_MAGIC_V1 = b"TNTWAL\x00\x01"
+_ACCEPTED_MAGICS = (WAL_MAGIC, WAL_MAGIC_V1)
+_HEADER_LEN = len(WAL_MAGIC)
 
 _FRAME = struct.Struct(">II")  # payload length, CRC32(payload)
 
+#: first payload byte of a binary v2 ``batch`` record (JSON payloads
+#: start with ``{`` = 0x7B; the two can never be confused)
+BATCH_V2_TAG = 0xB2
 
-# -- record codec -----------------------------------------------------------
+#: how many times :func:`read_wal` performed a full file scan in this
+#: process — the single-pass-open regression tests assert the delta
+_scan_count = 0
+
+
+def wal_scan_count() -> int:
+    """Process-lifetime count of full WAL scans (see :func:`read_wal`)."""
+    return _scan_count
+
+
+# -- v1 record codec (JSON) --------------------------------------------------
 
 
 def rows_to_payload(rows: Iterable[tuple]) -> list[list]:
@@ -97,7 +136,7 @@ def batch_payload(
     deletes: dict[str, list[tuple]],
     counts: Optional[dict[str, int]] = None,
 ) -> dict:
-    """The body of a ``batch`` record (no seq/type yet)."""
+    """The body of a v1 (JSON) ``batch`` record (no seq/type yet)."""
     payload = {
         "ins": {t: rows_to_payload(r) for t, r in inserts.items() if r},
         "del": {t: rows_to_payload(r) for t, r in deletes.items() if r},
@@ -107,16 +146,37 @@ def batch_payload(
     return payload
 
 
-def decode_batch(record: dict) -> tuple[dict[str, list[tuple]], dict[str, list[tuple]]]:
-    """A ``batch`` record's events as ``(inserts, deletes)`` tuple dicts."""
+def decode_batch(
+    record: dict, table_names: Optional[list[str]] = None
+) -> tuple[dict[str, list[tuple]], dict[str, list[tuple]]]:
+    """A ``batch`` record's events as ``(inserts, deletes)`` tuple dicts.
+
+    v1 records carry table names inline.  v2 records reference tables
+    by schema ordinal and need ``table_names`` — the creation-ordered
+    ``main``-namespace table list of the catalog as it stood when the
+    record was written (during replay: as replay has rebuilt it).
+    """
+    if record.get("binary"):
+        inserts, deletes, _ = decode_batch_v2(record["payload"], table_names)
+        return inserts, deletes
     return (
         {t: rows_from_payload(r) for t, r in record["ins"].items()},
         {t: rows_from_payload(r) for t, r in record["del"].items()},
     )
 
 
+def batch_counts(
+    record: dict, table_names: Optional[list[str]] = None
+) -> Optional[dict[str, int]]:
+    """A ``batch`` record's post-apply row counts, keyed by table name
+    (``None`` when the record carries none)."""
+    if record.get("binary"):
+        return decode_batch_v2(record["payload"], table_names)[2]
+    return record.get("counts")
+
+
 def encode_record(record: dict) -> bytes:
-    """Frame one record: length + CRC32 + compact JSON payload.
+    """Frame one v1 record: length + CRC32 + compact JSON payload.
 
     ``allow_nan`` stays on so ±infinity (legal DOUBLE values) encode;
     NaN never reaches here — :func:`rows_to_payload` rejects it.
@@ -125,6 +185,505 @@ def encode_record(record: dict) -> bytes:
         record, separators=(",", ":"), ensure_ascii=False
     ).encode("utf-8")
     return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+# -- v2 record codec (binary) ------------------------------------------------
+#
+# Payload layout of a binary ``batch`` record (all integers unsigned
+# unless noted; "varint" = LEB128 base-128 little-endian groups):
+#
+#   u8      0xB2 tag
+#   varint  seq
+#   u8      flags (bit 0: a counts section follows the table blocks)
+#   u8      number of insert table blocks   (< 128)
+#           ... insert table blocks ...
+#   u8      number of delete table blocks   (< 128)
+#           ... delete table blocks ...
+#   [flags&1]
+#   u8      number of count entries         (< 128)
+#           per entry: u8 table ordinal, varint row count
+#
+# One table block:
+#
+#   u8      table ordinal (position in the catalog's creation-ordered
+#           main-namespace table list when the record was written)
+#   u8      mode: 0 = column-typed fixed stride, 1 = tagged values
+#   mode 0: u8 column count, then one struct code per column (one of
+#           b/h/i/q  = signed int of 1/2/4/8 bytes, chosen per column
+#           from the narrowest width that holds every value,
+#           d = IEEE-754 double, ? = bool), varint row count, then
+#           row count × struct(">"+codes) packed rows — decoded in one
+#           C-level struct.iter_unpack pass;
+#   mode 1: varint row count, then per row: u8 column count and per
+#           value a type tag — 0 NULL, 1 False, 2 True, 3 int (zigzag
+#           varint, arbitrary precision), 4 float (8-byte BE double),
+#           5 str (varint byte length + UTF-8).
+#
+# Mode 0 is the fast path (every value non-NULL, columns uniformly
+# int/float/bool, ints within i64): numeric OLTP batches decode at
+# struct speed.  Mode 1 covers everything else (strings, NULLs, mixed
+# columns, >64-bit ints).  A batch the v2 encoder cannot express at
+# all (≥128 touched tables, a table missing from the ordinal map,
+# >255 columns) falls back to a v1 JSON record — the reader dispatches
+# per frame, so mixing is free.
+
+_TAG_NULL = 0
+_TAG_FALSE = 1
+_TAG_TRUE = 2
+_TAG_INT = 3
+_TAG_FLOAT = 4
+_TAG_STR = 5
+
+_F64 = struct.Struct(">d")
+#: one counts entry: table ordinal (u8) + post-apply row count (u32).
+#: Fixed-width so the whole section decodes in one C call; a table
+#: beyond 2^32 rows pushes the batch to the v1 JSON fallback.
+_COUNT_PAIR = struct.Struct(">BI")
+
+#: struct.Struct cache for mode-0 row formats, keyed by the code bytes
+_ROW_STRUCTS: dict[bytes, struct.Struct] = {}
+
+
+def _row_struct(codes: bytes) -> struct.Struct:
+    fmt = _ROW_STRUCTS.get(codes)
+    if fmt is None:
+        fmt = _ROW_STRUCTS[codes] = struct.Struct(">" + codes.decode("ascii"))
+    return fmt
+
+
+def _append_uvarint(out: bytearray, n: int) -> None:
+    while True:
+        byte = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_uvarint(data: bytes, i: int) -> tuple[int, int]:
+    b = data[i]
+    i += 1
+    if b < 0x80:
+        return b, i
+    n = b & 0x7F
+    shift = 7
+    while True:
+        b = data[i]
+        i += 1
+        n |= (b & 0x7F) << shift
+        if b < 0x80:
+            return n, i
+        shift += 7
+
+
+def _nan_guard(value: float) -> None:
+    if math.isnan(value):
+        raise DurabilityError(
+            "NaN cannot be logged: it breaks the row-equality "
+            "checks recovery verification depends on"
+        )
+
+
+def _column_codes(rows: list[tuple]) -> Optional[bytes]:
+    """Mode-0 struct codes for these rows, or None when they need the
+    tagged encoding (NULLs, strings, mixed columns, >64-bit ints)."""
+    arity = len(rows[0])
+    if arity == 0:
+        return None  # struct cannot iter_unpack a zero-size format
+    codes = bytearray()
+    for j in range(arity):
+        kind = None  # 'i' | 'f' | 'b'
+        lo = hi = 0
+        for row in rows:
+            if len(row) != arity:
+                return None
+            value = row[j]
+            if value is True or value is False:
+                if kind is None:
+                    kind = "b"
+                elif kind != "b":
+                    return None
+            elif isinstance(value, int):
+                if kind is None:
+                    kind = "i"
+                elif kind != "i":
+                    return None
+                if value < lo:
+                    lo = value
+                elif value > hi:
+                    hi = value
+            elif isinstance(value, float):
+                _nan_guard(value)
+                if kind is None:
+                    kind = "f"
+                elif kind != "f":
+                    return None
+            else:
+                return None  # None, str, or anything exotic
+        if kind == "b":
+            codes.append(ord("?"))
+        elif kind == "f":
+            codes.append(ord("d"))
+        else:
+            if lo >= -128 and hi <= 127:
+                codes.append(ord("b"))
+            elif lo >= -32768 and hi <= 32767:
+                codes.append(ord("h"))
+            elif lo >= -(2**31) and hi <= 2**31 - 1:
+                codes.append(ord("i"))
+            elif lo >= -(2**63) and hi <= 2**63 - 1:
+                codes.append(ord("q"))
+            else:
+                return None  # beyond i64: tagged varint handles it
+    return bytes(codes)
+
+
+def _encode_tagged_value(out: bytearray, value) -> None:
+    if value is None:
+        out.append(_TAG_NULL)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, int):
+        out.append(_TAG_INT)
+        zigzag = value * 2 if value >= 0 else -value * 2 - 1
+        _append_uvarint(out, zigzag)
+    elif isinstance(value, float):
+        _nan_guard(value)
+        out.append(_TAG_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(_TAG_STR)
+        _append_uvarint(out, len(encoded))
+        out += encoded
+    else:
+        raise DurabilityError(
+            f"value {value!r} of type {type(value).__name__} is not a "
+            "loggable scalar"
+        )
+
+
+def _encode_table_blocks(
+    out: bytearray,
+    events: dict[str, list[tuple]],
+    ordinal_of: Callable[[str], Optional[int]],
+) -> bool:
+    blocks = [(name, rows) for name, rows in events.items() if rows]
+    if len(blocks) >= 128:
+        return False
+    out.append(len(blocks))
+    for name, rows in blocks:
+        ordinal = ordinal_of(name)
+        if ordinal is None or not 0 <= ordinal < 128:
+            return False
+        arity = len(rows[0])
+        if arity > 255:
+            return False
+        out.append(ordinal)
+        codes = _column_codes(rows)
+        if codes is not None:
+            out.append(0)  # mode: fixed stride
+            out.append(arity)
+            out += codes
+            _append_uvarint(out, len(rows))
+            pack = _row_struct(codes).pack
+            for row in rows:
+                out += pack(*row)
+        else:
+            out.append(1)  # mode: tagged
+            _append_uvarint(out, len(rows))
+            for row in rows:
+                if len(row) > 255:
+                    return False
+                out.append(len(row))
+                for value in row:
+                    _encode_tagged_value(out, value)
+    return True
+
+
+def encode_batch_v2(
+    seq: int,
+    inserts: dict[str, list[tuple]],
+    deletes: dict[str, list[tuple]],
+    counts: Optional[dict[str, int]],
+    ordinal_of: Callable[[str], Optional[int]],
+) -> Optional[bytes]:
+    """One binary ``batch`` payload, or None when the batch is outside
+    what v2 expresses (the caller then writes a v1 JSON record).
+
+    ``ordinal_of`` maps a table name to its schema ordinal — its
+    position in the catalog's creation-ordered ``main``-namespace
+    table list — or None for a table the catalog does not hold.
+    NaN raises :class:`DurabilityError`, exactly like the v1 codec.
+    """
+    out = bytearray((BATCH_V2_TAG,))
+    _append_uvarint(out, seq)
+    out.append(1 if counts is not None else 0)
+    if not _encode_table_blocks(out, inserts, ordinal_of):
+        return None
+    if not _encode_table_blocks(out, deletes, ordinal_of):
+        return None
+    if counts is not None:
+        if len(counts) >= 128:
+            return None
+        out.append(len(counts))
+        for name, count in counts.items():
+            ordinal = ordinal_of(name)
+            if ordinal is None or not 0 <= ordinal < 128:
+                return None
+            if not 0 <= count <= 0xFFFFFFFF:
+                return None
+            out += _COUNT_PAIR.pack(ordinal, count)
+    return bytes(out)
+
+
+def decode_batch_v2(
+    payload: bytes, table_names: Optional[list[str]] = None
+) -> tuple[dict, dict, Optional[dict]]:
+    """Fully decode one binary batch payload.
+
+    Returns ``(inserts, deletes, counts)`` keyed by table name when
+    ``table_names`` (the catalog's creation-ordered main-namespace
+    list) is given, by raw ordinal otherwise.  Raises
+    :class:`DurabilityError` for an ordinal the catalog cannot resolve
+    or a payload that lies about its own shape (the CRC already passed,
+    so that is an encoder bug, not a torn write).
+    """
+    return decode_batch_v2_at(payload, 0, len(payload), table_names)
+
+
+def decode_batch_v2_at(
+    data: bytes,
+    start: int,
+    end: int,
+    table_names: Optional[list[str]] = None,
+) -> tuple[dict, dict, Optional[dict]]:
+    """:func:`decode_batch_v2` over a frame *in place*: ``data[start:
+    end]`` is the payload, decoded at absolute offsets with no copy.
+    This is what recovery's replay loop calls for the frame spans the
+    fused scan hands it.  The hot OLTP record shape goes through the
+    shape cache (:func:`_decode_batch_fast`); everything else through
+    the generic loop."""
+    try:
+        result = _decode_batch_fast(data, start + 1, end, table_names)
+    except (IndexError, struct.error):
+        result = None  # the generic path re-decodes and reports properly
+    if result is not None:
+        return result
+    try:
+        return _decode_batch_body(data, start + 1, end, table_names)
+    except DurabilityError:
+        raise
+    except (IndexError, ValueError, struct.error, UnicodeDecodeError) as exc:
+        raise DurabilityError(
+            f"malformed v2 batch payload (CRC passed — encoder bug?): {exc}"
+        ) from exc
+
+
+#: shape cache for the hot OLTP record shape — ONE fixed-stride insert
+#: block, no delete blocks, exactly one counts entry.  Within one log
+#: the committed batches repeat a handful of header shapes (same
+#: table, same column codes), so the parsed header — ordinal + row
+#: struct — is memoized on the raw header bytes and each record
+#: decodes in a few C calls.  This is what makes replay a first-class
+#: fast path rather than a per-byte interpreter loop.
+_SHAPE_CACHE: dict[bytes, tuple[int, struct.Struct]] = {}
+_SHAPE_CACHE_LIMIT = 4096
+
+
+def _decode_batch_fast(
+    p: bytes, i: int, end: int, table_names: Optional[list[str]]
+) -> Optional[tuple[dict, dict, dict]]:
+    """Decode one v2 payload *if* it matches the cached-shape fast
+    path; ``None`` sends the caller to the generic loop.  ``i`` enters
+    on the seq varint; reads past ``end`` are harmless (the caller's
+    frame CRC passed, and every accept path re-checks ``end``)."""
+    while p[i] >= 0x80:  # skip the seq varint
+        i += 1
+    i += 1
+    n_cols = p[i + 4]
+    prefix_end = i + 5 + n_cols
+    shape = p[i:prefix_end]
+    cached = _SHAPE_CACHE.get(shape)
+    if cached is None:
+        # shape bytes: flags, n_ins, ordinal, mode, n_cols, codes...
+        if not (p[i] == 1 and p[i + 1] == 1 and p[i + 3] == 0):
+            return None
+        try:
+            fmt = struct.Struct(">" + shape[5:].decode("ascii"))
+        except (struct.error, UnicodeDecodeError):
+            return None
+        if len(_SHAPE_CACHE) < _SHAPE_CACHE_LIMIT:
+            _SHAPE_CACHE[shape] = (p[i + 2], fmt)
+        cached = (p[i + 2], fmt)
+    ordinal, fmt = cached
+    j = prefix_end
+    n_rows = p[j]
+    j += 1
+    if n_rows >= 0x80:
+        return None  # multi-byte row count: generic path
+    rows_end = j + n_rows * fmt.size
+    # the remainder must be exactly: ndel=0, ncounts=1, one count pair
+    if (
+        rows_end + 2 + _COUNT_PAIR.size != end
+        or p[rows_end] != 0
+        or p[rows_end + 1] != 1
+    ):
+        return None
+    if n_rows == 1:
+        rows = [fmt.unpack_from(p, j)]
+    else:
+        rows = list(fmt.iter_unpack(memoryview(p)[j:rows_end]))
+    count_ordinal, count_value = _COUNT_PAIR.unpack_from(p, rows_end + 2)
+    if table_names is None:
+        return {ordinal: rows}, {}, {count_ordinal: count_value}
+    return (
+        {table_names[ordinal]: rows},
+        {},
+        {table_names[count_ordinal]: count_value},
+    )
+
+
+def _decode_batch_body(
+    p: bytes, i: int, length: int, table_names: Optional[list[str]]
+) -> tuple[dict, dict, Optional[dict]]:
+    """The decode loop shared by the lazy path (``p`` is one payload)
+    and the fused replay scan (``p`` is the whole file, ``i``/``length``
+    bound one frame).  ``i`` enters positioned on the seq varint.
+
+    This is recovery's hot loop, hence the inlined single-byte varint
+    fast path: an all-numeric OLTP batch costs a few byte reads plus
+    one C-level ``struct`` unpack per table.
+    """
+    while p[i] >= 0x80:  # skip the seq varint (the scan has it)
+        i += 1
+    i += 1
+    flags = p[i]
+    i += 1
+    structs = _ROW_STRUCTS
+    sections: list[dict] = []
+    for _section in (0, 1):
+        n_tables = p[i]
+        i += 1
+        events: dict = {}
+        for _ in range(n_tables):
+            ordinal = p[i]
+            mode = p[i + 1]
+            i += 2
+            if table_names is None:
+                key = ordinal
+            elif ordinal < len(table_names):
+                key = table_names[ordinal]
+            else:
+                raise DurabilityError(
+                    f"batch record references table ordinal {ordinal}, "
+                    f"but the catalog holds only {len(table_names)} "
+                    "table(s) at this replay point"
+                )
+            if mode == 0:
+                n_cols = p[i]
+                i += 1
+                codes = p[i : i + n_cols]
+                i += n_cols
+                b = p[i]
+                i += 1
+                if b < 0x80:
+                    n_rows = b
+                else:
+                    n_rows, i = _read_uvarint(p, i - 1)
+                fmt = structs.get(codes)
+                if fmt is None:
+                    fmt = _row_struct(codes)
+                end = i + n_rows * fmt.size
+                if end > length:
+                    raise ValueError(
+                        "fixed-stride block overruns the payload"
+                    )
+                if n_rows == 1:
+                    events[key] = [fmt.unpack_from(p, i)]
+                else:
+                    events[key] = list(
+                        fmt.iter_unpack(memoryview(p)[i:end])
+                    )
+                i = end
+            elif mode == 1:
+                b = p[i]
+                i += 1
+                if b < 0x80:
+                    n_rows = b
+                else:
+                    n_rows, i = _read_uvarint(p, i - 1)
+                rows = []
+                for _ in range(n_rows):
+                    n_cols = p[i]
+                    i += 1
+                    row = []
+                    for _ in range(n_cols):
+                        tag = p[i]
+                        i += 1
+                        if tag == _TAG_NULL:
+                            row.append(None)
+                        elif tag == _TAG_TRUE:
+                            row.append(True)
+                        elif tag == _TAG_FALSE:
+                            row.append(False)
+                        elif tag == _TAG_INT:
+                            zigzag, i = _read_uvarint(p, i)
+                            row.append(
+                                zigzag >> 1
+                                if not zigzag & 1
+                                else -((zigzag + 1) >> 1)
+                            )
+                        elif tag == _TAG_FLOAT:
+                            row.append(_F64.unpack_from(p, i)[0])
+                            i += 8
+                        elif tag == _TAG_STR:
+                            strlen, i = _read_uvarint(p, i)
+                            row.append(p[i : i + strlen].decode("utf-8"))
+                            i += strlen
+                        else:
+                            raise ValueError(f"unknown value tag {tag}")
+                    rows.append(tuple(row))
+                events[key] = rows
+            else:
+                raise ValueError(f"unknown table-block mode {mode}")
+        sections.append(events)
+    counts = None
+    if flags & 1:
+        n_counts = p[i]
+        i += 1
+        end = i + n_counts * _COUNT_PAIR.size
+        if end > length:
+            raise ValueError("counts section overruns the payload")
+        if n_counts == 1:
+            ordinal, value = _COUNT_PAIR.unpack_from(p, i)
+            pairs = ((ordinal, value),)
+        else:
+            pairs = _COUNT_PAIR.iter_unpack(memoryview(p)[i:end])
+        i = end
+        if table_names is None:
+            counts = dict(pairs)
+        else:
+            try:
+                counts = {table_names[o]: v for o, v in pairs}
+            except IndexError:
+                raise DurabilityError(
+                    f"batch record counts reference a table ordinal the "
+                    f"catalog cannot resolve ({len(table_names)} table(s) "
+                    "at this replay point)"
+                ) from None
+    if i != length:
+        raise ValueError(
+            f"binary batch payload has {length - i} trailing byte(s)"
+        )
+    return sections[0], sections[1], counts
+
+
+# -- frame scanning ----------------------------------------------------------
 
 
 def decode_records(
@@ -137,7 +696,17 @@ def decode_records(
     (including ``offset``) and ``tail_error`` describes why scanning
     stopped early (``None`` when the data ends exactly on a frame
     boundary).  The caller decides whether a non-empty tail is a
-    tolerable torn write or corruption.
+    tolerable torn write or corruption.  JSON (v1) and binary (v2)
+    payloads are dispatched per frame by their first byte.
+
+    KEEP IN SYNC with :func:`scan_frames_fused`: the two scanners
+    share the frame-walk and torn-tail discipline and differ only in
+    how a v2 frame is materialized (lazy payload dict here, decoded
+    span tuple there).  They are deliberately not factored through a
+    per-frame callback — this loop is the durable open's hot path and
+    a Python call per frame costs what the fused scan exists to save.
+    The crash-injection matrix runs both scanners over every cut
+    point, so a divergence in tail classification fails loudly.
     """
     records: list[dict] = []
     position = offset
@@ -153,15 +722,125 @@ def decode_records(
         payload = data[start:end]
         if zlib.crc32(payload) != crc:
             return records, position, "checksum mismatch"
-        try:
-            record = json.loads(payload.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            return records, position, "undecodable payload"
-        if not isinstance(record, dict):
-            return records, position, "non-object record"
+        first = payload[0] if length else -1
+        if first == 0x7B:  # "{" — a JSON (v1) record
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return records, position, "undecodable payload"
+            if not isinstance(record, dict):
+                return records, position, "non-object record"
+        elif first == BATCH_V2_TAG:
+            # the scan-time view of a binary frame: type + seq, with
+            # the payload kept for the one full decode at replay time
+            # — a durable open needs sequences, not rows, and ordinals
+            # can only resolve against the catalog as replay rebuilds
+            # it, which a file scan cannot know
+            try:
+                b = payload[1]
+                seq = b if b < 0x80 else _read_uvarint(payload, 1)[0]
+            except IndexError:
+                return records, position, "undecodable payload"
+            record = {
+                "type": "batch",
+                "seq": seq,
+                "binary": True,
+                "payload": payload,
+            }
+        else:
+            return records, position, "unknown payload format"
         records.append(record)
         position = end
     return records, position, None
+
+
+def scan_frames_fused(
+    data: bytes, offset: int = 0
+) -> tuple[list, int, Optional[str]]:
+    """The replay-optimized single pass: like :func:`decode_records`,
+    but a v2 batch frame costs only its integrity check — no payload
+    copy, no record dict.  Each returned item is either a dict (a JSON
+    record, exactly as ``decode_records`` yields it) or the 4-tuple
+    ``("batch", seq, start, end)`` spanning the payload inside
+    ``data``; the caller decodes the span with
+    :func:`decode_batch_v2_at` against the catalog at its replay point
+    (ordinals resolve in the same pass — one decode, one dict build).
+
+    The torn-tail discipline is identical to :func:`decode_records`: a
+    frame failing the length or CRC check — or whose seq header cannot
+    be read — ends the decodable prefix.  KEEP IN SYNC with
+    :func:`decode_records` (see the note there on why the walk is
+    duplicated rather than callback-parameterized).
+    """
+    items: list = []
+    position = offset
+    total = len(data)
+    view = memoryview(data)
+    while position < total:
+        if position + _FRAME.size > total:
+            return items, position, "truncated frame header"
+        length, crc = _FRAME.unpack_from(data, position)
+        start = position + _FRAME.size
+        end = start + length
+        if end > total:
+            return items, position, "truncated payload"
+        if zlib.crc32(view[start:end]) != crc:
+            return items, position, "checksum mismatch"
+        first = data[start] if length else -1
+        if first == BATCH_V2_TAG:
+            try:
+                b = data[start + 1]
+                seq = b if b < 0x80 else _read_uvarint(data, start + 1)[0]
+            except IndexError:
+                return items, position, "undecodable payload"
+            items.append(("batch", seq, start, end))
+        elif first == 0x7B:  # "{" — a JSON (v1) record
+            try:
+                record = json.loads(data[start:end].decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return items, position, "undecodable payload"
+            if not isinstance(record, dict):
+                return items, position, "non-object record"
+            items.append(record)
+        else:
+            return items, position, "unknown payload format"
+        position = end
+    return items, position, None
+
+
+def read_wal_fused(path: str) -> "WalScan":
+    """:func:`read_wal` with the fused replay scan — what recovery
+    uses.  ``records`` holds the mixed dict/tuple items of
+    :func:`scan_frames_fused`; header validation, torn-creation
+    tolerance and the scan counter behave exactly like
+    :func:`read_wal` (this counts as the open's one full scan).
+    """
+    data, torn = _read_validated(path)
+    if torn is not None:
+        return torn
+    records, valid_length, tail_error = scan_frames_fused(data, _HEADER_LEN)
+    return WalScan(
+        records=records,
+        valid_length=valid_length,
+        tail_error=tail_error,
+        torn_bytes=len(data) - valid_length,
+        data=data,
+    )
+
+
+def record_type(record) -> Optional[str]:
+    """The record's type, across both scan representations (dicts from
+    :func:`read_wal`, tuples from :func:`read_wal_fused`)."""
+    if type(record) is tuple:
+        return record[0]
+    return record.get("type")
+
+
+def record_seq(record) -> int:
+    """The record's sequence, across both scan representations."""
+    if type(record) is tuple:
+        return record[1]
+    return record.get("seq", 0)
 
 
 # -- the log file -----------------------------------------------------------
@@ -189,42 +868,78 @@ class WalStats:
 class WalScan:
     """Result of reading a log file back."""
 
-    records: list[dict] = field(default_factory=list)
-    valid_length: int = len(WAL_MAGIC)
+    records: list = field(default_factory=list)
+    valid_length: int = _HEADER_LEN
     tail_error: Optional[str] = None
     torn_bytes: int = 0
+    #: the raw file bytes — set by :func:`read_wal_fused`, whose
+    #: ``("batch", seq, start, end)`` items are spans into it
+    data: bytes = b""
 
 
-def read_wal(path: str) -> WalScan:
-    """Read every decodable record of a WAL file (tolerating a torn tail).
+@dataclass
+class WalResume:
+    """Handoff from an already-performed scan, so opening a log for
+    append after recovery does not read the file a second time.
 
-    Raises :class:`WALCorruptionError` for a missing/foreign header —
-    the file is not (this version of) a WAL at all.
+    ``valid_length`` is the decodable prefix (anything past it is a
+    torn tail to truncate, 0 marks a torn-creation artifact to
+    reinitialize); ``file_length`` the on-disk size that scan saw;
+    ``last_seq`` the highest sequence to resume after — the max over
+    the log's records *and* the checkpoint's ``wal_seq`` (a crash
+    between WAL truncation and the marker fsync leaves a header-only
+    log whose numbering must still not restart below the checkpoint).
     """
+
+    valid_length: int
+    file_length: int
+    last_seq: int
+
+
+def _read_validated(path: str) -> tuple[bytes, Optional[WalScan]]:
+    """Read the file and validate its magic header (counting the scan).
+
+    Returns ``(data, None)`` when the frames should be scanned, or
+    ``(data, scan)`` with a ready torn-creation :class:`WalScan` — the
+    crash hit between creating the file and the header write becoming
+    durable, so an empty (or partial-header) log holds no records by
+    construction: recoverable, not foreign.  A missing or foreign
+    header raises :class:`WALCorruptionError` — the file is not (a
+    readable version of) a WAL at all.
+    """
+    global _scan_count
+    _scan_count += 1
     with open(path, "rb") as handle:
         data = handle.read()
-    if len(data) < len(WAL_MAGIC):
-        if WAL_MAGIC.startswith(data):
-            # torn creation: the crash hit between creating the file
-            # and the header write becoming durable.  An empty (or
-            # partial-header) log holds no records by construction —
-            # recoverable, not foreign.
-            return WalScan(
+    if len(data) < _HEADER_LEN:
+        if any(magic.startswith(data) for magic in _ACCEPTED_MAGICS):
+            return data, WalScan(
                 records=[],
                 valid_length=0,
                 tail_error="torn header (file created but never written)",
                 torn_bytes=len(data),
+                data=data,
             )
         raise WALCorruptionError(
-            f"{path!r} does not start with the WAL magic header "
-            f"(format {WAL_MAGIC!r})"
+            f"{path!r} does not start with a WAL magic header "
+            f"(readable formats {WAL_MAGIC_V1!r}, {WAL_MAGIC!r})"
         )
-    if data[: len(WAL_MAGIC)] != WAL_MAGIC:
+    if data[:_HEADER_LEN] not in _ACCEPTED_MAGICS:
         raise WALCorruptionError(
-            f"{path!r} does not start with the WAL magic header "
-            f"(format {WAL_MAGIC!r})"
+            f"{path!r} does not start with a WAL magic header "
+            f"(readable formats {WAL_MAGIC_V1!r}, {WAL_MAGIC!r})"
         )
-    records, valid_length, tail_error = decode_records(data, len(WAL_MAGIC))
+    return data, None
+
+
+def read_wal(path: str) -> WalScan:
+    """Read every decodable record of a WAL file (tolerating a torn
+    tail); v2 batch frames arrive lazily (seq + payload), see
+    :func:`decode_records`."""
+    data, torn = _read_validated(path)
+    if torn is not None:
+        return torn
+    records, valid_length, tail_error = decode_records(data, _HEADER_LEN)
     return WalScan(
         records=records,
         valid_length=valid_length,
@@ -243,29 +958,39 @@ class WriteAheadLog:
 
     Opening an existing file truncates any torn tail (crash artifact)
     so new appends always start at a frame boundary, and resumes the
-    sequence numbering after the highest sequence seen.
+    sequence numbering after the highest sequence seen.  When the
+    caller already scanned the file (recovery did, moments ago), pass
+    the scan's outcome as ``resume`` and the constructor skips its own
+    read — a durable open then touches the log exactly once.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, resume: Optional[WalResume] = None):
         self.path = path
         self.stats = WalStats()
         self._synced = True
         self._failed = False
-        # read_wal distinguishes a torn creation artifact (empty file
-        # or a strict prefix of the magic — valid_length 0) from a
-        # foreign file, which raises WALCorruptionError rather than
-        # being silently overwritten
-        scan = read_wal(path) if os.path.exists(path) else None
-        if scan is not None and scan.valid_length >= len(WAL_MAGIC):
-            self.last_seq = max(
-                (r.get("seq", 0) for r in scan.records), default=0
-            )
+        if resume is None:
+            # read_wal distinguishes a torn creation artifact (empty
+            # file or a strict prefix of the magic — valid_length 0)
+            # from a foreign file, which raises WALCorruptionError
+            # rather than being silently overwritten
+            scan = read_wal(path) if os.path.exists(path) else None
+            if scan is not None and scan.valid_length >= _HEADER_LEN:
+                resume = WalResume(
+                    valid_length=scan.valid_length,
+                    file_length=scan.valid_length + scan.torn_bytes,
+                    last_seq=max(
+                        (r.get("seq", 0) for r in scan.records), default=0
+                    ),
+                )
+        if resume is not None and resume.valid_length >= _HEADER_LEN:
+            self.last_seq = resume.last_seq
             self._handle = open(path, "r+b")
-            if scan.torn_bytes:
-                self._handle.truncate(scan.valid_length)
+            if resume.file_length > resume.valid_length:
+                self._handle.truncate(resume.valid_length)
                 self.stats.truncations += 1
-            self._handle.seek(scan.valid_length)
-            self._synced_offset = scan.valid_length
+            self._handle.seek(resume.valid_length)
+            self._synced_offset = resume.valid_length
         else:
             # fresh log, or rewriting a torn creation artifact
             self.last_seq = 0
@@ -274,7 +999,7 @@ class WriteAheadLog:
             self._handle.flush()
             os.fsync(self._handle.fileno())
             _fsync_directory(os.path.dirname(path) or ".")
-            self._synced_offset = len(WAL_MAGIC)
+            self._synced_offset = _HEADER_LEN
         self._synced_seq = self.last_seq
 
     # -- writing -----------------------------------------------------------
@@ -301,17 +1026,47 @@ class WriteAheadLog:
             self.last_seq = seq
             self._synced_seq = max(self._synced_seq, seq)
 
-    def append(self, record_type: str, **fields) -> dict:
-        """Buffer one record; returns it (with its assigned ``seq``)."""
-        self._check_usable()
-        self.last_seq += 1
-        record = {"type": record_type, "seq": self.last_seq, **fields}
-        frame = encode_record(record)
+    def _write_frame(self, frame: bytes) -> None:
         self._handle.write(frame)
         self._synced = False
         self.stats.appends += 1
         self.stats.bytes_written += len(frame)
+
+    def append(self, record_type: str, **fields) -> dict:
+        """Buffer one v1 (JSON) record; returns it (with its ``seq``)."""
+        self._check_usable()
+        self.last_seq += 1
+        record = {"type": record_type, "seq": self.last_seq, **fields}
+        self._write_frame(encode_record(record))
         return record
+
+    def append_batch(
+        self,
+        inserts: dict[str, list[tuple]],
+        deletes: dict[str, list[tuple]],
+        counts: Optional[dict[str, int]] = None,
+        ordinal_of: Optional[Callable[[str], Optional[int]]] = None,
+        binary: bool = True,
+    ) -> dict:
+        """Buffer one committed-batch record, binary (v2) when possible.
+
+        The v2 encoder needs ``ordinal_of`` (the catalog's schema-
+        ordinal map); without it, or for a batch outside what v2
+        expresses, the record is written as v1 JSON — readers dispatch
+        per frame, so the formats mix freely in one log.
+        """
+        self._check_usable()
+        if binary and ordinal_of is not None:
+            payload = encode_batch_v2(
+                self.last_seq + 1, inserts, deletes, counts, ordinal_of
+            )
+            if payload is not None:
+                self.last_seq += 1
+                self._write_frame(
+                    _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+                )
+                return {"type": "batch", "seq": self.last_seq, "binary": True}
+        return self.append("batch", **batch_payload(inserts, deletes, counts))
 
     def sync(self) -> None:
         """Flush buffered frames and fsync — the durability point.
@@ -325,6 +1080,13 @@ class WriteAheadLog:
         all) — and the log refuses further writes.
         """
         self._check_usable()
+        if self._handle.closed:
+            # a post-close flush (an in-flight window's dispatch racing
+            # Tintin.close): the close path synced everything it could;
+            # reject cleanly instead of dying on the dead handle
+            raise DurabilityError(
+                f"write-ahead log {self.path!r} is closed"
+            )
         try:
             self._handle.flush()
             os.fsync(self._handle.fileno())
@@ -375,9 +1137,9 @@ class WriteAheadLog:
         checkpoint" — silently losing acknowledged commits.
         """
         self._check_usable()
-        self._handle.truncate(len(WAL_MAGIC))
-        self._handle.seek(len(WAL_MAGIC))
-        self._synced_offset = len(WAL_MAGIC)
+        self._handle.truncate(_HEADER_LEN)
+        self._handle.seek(_HEADER_LEN)
+        self._synced_offset = _HEADER_LEN
         self._synced_seq = self.last_seq
         self.append("truncate")
         self.sync()

@@ -165,6 +165,26 @@ class Catalog:
             ]
         return sorted(result, key=lambda t: normalize(t.schema.name))
 
+    def tables_in_creation_order(
+        self, namespace: Optional[str] = None
+    ) -> list[Table]:
+        """Tables in the order they were created (dict insertion order).
+
+        This order is a **durability contract**, not an implementation
+        detail: creation order is a valid FK-topological order by
+        construction (CREATE TABLE validates that referenced parents
+        already exist), so checkpoints serialize tables this way — and
+        WAL format v2 batch records reference tables by their *position
+        in this list* (the schema ordinal).  Changing how the catalog
+        stores tables must preserve it, or existing logs stop replaying.
+        """
+        with self._lock:
+            return [
+                t
+                for t in self._tables.values()
+                if namespace is None or t.namespace == namespace
+            ]
+
     def has_table(self, name: str) -> bool:
         return normalize(name) in self._tables
 

@@ -367,6 +367,13 @@ class Database:
         #: (TINTIN's capture machinery) are recreated by replaying the
         #: higher-level ``install`` record instead and bypass this hook.
         self.ddl_listener = None
+        #: makes a facade DDL's catalog mutation and its listener call
+        #: one atomic step.  WAL format v2 batch records reference
+        #: tables by catalog position, so the log's DDL order must
+        #: match the catalog's mutation order — without this lock two
+        #: racing DDLs could mutate in one order and log in the other,
+        #: and replay would resolve ordinals against the wrong list.
+        self._ddl_lock = threading.Lock()
 
     # -- transactions (per-session binding) ---------------------------------
 
@@ -548,17 +555,20 @@ class Database:
             self.create_table_ast(stmt)
             return None
         if isinstance(stmt, n.CreateView):
-            self.create_view(stmt.name, stmt.query)
-            if self.ddl_listener is not None:
-                # user-issued views are WAL-logged as printed SQL;
-                # TINTIN's assertion views bypass this (they call
-                # create_view directly and are rebuilt by assertion
-                # replay instead)
-                from ..sqlparser.printer import print_query
+            with self._ddl_lock:
+                self.create_view(stmt.name, stmt.query)
+                if self.ddl_listener is not None:
+                    # user-issued views are WAL-logged as printed SQL;
+                    # TINTIN's assertion views bypass this (they call
+                    # create_view directly and are rebuilt by assertion
+                    # replay instead)
+                    from ..sqlparser.printer import print_query
 
-                self.ddl_listener(
-                    "create_view", name=stmt.name, sql=print_query(stmt.query)
-                )
+                    self.ddl_listener(
+                        "create_view",
+                        name=stmt.name,
+                        sql=print_query(stmt.query),
+                    )
             return None
         if isinstance(stmt, n.CreateAssertion):
             raise ExecutionError(
@@ -567,14 +577,18 @@ class Database:
                 "paper's point)"
             )
         if isinstance(stmt, n.DropTable):
-            dropped = self.catalog.drop_table(stmt.name, stmt.if_exists)
-            if dropped and self.ddl_listener is not None:
-                self.ddl_listener("drop_table", name=stmt.name)
+            with self._ddl_lock:
+                dropped = self.catalog.drop_table(stmt.name, stmt.if_exists)
+                if dropped and self.ddl_listener is not None:
+                    self.ddl_listener("drop_table", name=stmt.name)
             return None
         if isinstance(stmt, n.DropView):
-            dropped_view = self.catalog.drop_view(stmt.name, stmt.if_exists)
-            if dropped_view and self.ddl_listener is not None:
-                self.ddl_listener("drop_view", name=stmt.name)
+            with self._ddl_lock:
+                dropped_view = self.catalog.drop_view(
+                    stmt.name, stmt.if_exists
+                )
+                if dropped_view and self.ddl_listener is not None:
+                    self.ddl_listener("drop_view", name=stmt.name)
             return None
         if isinstance(stmt, n.Insert):
             return self._execute_insert(stmt)
@@ -678,9 +692,12 @@ class Database:
             stmt.uniques,
         )
         validate_foreign_keys(self.catalog, schema)
-        table = self.catalog.add_table(schema, namespace)
-        if self.ddl_listener is not None:
-            self.ddl_listener("create_table", schema=schema, namespace=namespace)
+        with self._ddl_lock:
+            table = self.catalog.add_table(schema, namespace)
+            if self.ddl_listener is not None:
+                self.ddl_listener(
+                    "create_table", schema=schema, namespace=namespace
+                )
         return table
 
     def create_table(self, sql: str, namespace: str = "main") -> Table:

@@ -170,6 +170,17 @@ class SchedulerStats:
     #: at work — several commits' records shared one fsync)
     wal_appends: int = 0
     wal_fsyncs: int = 0
+    #: log-writer thread counters: fsyncs it issued and commit windows
+    #: those covered (``writer_windows`` > ``writer_flushes`` is burst
+    #: coalescing at work — several windows shared one fsync)
+    writer_flushes: int = 0
+    writer_windows: int = 0
+    #: guards the fsync counters: the leader's inline flush and the
+    #: log-writer thread increment them concurrently, and ``+=`` on an
+    #: attribute is not atomic
+    _fsync_count_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def snapshot(self) -> dict:
         return {
@@ -181,7 +192,150 @@ class SchedulerStats:
             "max_group_size": self.max_group_size,
             "wal_appends": self.wal_appends,
             "wal_fsyncs": self.wal_fsyncs,
+            "writer_flushes": self.writer_flushes,
+            "writer_windows": self.writer_windows,
         }
+
+
+class LogWriter:
+    """Group commit's durability point, decoupled from the commit
+    window: an idle-path inline flush plus a dedicated log-writer
+    thread for bursts.
+
+    In ``batch`` mode the leader appends its window's WAL records
+    inside the window and flushes adaptively: with no backlog it
+    fsyncs inline (zero handoff — the steady closed-loop protocol,
+    where the fsync doubles as the next window's natural gather
+    period); with requests already queued behind the window — bursty
+    load, commits arriving faster than windows drain — it *submits*
+    the window here and immediately processes the next one.  The
+    dedicated log-writer thread then drains every submitted window
+    and issues **one** fsync for the whole burst: flushes batch
+    *across* commit windows (on top of the one-record-per-group
+    batching inside each window) while the leader's validation of the
+    next window overlaps the disk wait — the fsync releases the GIL,
+    so the overlap is real even on one core.
+
+    The fsyncgate discipline is preserved end to end: acknowledgements
+    still wait on the flush (a member's result is withheld until the
+    fsync covering its record returns), and a failed fsync — which
+    rolls back the WAL's unsynced frames and poisons the log — rejects
+    every member of every window the burst covered.  Windows submitted
+    after the poisoning are rejected the same way when their sync
+    raises.
+    """
+
+    def __init__(self, stats: SchedulerStats):
+        self.stats = stats
+        self._cond = threading.Condition()
+        self._pending: deque = deque()  # (manager, deferred) per window
+        self._flushing = False
+        self._stopped = False
+        self._thread: Optional[threading.Thread] = None
+
+    def submit(self, manager, deferred) -> None:
+        """Queue one window's deferred members for the thread's next
+        burst fsync."""
+        with self._cond:
+            if not self._stopped:
+                if self._thread is None or not self._thread.is_alive():
+                    self._thread = threading.Thread(
+                        target=self._run, name="tintin-log-writer", daemon=True
+                    )
+                    self._thread.start()
+                self._pending.append((manager, deferred))
+                self._cond.notify()
+                return
+        # late window after shutdown: flush inline — outside the
+        # condition lock (the fsync must not block drain/submit) and
+        # with the same never-strand-a-member net as the thread path
+        try:
+            self._flush_burst([(manager, deferred)])
+        finally:
+            for pending, _ in deferred:
+                if pending.result is None:
+                    pending.result = CommitResult(
+                        committed=False,
+                        constraint_error="log flush failed",
+                    )
+                    pending.done.set()
+
+    def drain(self) -> None:
+        """Block until every submitted window has been flushed (or
+        rejected).  With the leader lock held, this quiesces the whole
+        durability pipeline: no window can start, none is in flight."""
+        with self._cond:
+            while self._pending or self._flushing:
+                self._cond.wait(timeout=0.05)
+
+    def stop(self) -> None:
+        """Drain, then retire the thread (later windows flush inline)."""
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5)
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._stopped:
+                    self._cond.wait()
+                if not self._pending:
+                    return  # stopped and drained
+                burst = list(self._pending)
+                self._pending.clear()
+                self._flushing = True
+            try:
+                self._flush_burst(burst)
+            finally:
+                # catastrophe net: whatever happened, no member of the
+                # burst may be stranded in its wait loop.  A flush that
+                # died on something _flush_burst does not recognize
+                # propagates (and kills this thread — submit() restarts
+                # it), but its members are still rejected first.
+                for _, deferred in burst:
+                    for pending, _ in deferred:
+                        if pending.result is None:
+                            pending.result = CommitResult(
+                                committed=False,
+                                constraint_error="log flush failed",
+                            )
+                            pending.done.set()
+                with self._cond:
+                    self._flushing = False
+                    self._cond.notify_all()
+
+    def _flush_burst(self, burst) -> None:
+        """One fsync covers every window in the burst; then, and only
+        then, their withheld committed results become visible."""
+        from ..errors import DurabilityError
+
+        manager = burst[-1][0]
+        try:
+            manager.sync()
+        except (OSError, DurabilityError) as exc:
+            # the WAL rolled back its unsynced frames and poisoned
+            # itself (or already was poisoned): no member of any
+            # affected window may ever be acknowledged — reject them
+            # all
+            for _, deferred in burst:
+                for pending, _ in deferred:
+                    pending.result = CommitResult(
+                        committed=False,
+                        constraint_error=f"log flush failed: {exc}",
+                    )
+                    pending.done.set()
+            return
+        with self.stats._fsync_count_lock:
+            self.stats.wal_fsyncs += 1
+            self.stats.writer_flushes += 1
+            self.stats.writer_windows += len(burst)
+        for _, deferred in burst:
+            for pending, result in deferred:
+                pending.result = result
+                pending.done.set()
 
 
 class CommitScheduler:
@@ -220,20 +374,33 @@ class CommitScheduler:
         self._leader_lock = threading.Lock()
         #: undo-log manager for combined (multi-session) applies
         self._group_transactions = TransactionManager()
+        #: the dedicated log-writer thread (batch-mode windows hand it
+        #: their deferred members; it batches fsyncs across windows).
+        #: Set ``log_writer_enabled = False`` to flush every window
+        #: inline instead (the pre-log-writer protocol).
+        self.log_writer_enabled = True
+        self._log_writer = LogWriter(self.stats)
 
     # -- lifecycle ---------------------------------------------------------
 
     @contextmanager
     def quiesced(self):
-        """Hold the leader critical section: no commit window — and,
-        crucially, no window's WAL flush (the flush runs inside this
-        section) — can execute while the caller is inside.  This is
-        what ``Tintin.close`` wraps its final checkpoint and log
-        detach in, so an in-flight group commit is either fully
-        flushed before the shutdown or processed after it.
+        """Hold the leader critical section with the durability pipe
+        drained: no commit window can execute while the caller is
+        inside, and every already-submitted window's WAL flush has
+        completed (the log-writer queue is empty).  This is what
+        ``Tintin.close`` wraps its final checkpoint and log detach in,
+        so an in-flight group commit is fully flushed before the
+        shutdown — or queued after it (and then commits non-durably,
+        like any post-close commit).
         """
         with self._leader_lock:
+            self._log_writer.drain()
             yield
+
+    def stop_log_writer(self) -> None:
+        """Drain and retire the log-writer thread (shutdown path)."""
+        self._log_writer.stop()
 
     # -- submission --------------------------------------------------------
 
@@ -279,6 +446,11 @@ class CommitScheduler:
                         self._process_batch()
                 finally:
                     self._leader_lock.release()
+                # a no-op for an immediately-decided request; when the
+                # request's record is riding the log-writer thread's
+                # fsync the wait stops this thread from spinning on
+                # re-election until the flush acknowledges it
+                pending.done.wait(timeout=0.0005)
             else:
                 pending.done.wait(timeout=0.0005)
         assert pending.result is not None
@@ -464,7 +636,10 @@ class CommitScheduler:
             # but members whose *own* groups already committed (applied
             # and WAL-appended, results riding in ``deferred``) must
             # not be swallowed by a later group's failure: flush their
-            # records and acknowledge them first.  _flush_window is
+            # records and acknowledge them first.  The flush is inline
+            # even in ``batch`` mode — the leader is about to propagate
+            # the window failure, and every deferred member must be
+            # durably decided before it does.  _flush_window is
             # failure-safe — if the flush itself dies it assigns
             # rejections, so either way every deferred member is
             # decided here.  Only the truly undecided members then get
@@ -491,13 +666,33 @@ class CommitScheduler:
             # the durability point — the WRITE lock is already
             # released (early lock release, as in Aether-style group
             # commit), so sessions stage their next updates under the
-            # read lock while the fsync waits on the disk; the leader
-            # lock is still held, which keeps close()/shutdown from
-            # interleaving with an in-flight flush.  Readers may
-            # briefly observe committed-but-not-yet-durable state;
-            # acknowledgements wait for the flush, so no client is
+            # read lock while the fsync waits on the disk.  The flush
+            # itself is adaptive in ``batch`` mode: with NO backlog
+            # the leader fsyncs inline (zero handoff — the steady
+            # closed-loop protocol, and the fsync doubles as the next
+            # window's natural gather period); with requests already
+            # queued behind this window — bursty load — the flush is
+            # handed to the log-writer thread and the leader
+            # immediately processes the next window, so consecutive
+            # windows' flushes coalesce into shared fsyncs while
+            # validation continues.  ``commit`` mode always flushes
+            # inline (one fsync per commit, strictly inside the leader
+            # critical section — the E9 baseline protocol).  Either
+            # way acknowledgements wait for the flush, so no client is
             # ever told "committed" before its record is on disk.
-            self._flush_window(deferred)
+            if (
+                self.log_writer_enabled
+                and manager is not None
+                and manager.mode == "batch"
+            ):
+                with self._queue_lock:
+                    backlog = bool(self._queue)
+                if backlog:
+                    self._log_writer.submit(manager, deferred)
+                else:
+                    self._flush_window(deferred)
+            else:
+                self._flush_window(deferred)
 
     def _flush_window(
         self,
@@ -525,7 +720,8 @@ class CommitScheduler:
         try:
             if manager is not None:
                 manager.sync()
-                self.stats.wal_fsyncs += 1
+                with self.stats._fsync_count_lock:
+                    self.stats.wal_fsyncs += 1
         except BaseException as exc:
             for pending, _ in deferred:
                 pending.result = CommitResult(

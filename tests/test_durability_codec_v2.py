@@ -1,0 +1,479 @@
+"""WAL format v2: the binary row codec, differentially against v1 JSON.
+
+The satellite contract (ISSUE 5): arbitrary rows — unicode, None,
+booleans, arbitrary-precision integers, floats including ±infinity —
+encode through the v2 binary codec and decode to values *byte-for-byte
+equal* to what the v1 JSON codec's round trip produces (same value,
+same Python type, same float bit pattern), NaN is rejected by both,
+and a corpus of hand-picked adversarial payloads (empty rows, 1-byte
+strings, width boundaries, >64-bit integers) pins the edges.  Frame-
+level behavior is covered too: the two formats mix freely in one log,
+a v1-header log continues in v2 after upgrade, and damaged binary
+frames are detected, never mis-parsed.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.durability import (
+    BATCH_V2_TAG,
+    WAL_MAGIC,
+    WAL_MAGIC_V1,
+    WriteAheadLog,
+    batch_counts,
+    batch_payload,
+    decode_batch,
+    decode_batch_v2,
+    decode_records,
+    encode_batch_v2,
+    encode_record,
+    read_wal,
+    rows_from_payload,
+)
+from repro.errors import DurabilityError
+
+# -- ordinal fixture --------------------------------------------------------
+
+TABLES = ["orders", "lineitem", "ünïcode_tbl", "t3", "t4", "t5", "t6", "t7"]
+_ORDINALS = {name.lower(): i for i, name in enumerate(TABLES)}
+
+
+def ordinal_of(name: str):
+    return _ORDINALS.get(name.lower())
+
+
+# -- strategies -------------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**80), max_value=2**80),  # beyond i64 too
+    st.floats(allow_nan=False),  # ±inf included: legal DOUBLE values
+    st.text(max_size=40),
+)
+
+#: uniform-arity tables (the engine's rows), arity 1..4
+def _rows(values, max_rows=8):
+    return st.integers(min_value=1, max_value=4).flatmap(
+        lambda arity: st.lists(
+            st.tuples(*([values] * arity)), min_size=0, max_size=max_rows
+        )
+    )
+
+
+event_dicts = st.dictionaries(st.sampled_from(TABLES), _rows(scalars), max_size=3)
+
+#: numeric-only rows: these must take the fixed-stride fast path
+numeric_scalars = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False),
+)
+numeric_event_dicts = st.dictionaries(
+    st.sampled_from(TABLES), _rows(numeric_scalars), max_size=3
+)
+
+counts_dicts = st.one_of(
+    st.none(),
+    st.dictionaries(
+        st.sampled_from(TABLES),
+        # u32 is the v2 counts range; a count beyond it pushes the
+        # whole record to the v1 fallback (pinned in its own test)
+        st.integers(min_value=0, max_value=2**32 - 1),
+        max_size=3,
+    ),
+)
+
+
+# -- byte-for-byte equality -------------------------------------------------
+
+
+def assert_identical(v2_value, v1_value):
+    """Equality that a plain ``==`` is too forgiving for: the types
+    must match (True != 1 here) and floats must match bit-for-bit
+    (0.0 != -0.0 here)."""
+    assert type(v2_value) is type(v1_value), (v2_value, v1_value)
+    if isinstance(v2_value, float):
+        assert struct.pack(">d", v2_value) == struct.pack(">d", v1_value)
+    else:
+        assert v2_value == v1_value
+
+
+def assert_events_identical(v2_events: dict, v1_events: dict):
+    assert set(v2_events) == set(v1_events)
+    for table, v2_rows in v2_events.items():
+        v1_rows = v1_events[table]
+        assert len(v2_rows) == len(v1_rows)
+        for v2_row, v1_row in zip(v2_rows, v1_rows):
+            assert isinstance(v2_row, tuple)
+            assert len(v2_row) == len(v1_row)
+            for a, b in zip(v2_row, v1_row):
+                assert_identical(a, b)
+
+
+def v1_round_trip(seq, inserts, deletes, counts=None):
+    """Encode + decode through the v1 JSON codec — the reference."""
+    record = {
+        "type": "batch",
+        "seq": seq,
+        **batch_payload(inserts, deletes, counts),
+    }
+    decoded, length, tail = decode_records(encode_record(record))
+    assert tail is None and len(decoded) == 1
+    return decode_batch(decoded[0]), decoded[0].get("counts")
+
+
+def v2_round_trip(seq, inserts, deletes, counts=None):
+    """Encode + decode through the v2 binary codec (and check that the
+    frame scanner reads the same seq back)."""
+    payload = encode_batch_v2(seq, inserts, deletes, counts, ordinal_of)
+    assert payload is not None, "batch unexpectedly outside v2's range"
+    records, _, tail = decode_records(_framed(payload))
+    assert tail is None
+    assert records[0]["seq"] == seq
+    assert records[0]["binary"]
+    # canonical table names resolve through the ordinal list
+    got_ins, got_del, got_counts = decode_batch_v2(payload, TABLES)
+    return (got_ins, got_del), got_counts
+
+
+# -- the differential property ----------------------------------------------
+
+
+@settings(max_examples=250, deadline=None)
+@given(event_dicts, event_dicts, counts_dicts)
+def test_codec_differential(inserts, deletes, counts):
+    (v2_ins, v2_del), v2_counts = v2_round_trip(7, inserts, deletes, counts)
+    (v1_ins, v1_del), v1_counts = v1_round_trip(7, inserts, deletes, counts)
+    assert_events_identical(v2_ins, v1_ins)
+    assert_events_identical(v2_del, v1_del)
+    assert v2_counts == v1_counts
+
+
+@settings(max_examples=150, deadline=None)
+@given(numeric_event_dicts, numeric_event_dicts)
+def test_codec_differential_numeric_fast_path(inserts, deletes):
+    """All-numeric batches (the OLTP shape the fixed-stride mode
+    exists for) must still decode identically to v1."""
+    (v2_ins, v2_del), _ = v2_round_trip(1, inserts, deletes)
+    (v1_ins, v1_del), _ = v1_round_trip(1, inserts, deletes)
+    assert_events_identical(v2_ins, v1_ins)
+    assert_events_identical(v2_del, v1_del)
+
+
+@settings(max_examples=150, deadline=None)
+@given(event_dicts, event_dicts)
+def test_codec_framed_round_trip_through_scanner(inserts, deletes):
+    """A framed v2 record survives the generic frame scanner exactly
+    like a JSON record does."""
+    payload = encode_batch_v2(3, inserts, deletes, None, ordinal_of)
+    frame = struct.pack(">II", len(payload), __import__("zlib").crc32(payload)) + payload
+    records, valid_length, tail = decode_records(frame)
+    assert tail is None
+    assert valid_length == len(frame)
+    got_ins, got_del = decode_batch(records[0], TABLES)
+    (ref_ins, ref_del), _ = v1_round_trip(3, inserts, deletes)
+    assert_events_identical(got_ins, ref_ins)
+    assert_events_identical(got_del, ref_del)
+
+
+# -- adversarial corpus -----------------------------------------------------
+
+ADVERSARIAL_ROWS = [
+    [],  # no rows at all
+    [()],  # one zero-arity row (tagged mode: struct cannot stride it)
+    [("",)],  # empty string
+    [("x",)],  # 1-byte string
+    [("\x00",)],  # NUL byte in a string
+    [("ü" * 1000,)],  # multi-byte UTF-8, multi-byte varint length
+    [("𐍈𝄞",)],  # astral-plane code points
+    [("a" * 70000,)],  # length needs a 3-byte varint
+    [(None,)],
+    [(True,), (False,)],
+    [(0,), (-1,)],
+    [(127,), (-128,)],  # i8 boundaries
+    [(128,), (-129,)],  # force i16
+    [(32767,), (-32768,)],  # i16 boundaries
+    [(32768,), (-32769,)],  # force i32
+    [(2**31 - 1,), (-(2**31),)],  # i32 boundaries
+    [(2**31,), (-(2**31) - 1,)],  # force i64
+    [(2**63 - 1,), (-(2**63),)],  # i64 boundaries (fixed mode's edge)
+    [(2**63,), (-(2**63) - 1,)],  # beyond i64: tagged varint
+    [(2**200, -(2**200))],  # arbitrary precision
+    [(float("inf"), float("-inf"))],
+    [(0.0,), (-0.0,)],  # signed zero must keep its sign bit
+    [(5e-324,), (1.7976931348623157e308,)],  # subnormal + max double
+    [(1, 2.5, "mixed", None, True)],  # every tag in one row
+    [(1,), (2.5,)],  # mixed column type: must fall to tagged mode
+    [tuple(range(255))],  # max encodable arity
+]
+
+
+@pytest.mark.parametrize("rows", ADVERSARIAL_ROWS, ids=repr)
+def test_adversarial_payloads(rows):
+    inserts = {"orders": rows}
+    (v2_ins, v2_del), _ = v2_round_trip(9, inserts, {})
+    (v1_ins, v1_del), _ = v1_round_trip(9, inserts, {})
+    assert_events_identical(v2_ins, v1_ins)
+    assert_events_identical(v2_del, v1_del)
+
+
+def test_nan_rejected_by_both_codecs():
+    bad = {"orders": [(float("nan"),)]}
+    with pytest.raises(DurabilityError):
+        encode_batch_v2(1, bad, {}, None, ordinal_of)
+    with pytest.raises(DurabilityError):
+        batch_payload(bad, {})
+    # NaN smuggled into a numeric column (fixed-mode candidate) too
+    bad_fixed = {"orders": [(1.5,), (float("nan"),)]}
+    with pytest.raises(DurabilityError):
+        encode_batch_v2(1, bad_fixed, {}, None, ordinal_of)
+
+
+def test_oversized_arity_falls_back_to_v1():
+    wide = {"orders": [tuple(range(256))]}  # arity > u8
+    assert encode_batch_v2(1, wide, {}, None, ordinal_of) is None
+
+
+def test_unknown_table_falls_back_to_v1():
+    assert (
+        encode_batch_v2(1, {"no_such_table": [(1,)]}, {}, None, ordinal_of)
+        is None
+    )
+
+
+def test_count_beyond_u32_falls_back_to_v1():
+    # the fixed-width counts pair caps at 2^32-1 rows per table; a
+    # bigger table is logged as a v1 JSON record instead
+    ok = encode_batch_v2(
+        1, {"orders": [(1,)]}, {}, {"orders": 2**32 - 1}, ordinal_of
+    )
+    assert ok is not None
+    assert (
+        encode_batch_v2(1, {"orders": [(1,)]}, {}, {"orders": 2**32}, ordinal_of)
+        is None
+    )
+
+
+def test_unresolvable_ordinal_is_loud():
+    payload = encode_batch_v2(1, {"t7": [(1,)]}, {}, None, ordinal_of)
+    with pytest.raises(DurabilityError):
+        decode_batch_v2(payload, TABLES[:3])  # catalog too small: ord 7
+    # without a table list the ordinals come back raw (the scan-level
+    # view); replay always passes the catalog's list
+    ins, _, _ = decode_batch_v2(payload)
+    assert ins == {7: [(1,)]}
+
+
+# -- mixed logs and headers -------------------------------------------------
+
+
+def test_v1_and_v2_frames_mix_in_one_log(tmp_path):
+    path = str(tmp_path / "wal.log")
+    wal = WriteAheadLog(path)
+    wal.append("open", database="db")
+    wal.append_batch({"orders": [(1, 2)]}, {}, ordinal_of=ordinal_of)
+    wal.append("batch", **batch_payload({"orders": [(3, 4)]}, {}))  # forced v1
+    wal.append_batch({"lineitem": [(5, None)]}, {}, ordinal_of=ordinal_of)
+    wal.append_batch({"orders": [(6,)]}, {}, ordinal_of=None)  # no ordinals → v1
+    wal.sync()
+    wal.close()
+    scan = read_wal(path)
+    assert [r["type"] for r in scan.records] == ["open"] + ["batch"] * 4
+    assert [bool(r.get("binary")) for r in scan.records] == [
+        False,
+        True,
+        False,
+        True,
+        False,
+    ]
+    assert [r["seq"] for r in scan.records] == [1, 2, 3, 4, 5]
+    assert decode_batch(scan.records[1], TABLES)[0] == {"orders": [(1, 2)]}
+    assert decode_batch(scan.records[2])[0] == {"orders": [(3, 4)]}
+    assert decode_batch(scan.records[3], TABLES)[0] == {"lineitem": [(5, None)]}
+
+
+def test_v1_header_log_continues_in_v2(tmp_path):
+    """The upgrade story: a log created by the v1 release keeps its
+    header; the v2 release appends binary frames to it, and the whole
+    thing reads back."""
+    path = str(tmp_path / "wal.log")
+    with open(path, "wb") as handle:
+        handle.write(WAL_MAGIC_V1)
+        handle.write(encode_record({"type": "open", "seq": 1, "database": "db"}))
+        handle.write(
+            encode_record(
+                {"type": "batch", "seq": 2, **batch_payload({"orders": [(1,)]}, {})}
+            )
+        )
+    wal = WriteAheadLog(path)  # reopen-for-append keeps the v1 header
+    assert wal.last_seq == 2
+    wal.append_batch({"orders": [(2,)]}, {}, ordinal_of=ordinal_of)
+    wal.sync()
+    wal.close()
+    with open(path, "rb") as handle:
+        assert handle.read(8) == WAL_MAGIC_V1  # header untouched
+    scan = read_wal(path)
+    assert [r["seq"] for r in scan.records] == [1, 2, 3]
+    assert scan.records[2]["binary"]
+    assert decode_batch(scan.records[2], TABLES)[0] == {"orders": [(2,)]}
+
+
+def test_fresh_logs_carry_the_v2_header(tmp_path):
+    path = str(tmp_path / "wal.log")
+    WriteAheadLog(path).close()
+    with open(path, "rb") as handle:
+        assert handle.read(8) == WAL_MAGIC
+    assert WAL_MAGIC != WAL_MAGIC_V1
+
+
+# -- damage detection on binary frames --------------------------------------
+
+
+def _framed(payload: bytes) -> bytes:
+    import zlib
+
+    return struct.pack(">II", len(payload), zlib.crc32(payload)) + payload
+
+
+def test_corrupted_binary_frame_stops_the_scan(tmp_path):
+    path = str(tmp_path / "wal.log")
+    wal = WriteAheadLog(path)
+    wal.append_batch({"orders": [(1, 2, 3)]}, {}, ordinal_of=ordinal_of)
+    wal.append_batch({"orders": [(4, 5, 6)]}, {}, ordinal_of=ordinal_of)
+    wal.sync()
+    wal.close()
+    raw = open(path, "rb").read()
+    corrupted = bytearray(raw)
+    corrupted[-2] ^= 0xFF  # flip a byte inside the second frame's payload
+    with open(path, "wb") as handle:
+        handle.write(bytes(corrupted))
+    scan = read_wal(path)
+    assert len(scan.records) == 1  # scanning stopped at the damage
+    assert scan.tail_error == "checksum mismatch"
+
+
+def test_wellformed_crc_with_malformed_binary_payload_is_detected():
+    # a payload whose CRC is fine but whose body lies about its shape
+    # (mode byte 9 does not exist): the scan's header parse accepts it
+    # — a passing CRC means this is an encoder bug, not a torn write —
+    # and the full decode refuses it loudly at replay time
+    bogus = bytes([BATCH_V2_TAG, 1, 0, 1, 0, 9])
+    records, valid_length, tail = decode_records(_framed(bogus))
+    assert tail is None and len(records) == 1
+    with pytest.raises(DurabilityError):
+        decode_batch_v2(records[0]["payload"], TABLES)
+
+
+def test_truncated_v2_header_stops_the_scan():
+    # a frame torn inside the seq varint fails even the header parse
+    bogus = bytes([BATCH_V2_TAG, 0xFF])
+    records, valid_length, tail = decode_records(_framed(bogus))
+    assert records == []
+    assert tail == "undecodable payload"
+
+
+def test_truncated_fixed_stride_block_is_detected():
+    # a fixed-stride block claiming more rows than the payload holds
+    good = encode_batch_v2(1, {"orders": [(1, 2)]}, {}, None, ordinal_of)
+    bogus = good[:-1]  # drop the last row byte
+    with pytest.raises(DurabilityError):
+        decode_batch_v2(bogus, TABLES)
+    # ...and trailing garbage past a complete decode is refused too
+    with pytest.raises(DurabilityError):
+        decode_batch_v2(good + b"\x00", TABLES)
+
+
+def test_unknown_payload_format_byte_stops_the_scan():
+    records, valid_length, tail = decode_records(_framed(b"\x99whatever"))
+    assert records == []
+    assert tail == "unknown payload format"
+
+
+# -- the shape-cached fast path ---------------------------------------------
+#
+# The hot OLTP record shape — one fixed-stride insert block, no
+# deletes, exactly one counts entry — decodes through a memoized
+# header shape.  The fast and generic decoders must agree exactly.
+
+
+def _fast_shape_payload(rows, count=42):
+    payload = encode_batch_v2(
+        9, {"lineitem": rows}, {}, {"lineitem": count}, ordinal_of
+    )
+    assert payload is not None
+    return payload
+
+
+@pytest.mark.parametrize("n_rows", [1, 2, 7, 127])
+def test_fast_path_agrees_with_generic_decoder(n_rows):
+    from repro.durability.wal import _decode_batch_body, _decode_batch_fast
+
+    rows = [(1000 + k, 2, k, 1.5 * k, k % 2 == 0) for k in range(n_rows)]
+    payload = _fast_shape_payload(rows)
+    for names in (TABLES, None):
+        fast = _decode_batch_fast(payload, 1, len(payload), names)
+        assert fast is not None, "the OLTP shape must take the fast path"
+        generic = _decode_batch_body(payload, 1, len(payload), names)
+        assert fast == generic
+    ins, dele, counts = decode_batch_v2(payload, TABLES)
+    assert ins == {"lineitem": rows}
+    assert dele == {}
+    assert counts == {"lineitem": 42}
+
+
+def test_fast_path_declines_other_shapes():
+    from repro.durability.wal import _decode_batch_fast
+
+    declined = [
+        # no counts section
+        encode_batch_v2(1, {"orders": [(1, 2)]}, {}, None, ordinal_of),
+        # a delete block
+        encode_batch_v2(
+            1, {"orders": [(1,)]}, {"orders": [(2,)]}, {"orders": 5}, ordinal_of
+        ),
+        # two counts entries
+        encode_batch_v2(
+            1,
+            {"orders": [(1,)], "lineitem": [(2,)]},
+            {},
+            {"orders": 1, "lineitem": 1},
+            ordinal_of,
+        ),
+        # tagged mode (strings)
+        encode_batch_v2(1, {"orders": [("x",)]}, {}, {"orders": 1}, ordinal_of),
+    ]
+    for payload in declined:
+        assert payload is not None
+        fast = _decode_batch_fast(payload, 1, len(payload), TABLES)
+        assert fast is None  # generic path decodes these
+        decode_batch_v2(payload, TABLES)  # ...and does so successfully
+
+
+def test_multi_entry_counts_resolution_and_bounds():
+    payload = encode_batch_v2(
+        1,
+        {"orders": [(1,)], "lineitem": [(2,)]},
+        {},
+        {"orders": 10, "lineitem": 20},
+        ordinal_of,
+    )
+    _, _, counts = decode_batch_v2(payload, TABLES)
+    assert counts == {TABLES[0]: 10, TABLES[1]: 20}
+    _, _, raw = decode_batch_v2(payload)
+    assert raw == {0: 10, 1: 20}
+    # counts referencing an ordinal beyond the catalog are loud
+    tall = encode_batch_v2(1, {"t7": [(1,)]}, {}, {"t7": 3}, ordinal_of)
+    with pytest.raises(DurabilityError):
+        decode_batch_v2(tall, TABLES[:3])
+    # ...including when only the COUNTS ordinal is unresolvable (a
+    # hand-corrupted pair: the last 5 payload bytes are ord + u32)
+    bad = bytearray(_fast_shape_payload([(1, 2, 3, 4.0, True)]))
+    bad[-5] = 100
+    with pytest.raises(DurabilityError):
+        decode_batch_v2(bytes(bad), TABLES)

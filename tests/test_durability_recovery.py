@@ -51,12 +51,21 @@ def state(db: Database) -> dict:
     }
 
 
-def build_durable(path: str, mode: str = "batch"):
+def build_durable(path: str, mode: str = "batch", fmt: str = "v2"):
     """A durable engine with schema + assertion; returns it plus the
     per-commit state snapshots (``snapshots[k]`` = state after the
     k-th committed batch; ``snapshots`` also carries the pre-commit
-    setup state at index -1 conceptually — returned separately)."""
+    setup state at index -1 conceptually — returned separately).
+
+    ``fmt`` selects the WAL batch-record codec: ``"v2"`` (binary, the
+    default), ``"v1"`` (forced JSON), or ``"mixed"`` — the upgrade
+    shape: the first half of the log is written v1, then the format
+    flips to v2 mid-log, exactly what an in-place release upgrade
+    leaves behind.
+    """
     tintin = Tintin.open(path, durability=mode)
+    if fmt in ("v1", "mixed"):
+        tintin.durability.batch_format = 1
     db = tintin.db
     db.execute(ORDERS_DDL)
     db.execute(ITEMS_DDL)
@@ -70,6 +79,9 @@ def build_durable(path: str, mode: str = "batch"):
         db.execute(f"INSERT INTO items VALUES ({k}, 1)")
         assert tintin.safe_commit().committed
         snapshots.append(state(db))
+    if fmt == "mixed":
+        # the upgrade point: every batch from here on is binary v2
+        tintin.durability.batch_format = 2
     # a rejected update: no WAL record, no state change
     db.execute("INSERT INTO orders VALUES (99, 1.0)")
     assert not tintin.safe_commit().committed
@@ -87,6 +99,10 @@ def build_durable(path: str, mode: str = "batch"):
     session.delete("orders", [(1, 10.5)])
     assert session.commit().committed
     snapshots.append(state(db))
+    if fmt == "mixed":
+        scan = read_wal(wal_path(path))
+        kinds = {bool(r.get("binary")) for r in scan.records if r["type"] == "batch"}
+        assert kinds == {False, True}, "mixed log must hold both formats"
     return tintin, setup_state, snapshots
 
 
@@ -120,10 +136,11 @@ def n_setup_records(directory: str) -> int:
     return sum(1 for r in scan.records if r["type"] != "batch")
 
 
+@pytest.mark.parametrize("fmt", ["v1", "v2", "mixed"])
 @pytest.mark.parametrize("mode", ["batch", "commit"])
-def test_crash_at_every_record_boundary(tmp_path, mode):
+def test_crash_at_every_record_boundary(tmp_path, mode, fmt):
     source = str(tmp_path / "primary")
-    tintin, setup_state, snapshots = build_durable(source, mode=mode)
+    tintin, setup_state, snapshots = build_durable(source, mode=mode, fmt=fmt)
     raw = open(wal_path(source), "rb").read()
     spans = frame_spans(raw)
     setup_records = n_setup_records(source)
@@ -147,9 +164,10 @@ def test_crash_at_every_record_boundary(tmp_path, mode):
             assert list(recovered.assertions) == ["atLeastOneItem"]
 
 
-def test_crash_mid_record_torn_tail(tmp_path):
+@pytest.mark.parametrize("fmt", ["v2", "mixed"])
+def test_crash_mid_record_torn_tail(tmp_path, fmt):
     source = str(tmp_path / "primary")
-    tintin, setup_state, snapshots = build_durable(source)
+    tintin, setup_state, snapshots = build_durable(source, fmt=fmt)
     raw = open(wal_path(source), "rb").read()
     spans = frame_spans(raw)
     setup_records = n_setup_records(source)
@@ -622,6 +640,503 @@ def test_committed_groups_survive_later_window_failure(tmp_path, monkeypatch):
         n: sorted(recovered.db.table(n).rows_snapshot())
         for n in ("orders", "items")
     } == expected
+
+
+# -- log-writer thread crash points -----------------------------------------
+
+
+def test_log_writer_crash_between_append_and_fsync(tmp_path, monkeypatch):
+    """The window appended its WAL record and handed it to the
+    log-writer thread; the crash hits before the fsync.  The client
+    was never acknowledged (its ack waits on the flush), so the
+    recovered state must NOT contain the batch — and once the flush
+    lands and the ack is delivered, the same batch must be durable."""
+    source = str(tmp_path / "primary")
+    tintin, _, snapshots = build_durable(source)
+    manager = tintin.durability
+    scheduler = tintin.sessions.scheduler
+
+    gate = threading.Event()
+    release = threading.Event()
+    real_sync = manager.sync
+
+    def gated_sync():
+        gate.set()
+        assert release.wait(timeout=10), "test gate never released"
+        real_sync()
+
+    monkeypatch.setattr(manager, "sync", gated_sync)
+
+    session = tintin.create_session()
+    session.insert("orders", [(90, 9.0)])
+    session.insert("items", [(90, 1)])
+    outcome: dict[str, object] = {}
+    thread = threading.Thread(
+        target=lambda: outcome.setdefault("result", session.commit())
+    )
+    thread.start()
+    assert gate.wait(timeout=10)  # record appended, fsync still pending
+    thread.join(timeout=0.05)
+    assert thread.is_alive(), "the ack must still be waiting on the flush"
+    # crash NOW: the appended frame sits in the log's userspace buffer,
+    # exactly what a process death between append and fsync leaves
+    pre_fsync = str(tmp_path / "pre-fsync")
+    shutil.copytree(source, pre_fsync)
+    recovered, _ = recover(pre_fsync)
+    assert state(recovered.db) == snapshots[-1]
+    assert not recovered.db.table("orders").contains_row((90, 9.0))
+    # let the flush land: the commit is acknowledged and durable
+    release.set()
+    thread.join(timeout=10)
+    assert outcome["result"].committed
+    post_fsync = str(tmp_path / "post-fsync")
+    shutil.copytree(source, post_fsync)
+    recovered2, _ = recover(post_fsync)
+    assert recovered2.db.table("orders").contains_row((90, 9.0))
+    assert state(recovered2.db) == state(tintin.db)
+
+
+def test_log_writer_fsync_failure_mid_burst(tmp_path, monkeypatch):
+    """A failing fsync mid-burst: every member of every affected
+    window is rejected or errored — never acknowledged — the WAL rolls
+    back its unsynced frames and poisons itself, and recovery restores
+    exactly the pre-burst state.  The fault is injected at the
+    ``os.fsync`` level so the log's real rollback machinery runs, and
+    the windows are forced into a backlog (``max_batch=1`` with both
+    requests pre-queued) so one window rides the log-writer thread
+    while the other flushes inline."""
+    import repro.durability.wal as wal_module
+
+    source = str(tmp_path / "primary")
+    tintin, _, snapshots = build_durable(source)
+    scheduler = tintin.sessions.scheduler
+    monkeypatch.setattr(scheduler, "max_batch", 1)
+
+    def broken_fsync(fd):
+        raise OSError("I/O error (injected)")
+
+    monkeypatch.setattr(wal_module.os, "fsync", broken_fsync)
+
+    gate = threading.Event()
+    real_process = scheduler._process_batch
+
+    def gated_process():
+        # hold leadership until both requests are queued, so the first
+        # window sees a backlog and routes its flush to the writer
+        gate.wait(timeout=10)
+        return real_process()
+
+    monkeypatch.setattr(scheduler, "_process_batch", gated_process)
+
+    outcomes: dict[str, object] = {}
+
+    def commit_order(name: str, key: int) -> None:
+        session = tintin.create_session()
+        session.insert("orders", [(key, 1.0)])
+        session.insert("items", [(key, 1)])
+        try:
+            outcomes[name] = session.commit()
+        except BaseException as exc:  # a leader may see the raw error
+            outcomes[name] = exc
+
+    threads = [
+        threading.Thread(target=commit_order, args=("first", 91)),
+        threading.Thread(target=commit_order, args=("second", 92)),
+    ]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.1)  # both requests enqueue behind the gated leader
+    gate.set()
+    for thread in threads:
+        thread.join(timeout=10)
+
+    for name in ("first", "second"):
+        outcome = outcomes[name]
+        if isinstance(outcome, BaseException):
+            # an inline flush propagates the raw I/O error to the
+            # window leader — still never an acknowledgement
+            assert isinstance(outcome, (OSError, DurabilityError)), outcome
+        else:
+            assert not outcome.committed, f"{name} was acknowledged"
+
+    del tintin  # crash; the rolled-back frames must not resurrect
+    recovered, _ = recover(source)
+    assert state(recovered.db) == snapshots[-1]
+    assert not recovered.db.table("orders").contains_row((91, 1.0))
+    assert not recovered.db.table("orders").contains_row((92, 1.0))
+
+
+def test_log_writer_poisoned_log_rejects_later_windows(tmp_path, monkeypatch):
+    """After a failed flush rolled back and poisoned the WAL, every
+    later window is rejected too — a rejected commit can never become
+    durable behind the client's back."""
+    import repro.durability.wal as wal_module
+    from repro.errors import DurabilityError
+
+    source = str(tmp_path / "primary")
+    tintin, _, snapshots = build_durable(source)
+
+    real_fsync = wal_module.os.fsync
+
+    def broken_fsync(fd):
+        raise OSError("I/O error (injected)")
+
+    monkeypatch.setattr(wal_module.os, "fsync", broken_fsync)
+    session = tintin.create_session()
+    session.insert("orders", [(93, 1.0)])
+    session.insert("items", [(93, 1)])
+    try:
+        result = session.commit()
+        assert not result.committed
+        assert "log flush failed" in (result.constraint_error or "")
+    except OSError:
+        pass  # the window leader may see the raw flush error instead
+    monkeypatch.setattr(wal_module.os, "fsync", real_fsync)
+
+    # the log is poisoned: the next window dies on the append and the
+    # member is rejected (or its leader sees the DurabilityError)
+    later = tintin.create_session()
+    later.insert("orders", [(94, 1.0)])
+    later.insert("items", [(94, 1)])
+    try:
+        outcome = later.commit()
+        assert not outcome.committed
+    except DurabilityError:
+        pass
+
+    del tintin  # crash; the rejected commits must not be on disk
+    recovered, _ = recover(source)
+    assert state(recovered.db) == snapshots[-1]
+    assert not recovered.db.table("orders").contains_row((93, 1.0))
+    assert not recovered.db.table("orders").contains_row((94, 1.0))
+
+
+def test_log_writer_coalesces_windows_under_burst(tmp_path, monkeypatch):
+    """Windows submitted while one flush is in flight are drained as a
+    single burst and share ONE fsync — the cross-window batching the
+    log-writer thread exists for.  Driven at the LogWriter level so
+    the burst timing is deterministic."""
+    from repro.core.safe_commit import CommitResult
+    from repro.server.scheduler import LogWriter, SchedulerStats
+
+    source = str(tmp_path / "primary")
+    tintin, _, _ = build_durable(source)
+    manager = tintin.durability
+
+    gate = threading.Event()
+    release = threading.Event()
+    real_sync = manager.sync
+
+    def gated_first_sync():
+        if not release.is_set():
+            gate.set()
+            assert release.wait(timeout=10)
+        real_sync()
+
+    monkeypatch.setattr(manager, "sync", gated_first_sync)
+
+    class _Member:
+        def __init__(self):
+            self.result = None
+            self.done = threading.Event()
+
+    stats = SchedulerStats()
+    writer = LogWriter(stats)
+    members = [_Member() for _ in range(3)]
+    ok = CommitResult(committed=True)
+    writer.submit(manager, [(members[0], ok)])  # flush goes in flight
+    assert gate.wait(timeout=10)
+    # two more windows queue behind the stuck flush
+    writer.submit(manager, [(members[1], ok)])
+    writer.submit(manager, [(members[2], ok)])
+    release.set()
+    for member in members:
+        assert member.done.wait(timeout=10)
+        assert member.result.committed  # acks waited on their fsync
+    writer.stop()
+    assert stats.writer_windows == 3
+    assert stats.writer_flushes == 2, (
+        "windows 2+3 queued behind window 1's fsync must share one flush"
+    )
+    tintin.close()
+
+
+def test_backlog_routes_flushes_to_log_writer(tmp_path, monkeypatch):
+    """The scheduler's adaptive flush: a window with requests already
+    queued behind it (burst pressure) hands its fsync to the log-writer
+    thread and immediately processes the next window; with no backlog
+    the leader flushes inline.  Everything acknowledged is durable."""
+    source = str(tmp_path / "primary")
+    tintin, _, _ = build_durable(source)
+    scheduler = tintin.sessions.scheduler
+    monkeypatch.setattr(scheduler, "max_batch", 1)  # one window per request
+
+    gate = threading.Event()
+    real_process = scheduler._process_batch
+
+    def gated_process():
+        # hold leadership until all requests are queued: every window
+        # but the last then sees a backlog and rides the writer
+        gate.wait(timeout=10)
+        return real_process()
+
+    monkeypatch.setattr(scheduler, "_process_batch", gated_process)
+    base_windows = scheduler.stats.writer_windows
+
+    def commit_order(key: int) -> None:
+        session = tintin.create_session()
+        session.insert("orders", [(key, 1.0)])
+        session.insert("items", [(key, 1)])
+        assert session.commit().committed
+
+    threads = [
+        threading.Thread(target=commit_order, args=(key,))
+        for key in (95, 96, 97)
+    ]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.1)  # all three requests enqueue behind the gated leader
+    gate.set()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert scheduler.stats.writer_windows - base_windows >= 2, (
+        "backlogged windows must flush through the log-writer thread"
+    )
+    # and everything acknowledged is durable
+    expected = state(tintin.db)
+    del tintin
+    recovered, _ = recover(source)
+    assert state(recovered.db) == expected
+    for key in (95, 96, 97):
+        assert recovered.db.table("orders").contains_row((key, 1.0))
+
+
+# -- single-pass open --------------------------------------------------------
+
+
+def test_durable_open_scans_once(tmp_path):
+    """The single-pass-open regression: ``Tintin.open`` on an existing
+    directory performs exactly ONE full WAL scan and at most one
+    checkpoint parse — recovery's scan is handed to the manager, which
+    must not re-derive ``last_seq``/``wal_seq`` from disk."""
+    from repro.durability import checkpoint_load_count, wal_scan_count
+
+    source = str(tmp_path / "primary")
+    tintin, _, snapshots = build_durable(source)
+    wal_seq = tintin.durability.wal.last_seq
+    del tintin  # crash: WAL only, no checkpoint
+
+    scans, parses = wal_scan_count(), checkpoint_load_count()
+    reopened = Tintin.open(source)
+    assert wal_scan_count() - scans == 1
+    assert checkpoint_load_count() - parses == 0  # no checkpoint exists
+    assert state(reopened.db) == snapshots[-1]
+    # the manager's WAL resumed exactly where recovery's scan ended
+    assert reopened.durability.wal.last_seq == wal_seq
+    report = reopened.recovery_report
+    assert report is not None
+    assert report.wal_valid_length == os.path.getsize(wal_path(source))
+    reopened.close()  # checkpoint + truncate
+
+    scans, parses = wal_scan_count(), checkpoint_load_count()
+    again = Tintin.open(source)
+    assert wal_scan_count() - scans == 1
+    assert checkpoint_load_count() - parses == 1  # the one recovery parse
+    assert state(again.db) == snapshots[-1]
+    again.close()
+
+    # a fresh directory needs no scan and no parse at all
+    scans, parses = wal_scan_count(), checkpoint_load_count()
+    fresh = Tintin.open(str(tmp_path / "fresh"))
+    assert wal_scan_count() - scans == 0
+    assert checkpoint_load_count() - parses == 0
+    fresh.close(checkpoint=False)
+
+
+def test_single_pass_open_truncates_torn_tail(tmp_path):
+    """The reopen-for-append half of the single pass: the torn tail
+    recovery's scan reported is truncated by the manager WITHOUT
+    re-reading the log, and new commits append cleanly after it."""
+    source = str(tmp_path / "primary")
+    tintin, _, snapshots = build_durable(source)
+    raw = open(wal_path(source), "rb").read()
+    spans = frame_spans(raw)
+    del tintin
+    start, end = spans[-1]
+    cut = (start + end) // 2  # tear the last record in half
+    with open(wal_path(source), "r+b") as handle:
+        handle.truncate(cut)
+
+    reopened = Tintin.open(source)
+    assert reopened.recovery_report.torn_tail is not None
+    assert os.path.getsize(wal_path(source)) == start  # tail gone
+    db = reopened.db
+    db.execute("INSERT INTO orders VALUES (60, 6.0)")
+    db.execute("INSERT INTO items VALUES (60, 1)")
+    assert reopened.safe_commit().committed
+    expected = state(db)
+    del reopened
+
+    recovered, report = recover(source)
+    assert report.torn_tail is None  # the tail was cleanly truncated
+    assert state(recovered.db) == expected
+
+
+def test_recovery_rejects_backwards_sequences(tmp_path):
+    """recovery_report's seq-monotonicity verification survives the
+    single-pass refactor: a record whose seq goes backwards refuses."""
+    from repro.durability import encode_record
+    from repro.errors import RecoveryError
+
+    source = str(tmp_path / "primary")
+    tintin, _, _ = build_durable(source)
+    del tintin
+    with open(wal_path(source), "ab") as handle:
+        handle.write(
+            encode_record({"type": "batch", "seq": 1, "ins": {}, "del": {}})
+        )
+    with pytest.raises(RecoveryError):
+        recover(source)
+
+
+def test_recovery_rejects_forged_shape_signature(tmp_path):
+    """recovery_report's catalog-shape verification survives the
+    single-pass refactor: a checkpoint whose recorded signature does
+    not match the rebuilt catalog refuses."""
+    from repro.errors import RecoveryError
+
+    source = str(tmp_path / "primary")
+    tintin, _, _ = build_durable(source)
+    tintin.close()  # durable checkpoint
+    checkpoint = load_checkpoint(source)
+    checkpoint["shape_signature"] = "forged"
+    write_checkpoint(source, checkpoint)
+    with pytest.raises(RecoveryError):
+        recover(source)
+
+
+# -- parallel checkpoint restore ---------------------------------------------
+
+
+def test_parallel_checkpoint_restore(tmp_path, monkeypatch):
+    """Per-table row loading during checkpoint restore runs on a
+    thread pool (tables are independent once created in FK order) and
+    restores exactly the serial result, row-count verification
+    included."""
+    import repro.durability.recovery as recovery_module
+
+    source = str(tmp_path / "primary")
+    tintin, _, _ = build_durable(source)
+    db = tintin.db
+    db.execute("CREATE TABLE audit (id INTEGER PRIMARY KEY, note VARCHAR)")
+    for k in range(50):
+        db.insert_rows("audit", [(k, f"note-{k}")], bypass_triggers=True)
+    tintin.checkpoint()
+    expected = state(db)
+    del tintin
+
+    monkeypatch.setattr(recovery_module, "PARALLEL_RESTORE_MIN_ROWS", 0)
+    # the pool engages whenever the host has cores to use; force it on
+    # single-core CI boxes too (correctness is core-count independent)
+    monkeypatch.setattr(recovery_module.os, "cpu_count", lambda: 4)
+    recovered, report = recover(source)
+    assert report.restore_workers > 1  # the pool actually engaged
+    assert state(recovered.db) == expected
+    assert recovered.full_check_commit().committed
+
+    # row-count verification still fires on the parallel path
+    checkpoint = load_checkpoint(source)
+    checkpoint["row_counts"]["audit"] = 9999
+    write_checkpoint(source, checkpoint)
+    from repro.errors import RecoveryError
+
+    with pytest.raises(RecoveryError):
+        recover(source)
+
+
+def test_recovery_rejects_unresolvable_v2_ordinal(tmp_path):
+    """A v2 batch record whose table ordinal the replayed catalog
+    cannot resolve refuses recovery loudly (log/catalog divergence)."""
+    from repro.durability import WriteAheadLog
+    from repro.errors import RecoveryError
+
+    source = str(tmp_path / "primary")
+    tintin, _, _ = build_durable(source)
+    del tintin
+    wal = WriteAheadLog(wal_path(source))
+    record = wal.append_batch(
+        {"phantom": [(1, 2)]}, {}, ordinal_of=lambda name: 99
+    )
+    assert record["binary"]
+    wal.sync()
+    wal.close()
+    with pytest.raises(RecoveryError):
+        recover(source)
+
+
+def test_recovery_rejects_replay_constraint_violation(tmp_path):
+    """A batch whose replay the engine itself rejects (duplicate PK:
+    the log and the data disagree) refuses recovery loudly."""
+    from repro.durability import WriteAheadLog, batch_payload
+    from repro.errors import RecoveryError
+
+    source = str(tmp_path / "primary")
+    tintin, _, _ = build_durable(source)
+    del tintin
+    wal = WriteAheadLog(wal_path(source))
+    # order 2 already exists: replaying this insert violates the PK
+    wal.append("batch", **batch_payload({"orders": [(2, 99.0)]}, {}))
+    wal.sync()
+    wal.close()
+    with pytest.raises(RecoveryError):
+        recover(source)
+
+
+def test_unlogged_ddl_window_falls_back_to_v1_records(tmp_path):
+    """v2 ordinals are only meaningful if every catalog change before
+    the batch is already in the log.  In the race window where a DDL's
+    catalog mutation has landed but its WAL record has not (the DDL
+    listener fires after the catalog commit and can lose the manager-
+    lock race to a batch append), the batch must be written as a
+    name-based v1 record — immune to ordinal skew at replay."""
+    source = str(tmp_path / "primary")
+    tintin, _, _ = build_durable(source)
+    manager = tintin.durability
+    db = tintin.db
+    # simulate the window: version bumped, DDL record not yet logged
+    db.catalog.bump_version()
+    manager.append_batch({"orders": [(71, 1.0)]}, {})
+    assert not read_wal(wal_path(source)).records[-1].get("binary")
+    # the pending DDL record lands: v2 encoding resumes
+    manager.log_ddl("install", tables=[])
+    manager.append_batch({"orders": [(72, 1.0)]}, {})
+    assert read_wal(wal_path(source)).records[-1].get("binary")
+
+
+def test_report_and_metrics_surfaces(tmp_path):
+    """The human-facing surfaces ride along: RecoveryReport.__str__,
+    the manager/WAL stat snapshots, and the closed flag."""
+    source = str(tmp_path / "primary")
+    tintin, _, _ = build_durable(source)
+    manager = tintin.durability
+    metrics = manager.metrics()
+    assert metrics["mode"] == "batch"
+    assert metrics["logged_batches"] > 0
+    assert metrics["appends"] > 0 and metrics["bytes_written"] > 0
+    assert not manager.closed
+    del tintin
+
+    recovered, report = recover(source)
+    text = str(report)
+    assert "recovered from WAL" in text
+    assert f"{report.batches_replayed} batch(es)" in text
+
+    reopened = Tintin.open(source)
+    reopened.close()
+    assert reopened.durability is None  # detached on close
+    crashed, report2 = recover(source)
+    assert report2.checkpoint_used
+    assert str(report2).startswith("recovered from checkpoint + WAL")
 
 
 def test_recovery_verifies_batch_row_counts(tmp_path):

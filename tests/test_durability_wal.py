@@ -265,6 +265,69 @@ def test_truncate_preserves_sequence(tmp_path):
     reopened.close()
 
 
+def test_close_is_idempotent_and_syncs_pending(tmp_path):
+    path = str(tmp_path / "wal.log")
+    wal = WriteAheadLog(path)
+    wal.append("batch", **batch_payload({"t": [(1,)]}, {}))
+    assert not wal.closed
+    wal.close()  # implicit sync of the unsynced frame
+    assert wal.closed
+    wal.close()  # second close is a no-op
+    scan = read_wal(path)
+    assert [r["seq"] for r in scan.records] == [1]
+    assert wal.stats.snapshot()["appends"] == 1
+
+
+def test_sync_on_closed_log_is_a_clean_error(tmp_path):
+    wal = WriteAheadLog(str(tmp_path / "wal.log"))
+    wal.close()
+    with pytest.raises(DurabilityError):
+        wal.sync()
+
+
+def test_read_wal_fused_matches_read_wal(tmp_path):
+    """The fused replay scan sees the same records (dicts for JSON
+    frames, span tuples for binary ones), the same tail discipline,
+    and the same header validation as the lazy scan."""
+    from repro.durability import (
+        decode_batch_v2_at,
+        read_wal_fused,
+        record_seq,
+        record_type,
+    )
+
+    path = str(tmp_path / "wal.log")
+    wal = WriteAheadLog(path)
+    wal.append("open", database="db")
+    wal.append_batch(
+        {"t": [(1, 2)]}, {}, ordinal_of=lambda name: 0
+    )
+    wal.append("batch", **batch_payload({"t": [(3,)]}, {}))
+    wal.sync()
+    wal.close()
+    lazy = read_wal(path)
+    fused = read_wal_fused(path)
+    assert fused.tail_error is None
+    assert fused.valid_length == lazy.valid_length
+    assert [record_type(r) for r in fused.records] == ["open", "batch", "batch"]
+    assert [record_seq(r) for r in fused.records] == [1, 2, 3]
+    span = fused.records[1]
+    assert type(span) is tuple
+    ins, dele, counts = decode_batch_v2_at(fused.data, span[2], span[3], ["t"])
+    assert ins == {"t": [(1, 2)]} and dele == {} and counts is None
+
+    # foreign header: same rejection as the lazy reader
+    foreign = tmp_path / "foreign.log"
+    foreign.write_bytes(b"NOTAWAL!" + b"x" * 32)
+    with pytest.raises(WALCorruptionError):
+        read_wal_fused(str(foreign))
+    # torn creation artifact: same tolerance as the lazy reader
+    torn = tmp_path / "torn.log"
+    torn.write_bytes(WAL_MAGIC[:4])
+    scan = read_wal_fused(str(torn))
+    assert scan.records == [] and scan.valid_length == 0
+
+
 def test_failed_fsync_poisons_log_and_rolls_back(tmp_path, monkeypatch):
     """A failed flush must not leave the unsynced frames buffered — a
     later sync or close would make a commit the client was told FAILED
