@@ -74,6 +74,9 @@ class CommitResult:
     #: how many sessions' updates shared this commit's validation-and-
     #: apply window (1 unless the group-commit fast path batched it)
     group_size: int = 1
+    #: True when the request was cancelled by its own deadline before
+    #: being applied or logged — nothing changed, retrying is safe
+    deadline_expired: bool = False
 
     @property
     def rejected(self) -> bool:

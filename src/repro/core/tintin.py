@@ -159,14 +159,18 @@ class Tintin:
         By default a final checkpoint is written first, so the next
         :meth:`open` restores instantly instead of replaying the WAL.
         ``close(checkpoint=False)`` skips it — recovery then replays
-        the log, exactly as after a crash.  A no-op for engines opened
-        without durability.  When the server layer is active, close
-        serializes with in-flight commit windows (their log flush runs
-        inside the scheduler's leader critical section), so a racing
-        group commit is either fully flushed before the final
-        checkpoint or queued after the detach (and then commits
-        non-durably, like any post-close commit).
+        the log, exactly as after a crash.  When the server layer is
+        active, close serializes with in-flight commit windows (their
+        log flush runs inside the scheduler's leader critical
+        section), so a racing group commit is either fully flushed
+        before the final checkpoint or queued after the detach (and
+        then commits non-durably, like any post-close commit).  The
+        session manager's background expiry sweeper is stopped either
+        way — close() is the clean-shutdown point for every helper
+        thread the engine started, durable or not.
         """
+        if self._sessions is not None:
+            self._sessions.stop_sweeper()
         if self.durability is None:
             return
         if self._sessions is not None:
@@ -324,14 +328,19 @@ class Tintin:
         policy: str = "group",
         gather_seconds: float = 0.0,
         default_ttl: Optional[float] = None,
+        sweep_interval: Optional[float] = None,
+        max_idle: Optional[float] = None,
     ) -> "SessionManager":
         """Activate the server layer with explicit scheduler options.
 
         ``policy='serial'`` disables group batching (strict one-at-a-
         time semantics); ``gather_seconds`` lets a commit leader wait
-        for stragglers to fatten batches.  Must be called before the
-        first session is created; without it, :attr:`sessions` uses the
-        defaults.
+        for stragglers to fatten batches.  ``sweep_interval`` starts
+        the background expiry sweeper (reaping lapsed-TTL sessions —
+        and, with ``max_idle``, idle ones — without waiting for
+        another call to touch the manager; stopped by :meth:`close`).
+        Must be called before the first session is created; without
+        it, :attr:`sessions` uses the defaults.
         """
         if self._sessions is not None:
             raise SessionError(
@@ -345,7 +354,26 @@ class Tintin:
             policy=policy,
             gather_seconds=gather_seconds,
         )
+        if sweep_interval is not None:
+            self._sessions.start_sweeper(sweep_interval, max_idle=max_idle)
         return self._sessions
+
+    def listen(self, host: str = "127.0.0.1", port: int = 0, **config):
+        """Start the network front end serving this engine.
+
+        Returns a started :class:`repro.net.TintinServer` (its
+        ``address`` property carries the bound host/port — port 0 picks
+        a free one).  ``config`` is forwarded to the server: admission
+        queue sizing, watermarks, default deadlines, fault injector.
+        The server owns graceful shutdown: ``server.shutdown()`` stops
+        accepting, drains in-flight commit windows through the log
+        writer, checkpoints and closes the engine.
+        """
+        from ..net import TintinServer
+
+        server = TintinServer(self, host=host, port=port, **config)
+        server.start()
+        return server
 
     def create_session(self, ttl: Optional[float] = None) -> "Session":
         """Open a session with a private staging area.

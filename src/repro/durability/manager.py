@@ -161,6 +161,16 @@ class DurabilityManager:
         #: scheduler's window is already exclusive, but DDL and the
         #: single-session facade can race it)
         self._lock = threading.Lock()
+        #: fault-injection hook (``repro.net.faults.FaultInjector.fire``
+        #: when installed): fired before the durability-critical steps
+        #: so tests can delay or fail an fsync deterministically.  None
+        #: in production.
+        self.fault_hook = None
+
+    def _fault(self, point: str, **ctx) -> None:
+        hook = self.fault_hook
+        if hook is not None:
+            hook(point, **ctx)
 
     # -- introspection -----------------------------------------------------
 
@@ -271,7 +281,9 @@ class DurabilityManager:
                 inserts, deletes, counts, ordinal_of=ordinal_of
             )
             self.stats.logged_batches += 1
+            self._fault("wal.after_append")
             if sync:
+                self._fault("wal.before_fsync")
                 self.wal.sync()
 
     def sync(self) -> None:
@@ -279,6 +291,7 @@ class DurabilityManager:
         if not self.durable:
             return
         with self._lock:
+            self._fault("wal.before_fsync")
             self.wal.sync()
 
     # -- checkpoints -------------------------------------------------------

@@ -72,6 +72,7 @@ import json
 import math
 import os
 import struct
+import threading
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
@@ -365,6 +366,64 @@ def _encode_tagged_value(out: bytearray, value) -> None:
             f"value {value!r} of type {type(value).__name__} is not a "
             "loggable scalar"
         )
+
+
+def encode_tagged_rows(rows: Iterable[tuple]) -> bytes:
+    """Rows as a standalone tagged-value block (the network row codec).
+
+    The network front end's result/row payloads reuse the v2 batch
+    codec's mode-1 value encoding verbatim — same tags, same zigzag
+    varints, same NaN rejection — framed as: varint row count, then
+    per row a varint arity followed by the tagged values.  Unlike a
+    table block inside a batch record, arity is a varint (query
+    results are not bound by the 255-column table limit) and rows may
+    be heterogeneous in width (a result set never is, but the codec
+    does not care).
+    """
+    materialized = [tuple(row) for row in rows]
+    out = bytearray()
+    _append_uvarint(out, len(materialized))
+    for row in materialized:
+        _append_uvarint(out, len(row))
+        for value in row:
+            _encode_tagged_value(out, value)
+    return bytes(out)
+
+
+def decode_tagged_rows(data: bytes, i: int = 0) -> tuple[list[tuple], int]:
+    """Inverse of :func:`encode_tagged_rows`; returns ``(rows, end)``
+    so callers embedding a block inside a larger payload can keep
+    decoding after it."""
+    n_rows, i = _read_uvarint(data, i)
+    rows: list[tuple] = []
+    for _ in range(n_rows):
+        n_cols, i = _read_uvarint(data, i)
+        row = []
+        for _ in range(n_cols):
+            tag = data[i]
+            i += 1
+            if tag == _TAG_NULL:
+                row.append(None)
+            elif tag == _TAG_TRUE:
+                row.append(True)
+            elif tag == _TAG_FALSE:
+                row.append(False)
+            elif tag == _TAG_INT:
+                zigzag, i = _read_uvarint(data, i)
+                row.append(
+                    zigzag >> 1 if not zigzag & 1 else -((zigzag + 1) >> 1)
+                )
+            elif tag == _TAG_FLOAT:
+                row.append(_F64.unpack_from(data, i)[0])
+                i += 8
+            elif tag == _TAG_STR:
+                strlen, i = _read_uvarint(data, i)
+                row.append(data[i : i + strlen].decode("utf-8"))
+                i += strlen
+            else:
+                raise DurabilityError(f"unknown value tag {tag}")
+        rows.append(tuple(row))
+    return rows, i
 
 
 def _encode_table_blocks(
@@ -848,20 +907,37 @@ def record_seq(record) -> int:
 
 @dataclass
 class WalStats:
-    """Counters for one log's lifetime in this process."""
+    """Counters for one log's lifetime in this process.
+
+    Increment through :meth:`bump` and read through :meth:`snapshot`:
+    the log's writers (leader thread, log-writer thread) and readers
+    (the ``/metrics`` endpoint) run concurrently, and unguarded
+    multi-field reads would be torn relative to each other.
+    """
 
     appends: int = 0
     fsyncs: int = 0
     bytes_written: int = 0
     truncations: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, **deltas: int) -> None:
+        """Atomically add ``deltas`` to the named counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
 
     def snapshot(self) -> dict:
-        return {
-            "appends": self.appends,
-            "fsyncs": self.fsyncs,
-            "bytes_written": self.bytes_written,
-            "truncations": self.truncations,
-        }
+        """One consistent cut of every counter, as a plain dict."""
+        with self._lock:
+            return {
+                "appends": self.appends,
+                "fsyncs": self.fsyncs,
+                "bytes_written": self.bytes_written,
+                "truncations": self.truncations,
+            }
 
 
 @dataclass
@@ -988,7 +1064,7 @@ class WriteAheadLog:
             self._handle = open(path, "r+b")
             if resume.file_length > resume.valid_length:
                 self._handle.truncate(resume.valid_length)
-                self.stats.truncations += 1
+                self.stats.bump(truncations=1)
             self._handle.seek(resume.valid_length)
             self._synced_offset = resume.valid_length
         else:
@@ -1029,8 +1105,7 @@ class WriteAheadLog:
     def _write_frame(self, frame: bytes) -> None:
         self._handle.write(frame)
         self._synced = False
-        self.stats.appends += 1
-        self.stats.bytes_written += len(frame)
+        self.stats.bump(appends=1, bytes_written=len(frame))
 
     def append(self, record_type: str, **fields) -> dict:
         """Buffer one v1 (JSON) record; returns it (with its ``seq``)."""
@@ -1121,7 +1196,7 @@ class WriteAheadLog:
         self._synced = True
         self._synced_offset = self._handle.tell()
         self._synced_seq = self.last_seq
-        self.stats.fsyncs += 1
+        self.stats.bump(fsyncs=1)
 
     def truncate(self) -> None:
         """Discard every record (post-checkpoint compaction).
@@ -1143,7 +1218,7 @@ class WriteAheadLog:
         self._synced_seq = self.last_seq
         self.append("truncate")
         self.sync()
-        self.stats.truncations += 1
+        self.stats.bump(truncations=1)
 
     def close(self) -> None:
         if self._handle.closed:

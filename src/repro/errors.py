@@ -103,6 +103,57 @@ class SessionExpired(SessionError):
 
 
 # ---------------------------------------------------------------------------
+# Network front end
+
+
+class NetworkError(ReproError):
+    """Base class for errors raised by the network front end."""
+
+
+class ProtocolError(NetworkError):
+    """A frame violated the wire protocol (bad magic, unknown type,
+    malformed payload, oversized frame)."""
+
+
+class ConnectionLost(NetworkError):
+    """The peer went away mid-conversation.
+
+    For a request that may have reached the commit pipeline this is an
+    *ambiguous* outcome: the update could be durable or not.  The
+    client library never auto-retries a commit on this error — the
+    caller must reconnect and check, exactly like a database client
+    losing its socket between COMMIT and the acknowledgement.
+    """
+
+
+class OverloadError(NetworkError):
+    """The server shed this request instead of queueing it.
+
+    Shedding happens *before* admission: the request never entered the
+    commit pipeline, no WAL frame was written, so retrying after
+    ``retry_after`` seconds is always safe.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.1):
+        self.retry_after = retry_after
+        self.retriable = True
+        super().__init__(message)
+
+
+class DeadlineExceeded(NetworkError):
+    """The request's deadline lapsed before its expensive work ran.
+
+    Deadlines are enforced at admission and again before the
+    violation-view pass, so an expired request is cancelled without
+    being applied or logged — retrying with a fresh deadline is safe.
+    """
+
+    def __init__(self, message: str = "request deadline exceeded"):
+        self.retriable = True
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
 # Durability
 
 

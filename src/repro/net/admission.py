@@ -1,0 +1,372 @@
+"""Bounded admission in front of the commit scheduler.
+
+The scheduler's own queue is unbounded — correct for an in-process
+library, fatal for a service: under sustained overload every queued
+commit eventually times out, but only after holding memory and a
+session pin for the whole wait ("congestion collapse by politeness").
+The admission queue makes overload a *first-class verdict* instead:
+
+* a bounded waiting room (``max_depth``) in front of a small worker
+  pool that feeds the scheduler;
+* **watermark backpressure** — crossing ``high_watermark`` flips the
+  queue into a backpressure state (the server broadcasts SLOWDOWN
+  frames; well-behaved clients stretch their send intervals), dropping
+  below ``low_watermark`` clears it;
+* **priority-aware shedding** — when the room is full the *lowest-
+  priority* work is shed, whether that is the newcomer or a waiting
+  request: a session's priority is its per-source trust (cf. the
+  trust-mappings idea in PAPERS.md), so higher-trust writers degrade
+  last.  Shed requests fail with :class:`OverloadError` carrying a
+  ``retry_after`` hint scaled by the backlog — they were never
+  admitted, touched no engine state and left no WAL frame, so retrying
+  is always safe;
+* **deadline enforcement at admission** — a request that would expire
+  before a worker could plausibly reach it is rejected immediately
+  (cheap), and one that expired while waiting is cancelled when
+  dequeued (never started).
+
+The queue is deliberately FIFO among admitted requests: priorities
+decide *who is shed*, not who runs first — reordering admitted commits
+would break the scheduler's FIFO-differential guarantees for no
+latency win at sane depths.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import DeadlineExceeded, OverloadError
+
+
+@dataclass
+class AdmissionStats:
+    """Counters for the admission queue (thread-safe snapshot)."""
+
+    submitted: int = 0
+    admitted: int = 0
+    completed: int = 0
+    shed_total: int = 0
+    shed_newcomer: int = 0
+    shed_waiting: int = 0
+    deadline_rejected: int = 0
+    backpressure_events: int = 0
+    max_depth_seen: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, **deltas: int) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def saw_depth(self, depth: int) -> None:
+        with self._lock:
+            self.max_depth_seen = max(self.max_depth_seen, depth)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "admitted": self.admitted,
+                "completed": self.completed,
+                "shed_total": self.shed_total,
+                "shed_newcomer": self.shed_newcomer,
+                "shed_waiting": self.shed_waiting,
+                "deadline_rejected": self.deadline_rejected,
+                "backpressure_events": self.backpressure_events,
+                "max_depth_seen": self.max_depth_seen,
+            }
+
+
+class _Ticket:
+    """One admitted-or-waiting request."""
+
+    __slots__ = ("priority", "deadline", "fn", "on_done", "seq")
+
+    def __init__(self, priority, deadline, fn, on_done, seq):
+        self.priority = priority
+        self.deadline = deadline
+        self.fn = fn
+        self.on_done = on_done
+        self.seq = seq
+
+    def finish(self, result=None, error: Optional[BaseException] = None):
+        try:
+            self.on_done(result, error)
+        except Exception:  # pragma: no cover - callback bug net
+            pass
+
+
+class AdmissionQueue:
+    """Bounded, priority-shedding waiting room over a worker pool.
+
+    ``submit(fn, priority, deadline, on_done)`` either enqueues the
+    request (a worker thread later calls ``fn()`` and reports through
+    ``on_done(result, error)``) or sheds it by calling ``on_done``
+    with an :class:`OverloadError` before returning.  ``on_done`` is
+    always called exactly once, from the submitting thread for
+    immediate rejections and from a worker otherwise.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 64,
+        high_watermark: Optional[int] = None,
+        low_watermark: Optional[int] = None,
+        workers: int = 4,
+        retry_after_base: float = 0.05,
+        on_backpressure: Optional[Callable[[bool, float], None]] = None,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self.high_watermark = (
+            high_watermark
+            if high_watermark is not None
+            else max(1, (max_depth * 3) // 4)
+        )
+        self.low_watermark = (
+            low_watermark
+            if low_watermark is not None
+            else max(0, self.high_watermark // 2)
+        )
+        if not 0 <= self.low_watermark <= self.high_watermark <= max_depth:
+            raise ValueError(
+                "watermarks must satisfy 0 <= low <= high <= max_depth"
+            )
+        self.workers = workers
+        self.retry_after_base = retry_after_base
+        #: called outside the queue lock on backpressure transitions:
+        #: ``on_backpressure(active, suggested_delay_seconds)``
+        self.on_backpressure = on_backpressure
+        self.stats = AdmissionStats()
+        self._cond = threading.Condition()
+        self._waiting: deque[_Ticket] = deque()
+        self._running = 0
+        self._seq = 0
+        self._backpressure = False
+        self._draining = False
+        self._stopped = False
+        self._threads: list[threading.Thread] = []
+        for index in range(workers):
+            thread = threading.Thread(
+                target=self._work,
+                name=f"tintin-admission-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Waiting + running requests (the admission backlog)."""
+        with self._cond:
+            return len(self._waiting) + self._running
+
+    @property
+    def backpressure(self) -> bool:
+        with self._cond:
+            return self._backpressure
+
+    def suggested_delay(self) -> float:
+        """The slow-down hint for clients while backpressure is on."""
+        return self.retry_after_base * 2
+
+    def _retry_after(self, depth: int) -> float:
+        """Backlog-scaled retry hint: the deeper the queue, the longer
+        a shed client should stay away."""
+        return self.retry_after_base * (1 + depth / max(1, self.workers))
+
+    def metrics(self) -> dict:
+        with self._cond:
+            waiting, running = len(self._waiting), self._running
+            backpressure = self._backpressure
+        payload = self.stats.snapshot()
+        payload.update(
+            {
+                "waiting": waiting,
+                "running": running,
+                "depth": waiting + running,
+                "max_depth": self.max_depth,
+                "high_watermark": self.high_watermark,
+                "low_watermark": self.low_watermark,
+                "backpressure": backpressure,
+                "workers": self.workers,
+            }
+        )
+        return payload
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable,
+        on_done: Callable[[object, Optional[BaseException]], None],
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ) -> None:
+        self.stats.bump(submitted=1)
+        shed_ticket: Optional[_Ticket] = None
+        transition: Optional[bool] = None
+        with self._cond:
+            if self._stopped or self._draining:
+                depth = len(self._waiting) + self._running
+                on_done(
+                    None,
+                    OverloadError(
+                        "server is shutting down; retry against another "
+                        "instance",
+                        retry_after=self._retry_after(depth),
+                    ),
+                )
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                self.stats.bump(deadline_rejected=1)
+                on_done(None, DeadlineExceeded("deadline expired at admission"))
+                return
+            depth = len(self._waiting) + self._running
+            if depth >= self.max_depth:
+                # the waiting room is full: shed the lowest-priority
+                # work.  Ties go to the newcomer (the waiting request
+                # keeps its place — FIFO fairness within a priority).
+                victim = None
+                if self._waiting:
+                    victim = min(
+                        self._waiting, key=lambda t: (t.priority, -t.seq)
+                    )
+                if victim is not None and victim.priority < priority:
+                    self._waiting.remove(victim)
+                    shed_ticket = victim
+                    self.stats.bump(shed_total=1, shed_waiting=1)
+                else:
+                    self.stats.bump(shed_total=1, shed_newcomer=1)
+                    on_done(
+                        None,
+                        OverloadError(
+                            f"admission queue full ({depth} in flight); "
+                            "load shed",
+                            retry_after=self._retry_after(depth),
+                        ),
+                    )
+                    return
+            self._seq += 1
+            ticket = _Ticket(priority, deadline, fn, on_done, self._seq)
+            self._waiting.append(ticket)
+            self.stats.bump(admitted=1)
+            depth = len(self._waiting) + self._running
+            self.stats.saw_depth(depth)
+            transition = self._update_backpressure_locked(depth)
+            self._cond.notify()
+        if shed_ticket is not None:
+            shed_ticket.finish(
+                error=OverloadError(
+                    "shed by a higher-priority request under overload",
+                    retry_after=self._retry_after(self.depth),
+                )
+            )
+        if transition is not None:
+            self._notify_backpressure(transition)
+
+    def _update_backpressure_locked(self, depth: int) -> Optional[bool]:
+        """Watermark hysteresis; returns the new state on a transition."""
+        if not self._backpressure and depth > self.high_watermark:
+            self._backpressure = True
+            self.stats.bump(backpressure_events=1)
+            return True
+        if self._backpressure and depth <= self.low_watermark:
+            self._backpressure = False
+            return False
+        return None
+
+    def _notify_backpressure(self, active: bool) -> None:
+        callback = self.on_backpressure
+        if callback is not None:
+            try:
+                callback(active, self.suggested_delay() if active else 0.0)
+            except Exception:  # pragma: no cover - callback bug net
+                pass
+
+    # -- the worker pool ---------------------------------------------------
+
+    def _work(self) -> None:
+        while True:
+            transition = None
+            with self._cond:
+                while not self._waiting and not self._stopped:
+                    self._cond.wait()
+                if self._stopped and not self._waiting:
+                    return
+                ticket = self._waiting.popleft()
+                self._running += 1
+            error: Optional[BaseException] = None
+            result = None
+            try:
+                if ticket.deadline is not None and (
+                    time.monotonic() > ticket.deadline
+                ):
+                    # expired while waiting: cancel without starting
+                    self.stats.bump(deadline_rejected=1)
+                    error = DeadlineExceeded(
+                        "deadline expired while queued for admission"
+                    )
+                else:
+                    try:
+                        result = ticket.fn()
+                    except BaseException as exc:
+                        error = exc
+            finally:
+                with self._cond:
+                    self._running -= 1
+                    depth = len(self._waiting) + self._running
+                    transition = self._update_backpressure_locked(depth)
+                    self._cond.notify_all()
+                self.stats.bump(completed=1)
+                ticket.finish(result, error)
+            if transition is not None:
+                self._notify_backpressure(transition)
+
+    # -- shutdown ----------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting, then wait for waiting+running to hit zero.
+
+        New submissions are shed with a retriable "shutting down"
+        overload error while the drain runs.  Returns True when the
+        queue emptied within ``timeout``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            self._draining = True
+            while self._waiting or self._running:
+                wait = 0.05
+                if deadline is not None:
+                    wait = min(wait, deadline - time.monotonic())
+                    if wait <= 0:
+                        return False
+                self._cond.wait(timeout=wait)
+        return True
+
+    def stop(self) -> None:
+        """Drain-free shutdown: reject waiting tickets, stop workers."""
+        with self._cond:
+            self._stopped = True
+            self._draining = True
+            waiting = list(self._waiting)
+            self._waiting.clear()
+            self._cond.notify_all()
+        for ticket in waiting:
+            ticket.finish(
+                error=OverloadError(
+                    "server stopped before this request was admitted",
+                    retry_after=self.retry_after_base,
+                )
+            )
+        for thread in self._threads:
+            thread.join(timeout=5)

@@ -1,0 +1,766 @@
+"""The asyncio network front end.
+
+One :class:`TintinServer` wraps one :class:`~repro.core.Tintin` engine
+and serves the wire protocol of :mod:`repro.net.protocol` on a TCP
+port.  The event loop runs in a dedicated thread (the engine itself is
+thread-based and blocking), so the server embeds in synchronous
+programs, tests and benchmarks without an asyncio host.
+
+Division of labour per connection:
+
+* the **read loop** (event loop thread) parses frames and answers
+  ``HEALTH``/``METRICS`` immediately; everything session-bound goes
+  into the connection's ordered queue — pipelining hides round trips
+  but never reorders one session's operations;
+* the **connection worker** (an asyncio task) drains that queue:
+  staging and queries run on a small thread pool (they only take the
+  scheduler's read lock), commits go through the
+  :class:`~repro.net.admission.AdmissionQueue` — the bounded,
+  priority-shedding waiting room in front of the commit scheduler;
+* **backpressure**: admission watermark transitions broadcast
+  unsolicited ``SLOWDOWN`` frames (request id 0) to every connection;
+  well-behaved clients stretch their send intervals until the
+  all-clear (a ``SLOWDOWN`` with delay 0);
+* **acknowledgement discipline**: a commit verdict is written only
+  after the scheduler's group fsync released it, so a client that
+  reads ``committed=True`` holds a durable commit; a connection that
+  dies earlier saw nothing — the classic ambiguous window the client
+  library refuses to auto-retry.
+
+Graceful shutdown (:meth:`TintinServer.shutdown`) stops accepting,
+sheds late arrivals with a retriable "shutting down" verdict, drains
+admitted commits through the scheduler and its log-writer thread,
+checkpoints, closes the WAL, and only then severs connections — zero
+acknowledged commits are lost, and everything unacknowledged was
+reported retriable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Optional
+
+from ..errors import (
+    ConstraintViolation,
+    DeadlineExceeded,
+    ExecutionError,
+    NetworkError,
+    OverloadError,
+    ProtocolError,
+    ReproError,
+    SessionExpired,
+)
+from . import protocol as p
+from .admission import AdmissionQueue
+from .faults import DropConnection, FaultInjector
+
+
+def commit_result_payload(result) -> dict:
+    """A CommitResult as its JSON wire shape."""
+    return {
+        "committed": result.committed,
+        "applied_rows": result.applied_rows,
+        "checked_views": result.checked_views,
+        "skipped_views": result.skipped_views,
+        "group_size": result.group_size,
+        "deadline_expired": result.deadline_expired,
+        "constraint_error": result.constraint_error,
+        "violations": [str(v) for v in result.violations],
+    }
+
+
+class _Connection:
+    """Per-connection state owned by the event loop thread."""
+
+    __slots__ = (
+        "reader",
+        "writer",
+        "session",
+        "queue",
+        "worker",
+        "write_lock",
+        "closed",
+    )
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+        self.session = None
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.worker: Optional[asyncio.Task] = None
+        self.write_lock = asyncio.Lock()
+        self.closed = False
+
+
+class TintinServer:
+    """Serves one engine over TCP with admission control."""
+
+    def __init__(
+        self,
+        tintin,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_depth: int = 64,
+        high_watermark: Optional[int] = None,
+        low_watermark: Optional[int] = None,
+        commit_workers: int = 2,
+        io_workers: int = 4,
+        default_commit_timeout: Optional[float] = None,
+        session_ttl: Optional[float] = None,
+        sweep_interval: Optional[float] = 1.0,
+        retry_after_base: float = 0.05,
+        faults: Optional[FaultInjector] = None,
+    ):
+        self.tintin = tintin
+        self.host = host
+        self.port = port
+        self.default_commit_timeout = default_commit_timeout
+        self.session_ttl = session_ttl
+        self.faults = faults
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set[_Connection] = set()
+        self._started = threading.Event()
+        self._stopped = threading.Event()
+        self._draining = False
+        self._start_error: Optional[BaseException] = None
+        self._started_at = time.monotonic()
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=io_workers, thread_name_prefix="tintin-net-io"
+        )
+        self.admission = AdmissionQueue(
+            max_depth=max_depth,
+            high_watermark=high_watermark,
+            low_watermark=low_watermark,
+            workers=commit_workers,
+            retry_after_base=retry_after_base,
+            on_backpressure=self._on_backpressure,
+        )
+        #: plain counters, guarded by the GIL-free snapshot pattern
+        self._counters_lock = threading.Lock()
+        self._counters = {
+            "connections_total": 0,
+            "requests_total": 0,
+            "errors_total": 0,
+            "dropped_connections": 0,
+            "slowdown_frames": 0,
+            "http_requests": 0,
+        }
+        # ensure the server layer exists before the loop thread runs
+        # (serve() may already have configured it)
+        if not tintin.serving:
+            tintin.sessions  # activates the default SessionManager
+        if faults is not None:
+            faults.install(tintin)
+        if sweep_interval is not None:
+            tintin.sessions.start_sweeper(sweep_interval)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "TintinServer":
+        """Bind and serve; returns once the port is listening."""
+        if self._thread is not None:
+            raise NetworkError("server already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="tintin-net-loop", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10)
+        if self._start_error is not None:
+            raise NetworkError(
+                f"server failed to start: {self._start_error}"
+            ) from self._start_error
+        if not self._started.is_set():
+            raise NetworkError("server failed to start within 10s")
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (port 0 resolves at bind time)."""
+        if self._server is None:
+            raise NetworkError("server is not running")
+        sock = self._server.sockets[0]
+        return sock.getsockname()[:2]
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self._server = loop.run_until_complete(
+                asyncio.start_server(self._handle, self.host, self.port)
+            )
+        except BaseException as exc:  # bind failure
+            self._start_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            # cancel stragglers so the loop closes clean
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+            self._stopped.set()
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        with self._counters_lock:
+            self._counters[name] += delta
+
+    def _fault(self, point: str, **ctx) -> None:
+        if self.faults is not None:
+            self.faults.fire(point, **ctx)
+
+    # -- shutdown ----------------------------------------------------------
+
+    def shutdown(
+        self, drain_timeout: float = 30.0, close_engine: bool = True
+    ) -> bool:
+        """Graceful stop: quit accepting, drain, checkpoint, close.
+
+        The sequence is the overload story run backwards: (1) the
+        listener closes, (2) the admission queue sheds every new
+        commit with a retriable "shutting down" verdict while admitted
+        ones run to their acknowledged end, (3) the engine closes —
+        which quiesces the scheduler, drains the log-writer's fsync
+        backlog, writes a final checkpoint and closes the WAL — and
+        (4) connections are severed.  Returns True when the drain
+        completed inside ``drain_timeout`` (False means the engine was
+        still closed, but some admitted work was abandoned — the
+        fail-fast path a stalled drain needs).
+        """
+        loop = self._loop
+        if loop is None or self._stopped.is_set():
+            return True
+        self._draining = True
+        # 1. stop accepting
+        asyncio.run_coroutine_threadsafe(
+            self._close_listener(), loop
+        ).result(timeout=10)
+        drained = True
+        try:
+            self._fault("server.drain")
+            # 2. drain admitted commits (new ones are shed meanwhile)
+            drained = self.admission.drain(timeout=drain_timeout)
+        finally:
+            self.admission.stop()
+            # 3. close the engine: scheduler quiesce -> log-writer
+            # drain -> final checkpoint -> WAL close -> sweeper stop
+            if close_engine:
+                self.tintin.close()
+            # 4. sever connections and stop the loop
+            asyncio.run_coroutine_threadsafe(
+                self._close_connections(), loop
+            ).result(timeout=10)
+            loop.call_soon_threadsafe(loop.stop)
+            self._stopped.wait(timeout=10)
+            self._executor.shutdown(wait=False)
+        return drained
+
+    def abort(self) -> None:
+        """Kill the front end without touching the engine: sockets die
+        mid-conversation, nothing is drained, checkpointed or closed.
+        This is the crash the fault matrix uses — durability then
+        rests entirely on the WAL."""
+        loop = self._loop
+        if loop is None or self._stopped.is_set():
+            return
+        self._draining = True
+        self.admission.stop()
+        try:
+            asyncio.run_coroutine_threadsafe(
+                self._close_listener(), loop
+            ).result(timeout=5)
+            asyncio.run_coroutine_threadsafe(
+                self._close_connections(abort=True), loop
+            ).result(timeout=5)
+        except Exception:
+            pass
+        loop.call_soon_threadsafe(loop.stop)
+        self._stopped.wait(timeout=10)
+        self._executor.shutdown(wait=False)
+
+    async def _close_listener(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def _close_connections(self, abort: bool = False) -> None:
+        for conn in list(self._connections):
+            conn.closed = True
+            if conn.worker is not None:
+                conn.worker.cancel()
+            try:
+                if abort:
+                    transport = conn.writer.transport
+                    if transport is not None:
+                        transport.abort()
+                else:
+                    conn.writer.close()
+            except Exception:
+                pass
+        self._connections.clear()
+
+    # -- backpressure ------------------------------------------------------
+
+    def _on_backpressure(self, active: bool, delay: float) -> None:
+        """Admission watermark transition: broadcast SLOWDOWN frames.
+
+        Called from admission worker/submitter threads; the actual
+        writes happen on the event loop.
+        """
+        loop = self._loop
+        if loop is not None and not self._stopped.is_set():
+            try:
+                loop.call_soon_threadsafe(
+                    lambda: asyncio.ensure_future(
+                        self._broadcast_slowdown(delay if active else 0.0)
+                    )
+                )
+            except RuntimeError:  # loop already closed
+                pass
+
+    async def _broadcast_slowdown(self, delay: float) -> None:
+        payload = p.encode_json({"delay": delay})
+        frame = p.encode_frame(p.T_SLOWDOWN, 0, payload)
+        for conn in list(self._connections):
+            if conn.closed:
+                continue
+            try:
+                async with conn.write_lock:
+                    conn.writer.write(frame)
+                    await conn.writer.drain()
+                self._count("slowdown_frames")
+            except Exception:
+                pass  # the read loop will reap the dead connection
+
+    # -- surfaces ----------------------------------------------------------
+
+    def health(self) -> dict:
+        admission = self.admission.metrics()
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "sessions": self.tintin.sessions.active_count,
+            "queue_depth": admission["depth"],
+            "backpressure": admission["backpressure"],
+        }
+
+    def metrics(self) -> dict:
+        tintin = self.tintin
+        scheduler = tintin.sessions.scheduler
+        with self._counters_lock:
+            server = dict(self._counters)
+        server["connections_open"] = len(self._connections)
+        payload = {
+            "server": server,
+            "admission": self.admission.metrics(),
+            "scheduler": scheduler.stats.snapshot(),
+            "sessions": {
+                "active": tintin.sessions.active_count,
+                "swept": tintin.sessions.swept_sessions,
+                "sweeper_running": tintin.sessions.sweeper_running,
+            },
+        }
+        if tintin.durability is not None:
+            payload["durability"] = tintin.durability.metrics()
+            payload["wal"] = tintin.durability.wal.stats.snapshot()
+        return payload
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        conn = _Connection(reader, writer)
+        self._connections.add(conn)
+        self._count("connections_total")
+        try:
+            first = await reader.readexactly(4)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            self._connections.discard(conn)
+            writer.close()
+            return
+        try:
+            if first == b"GET ":
+                await self._serve_http(conn)
+                return
+            conn.worker = asyncio.ensure_future(self._conn_worker(conn))
+            await self._read_loop(conn, first)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            ProtocolError,
+            OSError,
+            DropConnection,
+        ):
+            pass
+        finally:
+            await self._teardown(conn)
+
+    async def _teardown(self, conn: _Connection) -> None:
+        conn.closed = True
+        self._connections.discard(conn)
+        if conn.worker is not None:
+            await conn.queue.put(None)  # let in-flight work finish
+            try:
+                await asyncio.wait_for(conn.worker, timeout=30)
+            except (asyncio.TimeoutError, asyncio.CancelledError, Exception):
+                conn.worker.cancel()
+        session = conn.session
+        conn.session = None
+        if session is not None:
+            # a vanished client's staged events are discarded — unless
+            # a queued commit owns them (the pin rules from PR 3)
+            try:
+                await self._run_blocking(session.expire)
+            except Exception:
+                pass
+        try:
+            conn.writer.close()
+        except Exception:
+            pass
+
+    async def _serve_http(self, conn: _Connection) -> None:
+        """Minimal HTTP façade: GET /health and GET /metrics."""
+        self._count("http_requests")
+        line = await conn.reader.readline()  # rest of the request line
+        target = (b"GET " + line).decode("latin-1").split()
+        path = target[1] if len(target) > 1 else "/"
+        # drain headers politely (ignore contents)
+        while True:
+            header = await conn.reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+        if path.startswith("/health"):
+            body, status = json.dumps(self.health()).encode(), "200 OK"
+        elif path.startswith("/metrics"):
+            body, status = json.dumps(self.metrics()).encode(), "200 OK"
+        else:
+            body, status = b'{"error":"not found"}', "404 Not Found"
+        conn.writer.write(
+            (
+                f"HTTP/1.0 {status}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode()
+            + body
+        )
+        await conn.writer.drain()
+        self._connections.discard(conn)
+        conn.writer.close()
+
+    async def _read_loop(self, conn: _Connection, first: bytes) -> None:
+        buffered = first
+        while not conn.closed:
+            if self.faults is not None:
+                # a scripted stalled read blocks only this connection:
+                # the stall runs on the thread pool, not the loop
+                await self._run_blocking(self._fault, "server.read")
+            need = p.HEADER_LEN - len(buffered)
+            header = buffered + (
+                await conn.reader.readexactly(need) if need else b""
+            )
+            buffered = b""
+            length, ftype, request_id = p.decode_header(header)
+            payload = (
+                await conn.reader.readexactly(length) if length else b""
+            )
+            self._count("requests_total")
+            if ftype not in p.REQUEST_TYPES:
+                raise ProtocolError(f"unknown frame type 0x{ftype:02x}")
+            if ftype == p.T_HEALTH:
+                await self._send(
+                    conn, p.T_OK, request_id, p.encode_json(self.health())
+                )
+            elif ftype == p.T_METRICS:
+                await self._send(
+                    conn, p.T_OK, request_id, p.encode_json(self.metrics())
+                )
+            elif ftype == p.T_GOODBYE:
+                await conn.queue.put((ftype, request_id, payload))
+                return  # read no further; worker finishes the queue
+            else:
+                await conn.queue.put((ftype, request_id, payload))
+
+    async def _conn_worker(self, conn: _Connection) -> None:
+        """Drains one connection's ordered request queue."""
+        while True:
+            item = await conn.queue.get()
+            if item is None:
+                return
+            ftype, request_id, payload = item
+            try:
+                done = await self._process(conn, ftype, request_id, payload)
+            except DropConnection:
+                self._count("dropped_connections")
+                transport = conn.writer.transport
+                if transport is not None:
+                    transport.abort()
+                conn.closed = True
+                return
+            except (ConnectionError, OSError):
+                conn.closed = True
+                return
+            if done:  # GOODBYE acknowledged
+                conn.closed = True
+                try:
+                    conn.writer.close()
+                except Exception:
+                    pass
+                return
+
+    # -- request processing ------------------------------------------------
+
+    async def _send(
+        self, conn: _Connection, ftype: int, request_id: int, payload: bytes
+    ) -> None:
+        async with conn.write_lock:
+            conn.writer.write(p.encode_frame(ftype, request_id, payload))
+            await conn.writer.drain()
+
+    async def _send_error(
+        self,
+        conn: _Connection,
+        request_id: int,
+        code: str,
+        message: str,
+        retriable: bool = False,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        self._count("errors_total")
+        await self._send(
+            conn,
+            p.T_ERROR,
+            request_id,
+            p.error_payload(code, message, retriable, retry_after),
+        )
+
+    async def _run_blocking(self, fn, *args):
+        loop = asyncio.get_event_loop()
+        return await loop.run_in_executor(self._executor, fn, *args)
+
+    async def _process(
+        self, conn: _Connection, ftype: int, request_id: int, payload: bytes
+    ) -> bool:
+        """Handle one session-bound request; True ends the connection."""
+        if ftype == p.T_HELLO:
+            await self._process_hello(conn, request_id, payload)
+            return False
+        if conn.session is None:
+            await self._send_error(
+                conn,
+                request_id,
+                p.E_PROTOCOL,
+                "handshake required before this request",
+            )
+            return False
+        if ftype == p.T_GOODBYE:
+            await self._run_blocking(conn.session.expire)
+            conn.session = None
+            await self._send(conn, p.T_OK, request_id, p.encode_json({}))
+            return True
+        if ftype == p.T_COMMIT:
+            await self._process_commit(conn, request_id, payload)
+            return False
+        try:
+            if ftype == p.T_QUERY:
+                result = await self._run_blocking(
+                    conn.session.query, payload.decode("utf-8")
+                )
+                await self._send(
+                    conn,
+                    p.T_ROWS,
+                    request_id,
+                    p.encode_rows_payload(result.columns, result.rows),
+                )
+            elif ftype == p.T_EXECUTE:
+                result = await self._run_blocking(
+                    conn.session.execute, payload.decode("utf-8")
+                )
+                if hasattr(result, "columns"):  # a SELECT went through
+                    await self._send(
+                        conn,
+                        p.T_ROWS,
+                        request_id,
+                        p.encode_rows_payload(result.columns, result.rows),
+                    )
+                else:
+                    await self._send(
+                        conn,
+                        p.T_OK,
+                        request_id,
+                        p.encode_json({"staged": result}),
+                    )
+            elif ftype == p.T_INSERT:
+                table, rows = p.decode_events_payload(payload)
+                staged = await self._run_blocking(
+                    conn.session.insert, table, rows
+                )
+                await self._send(
+                    conn, p.T_OK, request_id, p.encode_json({"staged": staged})
+                )
+            elif ftype == p.T_DELETE:
+                table, rows = p.decode_events_payload(payload)
+                staged = await self._run_blocking(
+                    conn.session.delete, table, rows
+                )
+                await self._send(
+                    conn, p.T_OK, request_id, p.encode_json({"staged": staged})
+                )
+            elif ftype == p.T_DISCARD:
+                dropped = await self._run_blocking(conn.session.discard)
+                await self._send(
+                    conn,
+                    p.T_OK,
+                    request_id,
+                    p.encode_json({"discarded": dropped}),
+                )
+            else:  # pragma: no cover - REQUEST_TYPES guards this
+                raise ProtocolError(f"unhandled frame type 0x{ftype:02x}")
+        except SessionExpired as exc:
+            await self._send_error(
+                conn, request_id, p.E_SESSION, str(exc), retriable=False
+            )
+        except (ConstraintViolation, ExecutionError, ReproError) as exc:
+            if isinstance(exc, (NetworkError, SessionExpired)):
+                raise
+            await self._send_error(
+                conn, request_id, p.E_EXECUTION, str(exc)
+            )
+        return False
+
+    async def _process_hello(
+        self, conn: _Connection, request_id: int, payload: bytes
+    ) -> None:
+        hello = p.decode_json(payload)
+        if hello.get("magic") != p.PROTOCOL_MAGIC:
+            raise ProtocolError("bad protocol magic in HELLO")
+        if hello.get("version") != p.PROTOCOL_VERSION:
+            await self._send_error(
+                conn,
+                request_id,
+                p.E_PROTOCOL,
+                f"unsupported protocol version {hello.get('version')!r} "
+                f"(server speaks {p.PROTOCOL_VERSION})",
+            )
+            return
+        if self._draining:
+            await self._send_error(
+                conn,
+                request_id,
+                p.E_SHUTTING_DOWN,
+                "server is draining; no new sessions",
+                retriable=True,
+                retry_after=1.0,
+            )
+            return
+        if conn.session is not None:
+            await self._send_error(
+                conn, request_id, p.E_PROTOCOL, "session already established"
+            )
+            return
+        priority = int(hello.get("priority", 0))
+        conn.session = await self._run_blocking(
+            lambda: self.tintin.sessions.create(
+                ttl=self.session_ttl, priority=priority
+            )
+        )
+        reply = {
+            "session": conn.session.session_id,
+            "version": p.PROTOCOL_VERSION,
+            "database": self.tintin.db.name,
+            "priority": priority,
+        }
+        await self._send(conn, p.T_OK, request_id, p.encode_json(reply))
+        if self.admission.backpressure:
+            # late joiners learn the current state immediately
+            await self._send(
+                conn,
+                p.T_SLOWDOWN,
+                0,
+                p.encode_json({"delay": self.admission.suggested_delay()}),
+            )
+
+    async def _process_commit(
+        self, conn: _Connection, request_id: int, payload: bytes
+    ) -> None:
+        spec = p.decode_json(payload) if payload else {}
+        timeout = spec.get("timeout", self.default_commit_timeout)
+        deadline = (
+            time.monotonic() + float(timeout) if timeout is not None else None
+        )
+        session = conn.session
+        loop = asyncio.get_event_loop()
+        future: asyncio.Future = loop.create_future()
+
+        def on_done(result, error):
+            def resolve():
+                if future.cancelled():
+                    return
+                if error is not None:
+                    future.set_exception(error)
+                else:
+                    future.set_result(result)
+
+            try:
+                loop.call_soon_threadsafe(resolve)
+            except RuntimeError:  # loop died mid-shutdown
+                pass
+
+        self._fault("admission.enqueue", session=session)
+        self.admission.submit(
+            lambda: session.commit(deadline=deadline),
+            on_done,
+            priority=session.priority,
+            deadline=deadline,
+        )
+        try:
+            result = await future
+        except OverloadError as exc:
+            await self._send_error(
+                conn,
+                request_id,
+                p.E_OVERLOAD,
+                str(exc),
+                retriable=True,
+                retry_after=exc.retry_after,
+            )
+            return
+        except DeadlineExceeded as exc:
+            await self._send_error(
+                conn, request_id, p.E_DEADLINE, str(exc), retriable=True
+            )
+            return
+        except SessionExpired as exc:
+            await self._send_error(conn, request_id, p.E_SESSION, str(exc))
+            return
+        except ReproError as exc:
+            await self._send_error(conn, request_id, p.E_EXECUTION, str(exc))
+            return
+        # the commit is decided (and, when durable, its fsync has
+        # returned).  The ack-lost fault window lives exactly here.
+        self._fault("server.before_ack", session=session, result=result)
+        if result.deadline_expired:
+            await self._send_error(
+                conn,
+                request_id,
+                p.E_DEADLINE,
+                result.constraint_error or "deadline exceeded",
+                retriable=True,
+            )
+            return
+        await self._send(
+            conn,
+            p.T_OK,
+            request_id,
+            p.encode_json(commit_result_payload(result)),
+        )

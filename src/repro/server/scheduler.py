@@ -126,6 +126,16 @@ class _Footprint:
 
 _EMPTY: frozenset = frozenset()
 
+
+def _deadline_result() -> CommitResult:
+    """The verdict for a request cancelled by its own deadline: not
+    committed, not applied, no WAL frame — safely retriable."""
+    return CommitResult(
+        committed=False,
+        constraint_error="deadline exceeded before validation completed",
+        deadline_expired=True,
+    )
+
 #: sentinel: a denial negates something we cannot attribute to base
 #: tables, so any shared reference to its positive tables serializes
 ANY_TABLE = object()
@@ -144,6 +154,11 @@ class _PendingCommit:
     deletes: dict[str, list[tuple]]
     footprint: _Footprint
     transactions: TransactionManager
+    #: absolute ``time.monotonic()`` deadline, or None for "no limit".
+    #: Checked at the window start and again right before the
+    #: violation-view pass, so a doomed request is cancelled before
+    #: the expensive work instead of after it.
+    deadline: Optional[float] = None
     done: threading.Event = field(default_factory=threading.Event)
     result: Optional[CommitResult] = None
 
@@ -153,10 +168,23 @@ class _PendingCommit:
             len(r) for r in self.deletes.values()
         )
 
+    def expired(self, now: Optional[float] = None) -> bool:
+        return self.deadline is not None and (
+            now if now is not None else time.monotonic()
+        ) > self.deadline
+
 
 @dataclass
 class SchedulerStats:
-    """Counters describing how commits were scheduled."""
+    """Counters describing how commits were scheduled.
+
+    Mutate through :meth:`bump` and read through :meth:`snapshot`: the
+    leader thread, the log-writer thread and metrics readers (the
+    ``/metrics`` endpoint) all touch these concurrently, and ``+=`` on
+    an attribute is neither atomic nor consistent across fields — an
+    unguarded reader could see ``commits`` from one window and
+    ``batches`` from another.
+    """
 
     batches: int = 0
     commits: int = 0
@@ -165,6 +193,9 @@ class SchedulerStats:
     fallbacks: int = 0
     max_group_size: int = 0
     check_seconds: float = 0.0
+    #: requests whose deadline lapsed before their violation-view pass
+    #: ran — cancelled inside the scheduler, never validated or applied
+    deadline_expired: int = 0
     #: durability counters: WAL records appended and fsyncs issued by
     #: this scheduler (``wal_fsyncs`` < ``wal_appends`` is group commit
     #: at work — several commits' records shared one fsync)
@@ -175,26 +206,37 @@ class SchedulerStats:
     #: coalescing at work — several windows shared one fsync)
     writer_flushes: int = 0
     writer_windows: int = 0
-    #: guards the fsync counters: the leader's inline flush and the
-    #: log-writer thread increment them concurrently, and ``+=`` on an
-    #: attribute is not atomic
-    _fsync_count_lock: threading.Lock = field(
+    _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
 
+    def bump(self, **deltas) -> None:
+        """Atomically add ``deltas`` to the named counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def saw_group(self, size: int) -> None:
+        with self._lock:
+            self.max_group_size = max(self.max_group_size, size)
+
     def snapshot(self) -> dict:
-        return {
-            "batches": self.batches,
-            "commits": self.commits,
-            "group_fast_path": self.group_fast_path,
-            "serial_commits": self.serial_commits,
-            "fallbacks": self.fallbacks,
-            "max_group_size": self.max_group_size,
-            "wal_appends": self.wal_appends,
-            "wal_fsyncs": self.wal_fsyncs,
-            "writer_flushes": self.writer_flushes,
-            "writer_windows": self.writer_windows,
-        }
+        """One consistent cut of every counter, as a plain dict."""
+        with self._lock:
+            return {
+                "batches": self.batches,
+                "commits": self.commits,
+                "group_fast_path": self.group_fast_path,
+                "serial_commits": self.serial_commits,
+                "fallbacks": self.fallbacks,
+                "max_group_size": self.max_group_size,
+                "check_seconds": self.check_seconds,
+                "deadline_expired": self.deadline_expired,
+                "wal_appends": self.wal_appends,
+                "wal_fsyncs": self.wal_fsyncs,
+                "writer_flushes": self.writer_flushes,
+                "writer_windows": self.writer_windows,
+            }
 
 
 class LogWriter:
@@ -328,10 +370,9 @@ class LogWriter:
                     )
                     pending.done.set()
             return
-        with self.stats._fsync_count_lock:
-            self.stats.wal_fsyncs += 1
-            self.stats.writer_flushes += 1
-            self.stats.writer_windows += len(burst)
+        self.stats.bump(
+            wal_fsyncs=1, writer_flushes=1, writer_windows=len(burst)
+        )
         for _, deferred in burst:
             for pending, result in deferred:
                 pending.result = result
@@ -380,6 +421,16 @@ class CommitScheduler:
         #: inline instead (the pre-log-writer protocol).
         self.log_writer_enabled = True
         self._log_writer = LogWriter(self.stats)
+        #: fault-injection hook (``repro.net.faults.FaultInjector.fire``
+        #: when installed): called with a point name at well-defined
+        #: spots in the commit pipeline so tests can stall or kill the
+        #: scheduler deterministically.  None in production.
+        self.fault_hook: Optional[callable] = None
+
+    def _fault(self, point: str, **ctx) -> None:
+        hook = self.fault_hook
+        if hook is not None:
+            hook(point, **ctx)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -404,12 +455,18 @@ class CommitScheduler:
 
     # -- submission --------------------------------------------------------
 
-    def commit(self, session: "Session") -> CommitResult:
+    def commit(
+        self, session: "Session", deadline: Optional[float] = None
+    ) -> CommitResult:
         """Commit one session's staged update; blocks until decided."""
         inserts, deletes = session.events.snapshot()
         session.events.truncate()  # events move into the request
         return self.commit_events(
-            inserts, deletes, transactions=session.transactions, session=session
+            inserts,
+            deletes,
+            transactions=session.transactions,
+            session=session,
+            deadline=deadline,
         )
 
     def commit_events(
@@ -418,15 +475,23 @@ class CommitScheduler:
         deletes: dict[str, list[tuple]],
         transactions: Optional[TransactionManager] = None,
         session: Optional["Session"] = None,
+        deadline: Optional[float] = None,
     ) -> CommitResult:
         """Queue an explicit event batch (the default-session facade
-        routes the globally captured update through here)."""
+        routes the globally captured update through here).
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant: a
+        request still undecided past it is cancelled before its
+        violation-view pass (``CommitResult.deadline_expired`` set, no
+        apply, no WAL frame) — the caller may safely retry.
+        """
         pending = _PendingCommit(
             session=session,
             inserts=inserts,
             deletes=deletes,
             footprint=self._footprint(inserts, deletes),
             transactions=transactions or TransactionManager(),
+            deadline=deadline,
         )
         with self._queue_lock:
             self._queue.append(pending)
@@ -602,8 +667,23 @@ class CommitScheduler:
                 batch.append(self._queue.popleft())
         if not batch:
             return
-        self.stats.batches += 1
-        self.stats.commits += len(batch)
+        # deadline triage at the window door: a request already past
+        # its deadline is cancelled before any validation work starts
+        # (its done event fires now — it never enters the window)
+        self._fault("scheduler.window", batch=len(batch))
+        alive: list[_PendingCommit] = []
+        now = time.monotonic()
+        for pending in batch:
+            if pending.expired(now):
+                pending.result = _deadline_result()
+                pending.done.set()
+                self.stats.bump(deadline_expired=1)
+            else:
+                alive.append(pending)
+        batch = alive
+        if not batch:
+            return
+        self.stats.bump(batches=1, commits=len(batch))
         start = time.perf_counter()
         #: committed members whose WAL records are appended but not yet
         #: durable; their results are withheld until the window flush
@@ -625,9 +705,7 @@ class CommitScheduler:
                 self.events.truncate_events()
                 try:
                     for group in self._partition(batch):
-                        self.stats.max_group_size = max(
-                            self.stats.max_group_size, len(group)
-                        )
+                        self.stats.saw_group(len(group))
                         self._commit_group(group, deferred)
                 finally:
                     self.events.load_events(*stashed)
@@ -655,7 +733,7 @@ class CommitScheduler:
                     )
             raise
         finally:
-            self.stats.check_seconds += time.perf_counter() - start
+            self.stats.bump(check_seconds=time.perf_counter() - start)
             # members with an immediate verdict (rejections, and every
             # member when nothing was logged) are released here; the
             # committed-and-logged ones are withheld until the flush
@@ -720,8 +798,7 @@ class CommitScheduler:
         try:
             if manager is not None:
                 manager.sync()
-                with self.stats._fsync_count_lock:
-                    self.stats.wal_fsyncs += 1
+                self.stats.bump(wal_fsyncs=1)
         except BaseException as exc:
             for pending, _ in deferred:
                 pending.result = CommitResult(
@@ -760,7 +837,7 @@ class CommitScheduler:
             counts=touched_counts(self.db, inserts, deletes),
             sync=False,
         )
-        self.stats.wal_appends += 1
+        self.stats.bump(wal_appends=1)
 
     def _partition(
         self, batch: list[_PendingCommit]
@@ -794,6 +871,15 @@ class CommitScheduler:
             groups.append(current)
         return groups
 
+    def _expire_member(self, pending: _PendingCommit) -> bool:
+        """Cancel a member whose deadline lapsed (inside the window:
+        its done event fires with everyone else's at window end)."""
+        if pending.result is not None or not pending.expired():
+            return pending.result is not None
+        pending.result = _deadline_result()
+        self.stats.bump(deadline_expired=1)
+        return True
+
     def _event_overlays(
         self,
         inserts: dict[str, list[tuple]],
@@ -817,6 +903,12 @@ class CommitScheduler:
         group: list[_PendingCommit],
         deferred: list[tuple[_PendingCommit, CommitResult]],
     ) -> None:
+        # deadline check right before the expensive pass: a member
+        # whose deadline lapsed while the window was draining earlier
+        # groups is dropped from the union before validation runs
+        group = [p for p in group if not self._expire_member(p)]
+        if not group:
+            return
         if len(group) == 1:
             self._commit_serially(group, deferred)
             return
@@ -828,13 +920,23 @@ class CommitScheduler:
                 union_ins.setdefault(table, []).extend(rows)
             for table, rows in pending.deletes.items():
                 union_del.setdefault(table, []).extend(rows)
+        self._fault("scheduler.validate", group=len(group))
         violations, checked, skipped = self.tintin.safe_commit_proc.check_only(
             self.db, overlays=self._event_overlays(union_ins, union_del)
         )
+        if not violations and any(p.expired() for p in group):
+            # a deadline lapsed *during* union validation: the union
+            # can no longer be applied as one batch (dropping the
+            # expired member's events from a validated union is not
+            # violation-preserving), so replay serially — each member's
+            # deadline is then enforced precisely
+            self.stats.bump(fallbacks=1)
+            self._commit_serially(group, deferred)
+            return
         if violations:
             # someone's events violate: replay strictly serially so the
             # violation lands on the session that staged it
-            self.stats.fallbacks += 1
+            self.stats.bump(fallbacks=1)
             self._commit_serially(group, deferred)
             return
         # per-member applied-row accounting, so a grouped commit reports
@@ -853,7 +955,7 @@ class CommitScheduler:
             with self.db.transaction_scope(self._group_transactions):
                 self.db.apply_batch(union_ins, union_del)
         except ConstraintViolation:
-            self.stats.fallbacks += 1
+            self.stats.bump(fallbacks=1)
             self._commit_serially(group, deferred)
             return
         manager = self._durability()
@@ -865,7 +967,7 @@ class CommitScheduler:
             # failed fsync can never acknowledge a commit that is not
             # on disk.
             self._log_committed(manager, union_ins, union_del)
-        self.stats.group_fast_path += len(group)
+        self.stats.bump(group_fast_path=len(group))
         for pending, applied in zip(group, applied_by_member):
             result = CommitResult(
                 committed=True,
@@ -900,7 +1002,12 @@ class CommitScheduler:
         """
         manager = self._durability()
         for pending in group:
-            self.stats.serial_commits += 1
+            # the cheap pre-validation deadline gate: doomed work is
+            # cancelled before the violation-view pass runs
+            if self._expire_member(pending):
+                continue
+            self.stats.bump(serial_commits=1)
+            self._fault("scheduler.validate", session=pending.session)
             violations, checked, skipped = (
                 self.tintin.safe_commit_proc.check_only(
                     self.db,
@@ -909,6 +1016,11 @@ class CommitScheduler:
                     ),
                 )
             )
+            if self._expire_member(pending):
+                # lapsed mid-validation: the check already ran, but the
+                # apply and its WAL frame have not — cancelling here
+                # keeps an expired request invisible (safe to retry)
+                continue
             if violations:
                 pending.result = CommitResult(
                     committed=False,

@@ -165,6 +165,7 @@ class Session:
         scheduler: "CommitScheduler",
         manager: Optional["SessionManager"] = None,
         ttl: Optional[float] = None,
+        priority: int = 0,
     ):
         self.session_id = session_id
         self.tintin = tintin
@@ -172,6 +173,10 @@ class Session:
         self.scheduler = scheduler
         self._manager = manager
         self.ttl = ttl
+        #: admission priority (higher = more trusted, shed last); used
+        #: by the network front end's load shedder — per-source trust,
+        #: cf. the trust-mappings idea in PAPERS.md
+        self.priority = priority
         self.created_at = time.monotonic()
         self.last_used = self.created_at
         self.events = SessionEvents(tintin)
@@ -427,14 +432,17 @@ class Session:
 
     # -- committing --------------------------------------------------------
 
-    def commit(self) -> "CommitResult":
+    def commit(self, deadline: Optional[float] = None) -> "CommitResult":
         """Validate-and-apply this session's staged update through the
         serialized commit scheduler (group commit may batch it with
         other sessions' compatible updates).
 
         The session is *pinned* for the duration: an idle-expiry sweep
         (or TTL lapse) racing the queued request cannot discard the
-        staged events mid-validation.
+        staged events mid-validation.  ``deadline`` (an absolute
+        ``time.monotonic()`` instant) cancels the request before its
+        violation-view pass once lapsed — the pin is released either
+        way when this call returns.
         """
         self._check_alive()  # unpinned: a lapsed TTL raises here
         with self._commit_pin():
@@ -442,7 +450,7 @@ class Session:
             # between the TTL check and the pin (its events were then
             # discarded — there is nothing left to commit)
             self._check_alive()
-            result = self.scheduler.commit(self)
+            result = self.scheduler.commit(self, deadline=deadline)
         if result.committed:
             self.commits += 1
         else:
@@ -477,8 +485,15 @@ class SessionManager:
         )
         self._sessions: dict[str, Session] = {}
         self._lock = threading.Lock()
+        #: the background expiry sweeper (see :meth:`start_sweeper`)
+        self._sweeper: Optional[threading.Thread] = None
+        self._sweeper_stop = threading.Event()
+        self._sweeper_max_idle: Optional[float] = None
+        self.swept_sessions = 0
 
-    def create(self, ttl: Optional[float] = None) -> Session:
+    def create(
+        self, ttl: Optional[float] = None, priority: int = 0
+    ) -> Session:
         session_id = f"s{next(self._ids):04d}"
         session = Session(
             session_id,
@@ -486,6 +501,7 @@ class SessionManager:
             self.scheduler,
             manager=self,
             ttl=ttl if ttl is not None else self.default_ttl,
+            priority=priority,
         )
         with self._lock:
             self._sessions[session_id] = session
@@ -528,6 +544,63 @@ class SessionManager:
                 continue
             session.expire()
         return [s.session_id for s in idle if s.expired]
+
+    # -- the background sweeper --------------------------------------------
+
+    def sweep(self) -> list[str]:
+        """One expiry pass: reap every session whose TTL has lapsed
+        (and, when the sweeper was configured with ``max_idle``, every
+        session idle longer than that).  Pinned sessions are skipped —
+        the same rules as :meth:`expire_idle`.  Returns reaped ids."""
+        reaped: list[str] = []
+        with self._lock:
+            candidates = list(self._sessions.values())
+        for session in candidates:
+            # touching .expired performs the TTL self-expiry (and
+            # respects the commit pin); before the sweeper existed this
+            # only ever happened when some other call wandered by
+            if session.expired:
+                reaped.append(session.session_id)
+        if self._sweeper_max_idle is not None:
+            reaped.extend(self.expire_idle(self._sweeper_max_idle))
+        self.swept_sessions += len(reaped)
+        return reaped
+
+    def start_sweeper(
+        self, interval: float = 1.0, max_idle: Optional[float] = None
+    ) -> None:
+        """Run :meth:`sweep` every ``interval`` seconds in a daemon
+        thread, so TTL/idle expiry no longer depends on another call
+        happening to touch the manager.  Idempotent; stopped by
+        :meth:`stop_sweeper` (which ``Tintin.close`` calls)."""
+        if self._sweeper is not None and self._sweeper.is_alive():
+            self._sweeper_max_idle = max_idle
+            return
+        self._sweeper_max_idle = max_idle
+        self._sweeper_stop.clear()
+
+        def run() -> None:
+            while not self._sweeper_stop.wait(timeout=interval):
+                self.sweep()
+
+        self._sweeper = threading.Thread(
+            target=run, name="tintin-session-sweeper", daemon=True
+        )
+        self._sweeper.start()
+
+    def stop_sweeper(self) -> None:
+        """Stop the background sweeper and wait for it to exit."""
+        thread = self._sweeper
+        if thread is None:
+            return
+        self._sweeper_stop.set()
+        thread.join(timeout=5)
+        self._sweeper = None
+
+    @property
+    def sweeper_running(self) -> bool:
+        thread = self._sweeper
+        return thread is not None and thread.is_alive()
 
     @property
     def active_count(self) -> int:

@@ -1,0 +1,282 @@
+"""The fault-injection matrix over the full remote commit path.
+
+Every scenario scripts a deterministic fault (connection drop, stalled
+read, fsync delay, disk failure, scheduler stall, kill during drain)
+and then checks the two invariants the network layer promises:
+
+* every **acknowledged** commit is present after recovery;
+* every **unacknowledged** commit was reported retriable (overload,
+  deadline) or explicitly ambiguous (:class:`ConnectionLost`) — never
+  as a success.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import Tintin
+from repro.errors import (
+    ConnectionLost,
+    OverloadError,
+    ReproError,
+)
+from repro.minidb import Database
+from repro.net import FaultInjector, TintinClient
+
+
+DDL = "CREATE TABLE items (id INT NOT NULL, qty INT)"
+ASSERTION = (
+    "CREATE ASSERTION positiveQty CHECK (NOT EXISTS ("
+    "SELECT * FROM items AS i WHERE i.qty < 0))"
+)
+
+
+def make_durable(path, durability="commit"):
+    tintin = Tintin.open(str(path), durability=durability)
+    tintin.db.execute(DDL)
+    tintin.install()
+    tintin.add_assertion(ASSERTION)
+    return tintin
+
+
+def recovered_rows(path):
+    reopened = Tintin.open(str(path))
+    try:
+        return sorted(reopened.db.query("SELECT id, qty FROM items").rows)
+    finally:
+        reopened.close()
+
+
+class TestConnectionDrops:
+    def test_drop_before_ack_is_ambiguous_never_success(self, tmp_path):
+        """The classic lost-ack window: the commit decided (and its
+        fsync returned), then the socket died before the verdict frame.
+        The client must see :class:`ConnectionLost` — never a success —
+        and the commit, being acknowledged durable server-side, must
+        survive recovery."""
+        tintin = make_durable(tmp_path)
+        faults = FaultInjector()
+        server = tintin.listen(faults=faults)
+        faults.drop_connection("server.before_ack", times=1)
+        client = TintinClient(*server.address, retries=0)
+        client.insert("items", [(1, 5)])
+        with pytest.raises(ConnectionLost):
+            client.commit(retry=False)
+        client.close_socket()
+        assert faults.triggered["server.before_ack"] == 1
+        assert server.metrics()["server"]["dropped_connections"] == 1
+        server.shutdown(drain_timeout=5)
+        assert recovered_rows(tmp_path) == [(1, 5)]
+
+    def test_client_vanishing_after_append_before_fsync(self, tmp_path):
+        """The socket dies while the commit's fsync is still pending
+        (append done, durability not yet). The client, having never
+        read a verdict, must not treat the commit as succeeded; the
+        server finishes the fsync and the commit is durable."""
+        tintin = make_durable(tmp_path)
+        faults = FaultInjector()
+        server = tintin.listen(faults=faults)
+        # widen the append-to-fsync window, and sever the socket from
+        # the server side inside it (after the WAL append buffered)
+        faults.delay("wal.before_fsync", 0.3, times=1)
+        faults.drop_connection("server.before_ack", times=1)
+        client = TintinClient(*server.address, retries=0)
+        client.insert("items", [(2, 7)])
+        started = time.monotonic()
+        with pytest.raises(ConnectionLost):
+            client.commit(retry=False)
+        # the verdict path waited for the (stalled) fsync before the
+        # drop fired: the ack discipline held under the delay
+        assert time.monotonic() - started >= 0.25
+        client.close_socket()
+        server.shutdown(drain_timeout=5)
+        assert recovered_rows(tmp_path) == [(2, 7)]
+
+
+class TestLoadShedding:
+    def test_shed_commit_leaves_no_wal_frame(self, tmp_path):
+        """A shed commit was never admitted: no engine state, no WAL
+        append, and the verdict is retriable."""
+        tintin = make_durable(tmp_path)
+        faults = FaultInjector()
+        server = tintin.listen(max_depth=1, commit_workers=1, faults=faults)
+        faults.delay("scheduler.window", 0.5, times=1)
+        holder = TintinClient(*server.address)
+        shed = TintinClient(*server.address)
+        baseline = tintin.durability.wal.stats.snapshot()["appends"]
+        holder.insert("items", [(1, 1)])
+        thread = threading.Thread(target=holder.commit)
+        thread.start()
+        time.sleep(0.1)  # the holder now occupies the only slot
+        shed.insert("items", [(9, 9)])
+        with pytest.raises(OverloadError) as excinfo:
+            shed.commit(retry=False)
+        assert excinfo.value.retriable
+        assert excinfo.value.retry_after > 0
+        thread.join(timeout=10)
+        appends = tintin.durability.wal.stats.snapshot()["appends"]
+        holder.close_socket()
+        shed.close_socket()
+        server.shutdown(drain_timeout=5)
+        # exactly one new frame: the holder's batch.  The shed commit
+        # left nothing in the log and nothing in the recovered state.
+        assert appends == baseline + 1
+        assert recovered_rows(tmp_path) == [(1, 1)]
+
+
+class TestDeadlines:
+    def test_mid_validation_expiry_releases_pin_no_wal_frame(self, tmp_path):
+        """A deadline lapsing *during* the violation-view pass cancels
+        the commit before apply: no WAL frame, the session pin is
+        released, and the expiry sweeper can reap the session."""
+        tintin = make_durable(tmp_path)
+        faults = FaultInjector()
+        faults.install(tintin)
+        faults.delay("scheduler.validate", 0.3)
+        baseline = tintin.durability.wal.stats.snapshot()["appends"]
+        session = tintin.sessions.create(ttl=0.1)
+        session.insert("items", [(1, 1)])
+        result = session.commit(deadline=time.monotonic() + 0.1)
+        assert result.committed is False
+        assert result.deadline_expired is True
+        assert not session.pinned
+        assert tintin.sessions.scheduler.stats.snapshot()[
+            "deadline_expired"
+        ] >= 1
+        assert (
+            tintin.durability.wal.stats.snapshot()["appends"] == baseline
+        )
+        # the TTL has lapsed and the pin is gone: one sweep reaps it
+        faults.clear()
+        assert session.session_id in tintin.sessions.sweep()
+        tintin.close()
+        assert recovered_rows(tmp_path) == []
+
+
+class TestStalls:
+    def test_stalled_read_times_out_then_recovers(self, tmp_path):
+        """A stalled server read hits only that connection; the client
+        times out with ConnectionLost and the idempotent retry path
+        reconnects transparently."""
+        tintin = make_durable(tmp_path)
+        faults = FaultInjector()
+        server = tintin.listen(faults=faults)
+        client = TintinClient(*server.address, timeout=0.5, retries=2)
+        client.insert("items", [(1, 2)])
+        assert client.commit()["committed"] is True
+        # stall the next frame read for longer than the client timeout
+        # (after= skips fires already consumed by this connection)
+        fires = faults.fired["server.read"]
+        faults.delay("server.read", 2.0, times=1, after=fires)
+        rows = client.query("SELECT id, qty FROM items")
+        assert rows.rows == [(1, 2)]
+        assert client.session_id is not None  # reconnected + re-HELLOed
+        client.close_socket()
+        server.shutdown(drain_timeout=5)
+        assert recovered_rows(tmp_path) == [(1, 2)]
+
+    def test_scheduler_stall_delays_but_loses_nothing(self, tmp_path):
+        tintin = make_durable(tmp_path, durability="batch")
+        faults = FaultInjector()
+        server = tintin.listen(faults=faults)
+        faults.delay("scheduler.window", 0.2, times=2)
+        clients = [TintinClient(*server.address) for _ in range(2)]
+        verdicts = {}
+
+        def commit(index, client):
+            client.insert("items", [(index, index)])
+            verdicts[index] = client.commit(timeout=10)
+
+        threads = [
+            threading.Thread(target=commit, args=(i + 1, c))
+            for i, c in enumerate(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=15)
+        assert all(v["committed"] for v in verdicts.values())
+        for client in clients:
+            client.close_socket()
+        server.shutdown(drain_timeout=5)
+        assert recovered_rows(tmp_path) == [(1, 1), (2, 2)]
+
+    def test_fsync_delay_holds_the_ack(self, tmp_path):
+        """An fsync delay slows the acknowledgement but never weakens
+        it: the verdict arrives after the sync, and the commit is
+        durable."""
+        tintin = make_durable(tmp_path)
+        faults = FaultInjector()
+        server = tintin.listen(faults=faults)
+        faults.delay("wal.before_fsync", 0.3, times=1)
+        client = TintinClient(*server.address)
+        client.insert("items", [(4, 4)])
+        started = time.monotonic()
+        assert client.commit()["committed"] is True
+        assert time.monotonic() - started >= 0.25
+        client.close_socket()
+        server.shutdown(drain_timeout=5)
+        assert recovered_rows(tmp_path) == [(4, 4)]
+
+
+class TestDiskFailure:
+    def test_failed_fsync_never_acknowledges(self, tmp_path):
+        """A dying disk at fsync time must surface as an error — the
+        commit is rolled back (fsyncgate discipline), so recovery shows
+        nothing."""
+        tintin = make_durable(tmp_path)
+        faults = FaultInjector()
+        server = tintin.listen(faults=faults)
+        faults.fail("wal.before_fsync", lambda: OSError("disk died"), times=1)
+        client = TintinClient(*server.address, retries=0)
+        client.insert("items", [(8, 8)])
+        with pytest.raises((ReproError, ConnectionLost)) as excinfo:
+            verdict = client.commit(retry=False)
+            # if a verdict did come back, it must not claim success
+            assert not verdict["committed"], verdict
+        assert excinfo is not None
+        client.close_socket()
+        # the log is poisoned: abort the front end (no checkpoint —
+        # a checkpoint would legitimately flush the in-memory state)
+        server.abort()
+        assert recovered_rows(tmp_path) == []
+
+
+class TestKillDuringDrain:
+    def test_abort_after_ack_preserves_acked_commits(self, tmp_path):
+        """Killing the server without any drain/checkpoint (abort) is
+        the process-crash case: recovery must replay every
+        acknowledged commit from the WAL alone."""
+        tintin = make_durable(tmp_path)
+        server = tintin.listen()
+        client = TintinClient(*server.address)
+        client.insert("items", [(1, 1)])
+        assert client.commit()["committed"] is True
+        client.insert("items", [(2, 2)])
+        assert client.commit()["committed"] is True
+        client.close_socket()
+        server.abort()  # no drain, no checkpoint, sockets severed
+        assert recovered_rows(tmp_path) == [(1, 1), (2, 2)]
+
+    def test_kill_mid_drain_loses_no_acked_commit(self, tmp_path):
+        """The drain itself dies (fault at ``server.drain`` aborts the
+        front end): everything acknowledged before the kill is still
+        recovered from the log."""
+        tintin = make_durable(tmp_path)
+        faults = FaultInjector()
+        server = tintin.listen(faults=faults)
+        client = TintinClient(*server.address)
+        client.insert("items", [(3, 3)])
+        assert client.commit()["committed"] is True
+        client.close_socket()
+
+        def kill(**ctx):
+            raise RuntimeError("simulated kill during drain")
+
+        faults.inject("server.drain", kill)
+        with pytest.raises(RuntimeError):
+            # close_engine=False: the dying process writes no final
+            # checkpoint and closes nothing cleanly
+            server.shutdown(drain_timeout=5, close_engine=False)
+        assert recovered_rows(tmp_path) == [(3, 3)]

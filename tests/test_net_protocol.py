@@ -1,0 +1,121 @@
+"""Wire-protocol codec tests: frames, JSON payloads, and the binary
+row payloads that reuse the WAL v2 tagged-value codec."""
+
+import math
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net import protocol as p
+
+
+class TestFrames:
+    def test_frame_round_trip(self):
+        frame = p.encode_frame(p.T_COMMIT, 42, b"payload")
+        length, ftype, request_id = p.decode_header(frame[: p.HEADER_LEN])
+        assert (length, ftype, request_id) == (7, p.T_COMMIT, 42)
+        assert frame[p.HEADER_LEN :] == b"payload"
+
+    def test_empty_payload(self):
+        frame = p.encode_frame(p.T_HEALTH, 1)
+        assert len(frame) == p.HEADER_LEN
+        assert p.decode_header(frame)[0] == 0
+
+    def test_oversize_payload_refused_on_encode(self):
+        with pytest.raises(ProtocolError):
+            p.encode_frame(p.T_INSERT, 1, b"x" * (p.MAX_FRAME_PAYLOAD + 1))
+
+    def test_oversize_announcement_refused_on_decode(self):
+        header = p.HEADER.pack(p.MAX_FRAME_PAYLOAD + 1, p.T_INSERT, 1)
+        with pytest.raises(ProtocolError):
+            p.decode_header(header)
+
+
+class TestJsonPayloads:
+    def test_round_trip(self):
+        payload = p.encode_json({"a": 1, "b": [1, 2], "c": "x"})
+        assert p.decode_json(payload) == {"a": 1, "b": [1, 2], "c": "x"}
+
+    def test_malformed_json_raises_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            p.decode_json(b"{nope")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            p.decode_json(b"[1,2]")
+
+    def test_error_payload_carries_retry_after(self):
+        spec = p.decode_json(
+            p.error_payload(p.E_OVERLOAD, "shed", True, 0.25)
+        )
+        assert spec == {
+            "code": "overload",
+            "message": "shed",
+            "retriable": True,
+            "retry_after": 0.25,
+        }
+
+    def test_error_payload_omits_absent_retry_after(self):
+        spec = p.decode_json(p.error_payload(p.E_EXECUTION, "boom"))
+        assert "retry_after" not in spec
+
+
+class TestEventsPayload:
+    def test_round_trip(self):
+        rows = [(1, "a", None, 2.5, True), (-7, "", 0, -0.0, False)]
+        payload = p.encode_events_payload("lineitem", rows)
+        table, decoded = p.decode_events_payload(payload)
+        assert table == "lineitem"
+        assert decoded == rows
+
+    def test_unicode_table_and_values(self):
+        rows = [("héllo", "naïve × π",)]
+        table, decoded = p.decode_events_payload(
+            p.encode_events_payload("tablé", rows)
+        )
+        assert table == "tablé"
+        assert decoded == rows
+
+    def test_empty_rows(self):
+        table, decoded = p.decode_events_payload(
+            p.encode_events_payload("t", [])
+        )
+        assert (table, decoded) == ("t", [])
+
+    def test_trailing_garbage_rejected(self):
+        payload = p.encode_events_payload("t", [(1,)]) + b"\x00"
+        with pytest.raises(ProtocolError):
+            p.decode_events_payload(payload)
+
+    def test_truncated_payload_rejected(self):
+        payload = p.encode_events_payload("t", [(1, "abcdef")])
+        with pytest.raises(ProtocolError):
+            p.decode_events_payload(payload[:-3])
+
+
+class TestRowsPayload:
+    def test_round_trip(self):
+        columns = ["id", "name", "score"]
+        rows = [(1, "a", 0.5), (2, "b", None)]
+        decoded_cols, decoded_rows = p.decode_rows_payload(
+            p.encode_rows_payload(columns, rows)
+        )
+        assert decoded_cols == columns
+        assert decoded_rows == rows
+
+    def test_zero_columns_zero_rows(self):
+        assert p.decode_rows_payload(p.encode_rows_payload([], [])) == ([], [])
+
+    def test_many_columns_varint_boundary(self):
+        columns = [f"c{i}" for i in range(200)]  # count > 0x7F
+        rows = [tuple(range(200))]
+        decoded_cols, decoded_rows = p.decode_rows_payload(
+            p.encode_rows_payload(columns, rows)
+        )
+        assert decoded_cols == columns
+        assert decoded_rows == rows
+
+    def test_large_ints_and_floats_survive(self):
+        rows = [(2**62, -(2**62), math.pi, 1e-300)]
+        _, decoded = p.decode_rows_payload(p.encode_rows_payload(["v"] * 4, rows))
+        assert decoded == rows
