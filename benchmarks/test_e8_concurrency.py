@@ -329,6 +329,61 @@ def test_e8_staged_reads(benchmark):
     )
 
 
+def run_tracing_overhead(sessions: int = 4):
+    """A/B of one sweep point: the stock engine (tracing disabled,
+    the default) against the same workload under an enabled in-memory
+    tracer.  The disabled run doubles as the structural zero-overhead
+    proof — the obs factory, the single decision point every commit
+    passes, is spied on and must return None throughout."""
+    from repro.obs import RecordingTracer
+
+    per_session = TOTAL_COMMITS // sessions
+
+    tintin = build_server()
+    allocated = []
+    original = tintin._make_obs
+
+    def spy(*args, **kwargs):
+        obs = original(*args, **kwargs)
+        if obs is not None:
+            allocated.append(obs)
+        return obs
+
+    tintin._make_obs = spy
+    scripts = build_scripts(tintin.db, sessions, per_session)
+    disabled = measure_concurrent_throughput(
+        tintin, sessions, per_session, make_stage(scripts)
+    )
+    assert not allocated, "disabled tracing allocated observation state"
+
+    tintin = build_server()
+    tracer = RecordingTracer()
+    tintin.set_tracer(tracer)
+    scripts = build_scripts(tintin.db, sessions, per_session)
+    enabled = measure_concurrent_throughput(
+        tintin, sessions, per_session, make_stage(scripts)
+    )
+    assert tracer.spans(), "enabled tracing recorded nothing"
+    return disabled, enabled
+
+
+def test_e8_tracing_overhead(benchmark):
+    disabled, enabled = benchmark.pedantic(
+        run_tracing_overhead, rounds=1, iterations=1
+    )
+    print()
+    print("E8: tracing overhead — disabled (default) vs RecordingTracer")
+    print(f"  disabled {disabled.commits_per_second:10.1f} commits/s")
+    print(
+        f"  enabled  {enabled.commits_per_second:10.1f} commits/s "
+        f"(x{disabled.commits_per_second / enabled.commits_per_second:.2f})"
+    )
+    # a full in-memory tracer records ~6 spans per commit; that must
+    # not halve throughput on a validation-dominated workload (and the
+    # disabled path was proven allocation-free above)
+    assert enabled.commits_per_second >= 0.5 * disabled.commits_per_second
+
+
 def test_e8_report(benchmark):
     def sweep():
         results = []

@@ -104,6 +104,11 @@ class SafeCommit:
         #: extension); duck-typed: .check(db, overlays=None) ->
         #: Violation | None, .driving_tables, .spec.name
         self.aggregate_checkers: list = []
+        #: per-assertion check accounting
+        #: (:class:`repro.obs.profiler.AssertionProfiler`), installed
+        #: via ``Tintin.enable_profiling()``.  None keeps the check
+        #: loop timing-free.
+        self.profiler = None
 
     def register(self, compiled: CompiledEDC) -> None:
         self.compiled.append(compiled)
@@ -157,6 +162,7 @@ class SafeCommit:
         self,
         db: Database,
         overlays: Optional[dict[str, TableOverlay]] = None,
+        trace: Optional[list] = None,
     ) -> tuple[list[Violation], int, int]:
         """Run the violation views without applying or truncating.
 
@@ -167,28 +173,61 @@ class SafeCommit:
         overlaying the *event tables* instead of physically loading
         them, so validation never mutates shared state.
 
+        ``trace`` is a list of ``(obs, parent_span_id)`` pairs (one per
+        commit this check serves — a group's union validation serves
+        several): each executed view emits one ``check.<view>`` span
+        into every listed trace, nested under the given validate span.
+
         Returns ``(violations, executed_view_count, skipped_view_count)``.
         """
         violations: list[Violation] = []
         checked = 0
         skipped = 0
+        profiler = self.profiler
+        timed = profiler is not None or trace
         for compiled in self.compiled:
             if self._trivially_empty(db, compiled, overlays):
                 skipped += 1
+                if profiler is not None:
+                    profiler.record_skip(compiled.view_name)
                 continue
             checked += 1
+            collector = profiler.collector() if profiler is not None else None
+            check_start = time.time() if timed else 0.0
+            t0 = time.perf_counter() if timed else 0.0
             if (
                 compiled.prepared is not None
                 and compiled.prepared.db is db
                 and db.plan_cache_enabled
             ):
-                result = compiled.prepared.execute(overlays=overlays)
+                result = compiled.prepared.execute(
+                    overlays=overlays, collector=collector
+                )
             else:
                 # fresh-plan path: parse and plan the view query anew
                 # (also the comparator the E7 bench measures against)
                 result = db.query(
                     f"SELECT * FROM {compiled.view_name}", overlays=overlays
                 )
+            if timed:
+                elapsed = time.perf_counter() - t0
+                if profiler is not None:
+                    profiler.record_check(
+                        compiled.view_name,
+                        elapsed,
+                        violations=len(result.rows),
+                        rows_scanned=(
+                            collector.rows_scanned() if collector else 0
+                        ),
+                    )
+                if trace:
+                    self._trace_check(
+                        trace,
+                        compiled.view_name,
+                        check_start,
+                        elapsed,
+                        len(result.rows),
+                    )
             if result.rows:
                 violations.append(
                     Violation(
@@ -199,17 +238,45 @@ class SafeCommit:
                     )
                 )
         for checker in self.aggregate_checkers:
+            name = checker.spec.name
             if all(
                 self._effectively_empty(db, t, overlays)
                 for t in checker.driving_tables
             ):
                 skipped += 1
+                if profiler is not None:
+                    profiler.record_skip(name)
                 continue
             checked += 1
+            check_start = time.time() if timed else 0.0
+            t0 = time.perf_counter() if timed else 0.0
             violation = checker.check(db, overlays)
+            if timed:
+                elapsed = time.perf_counter() - t0
+                found = 0 if violation is None else 1
+                if profiler is not None:
+                    profiler.record_check(name, elapsed, violations=found)
+                if trace:
+                    self._trace_check(
+                        trace, name, check_start, elapsed, found
+                    )
             if violation is not None:
                 violations.append(violation)
         return violations, checked, skipped
+
+    @staticmethod
+    def _trace_check(
+        trace: list, view: str, start: float, elapsed: float, found: int
+    ) -> None:
+        for obs, parent in trace:
+            obs.record(
+                "check." + view,
+                start,
+                start + elapsed,
+                parent=parent,
+                view=view,
+                violations=found,
+            )
 
     @classmethod
     def _trivially_empty(

@@ -28,6 +28,8 @@ from typing import TYPE_CHECKING, Optional
 
 from ..errors import CompilationError, DurabilityError, SessionError
 from ..minidb.database import Database
+from ..obs.profiler import AssertionProfiler
+from ..obs.trace import CommitObs, NullTracer, Tracer
 from .assertion import Assertion
 from .baseline import NonIncrementalChecker
 from .denial_compiler import DenialCompiler
@@ -61,6 +63,89 @@ class Tintin:
         self.durability: Optional["DurabilityManager"] = None
         #: what recovery found when :meth:`open` rebuilt from disk
         self.recovery_report: Optional["RecoveryReport"] = None
+        #: span sink for commit-path tracing; the default
+        #: :class:`~repro.obs.trace.NullTracer` keeps the pipeline
+        #: observation-free (see :meth:`set_tracer`)
+        self.tracer: Tracer = NullTracer()
+        #: commits slower than this (seconds, end to end) emit one
+        #: structured line on the ``repro.obs.slowlog`` logger; None
+        #: disables the slow-commit log
+        self.slow_commit_seconds: Optional[float] = None
+
+    # -- observability ------------------------------------------------------
+
+    def set_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Install a span sink for commit-path tracing (None resets to
+        the no-op :class:`~repro.obs.trace.NullTracer`).
+
+        Plug-in point in the spirit of TanStack db-tracing's
+        ``addTracer``: any :class:`~repro.obs.trace.Tracer` subclass
+        works — :class:`~repro.obs.trace.RecordingTracer` for in-memory
+        inspection, :class:`~repro.obs.trace.JsonlTracer` for offline
+        analysis, or your own bridge to an external system.
+        """
+        self.tracer = tracer if tracer is not None else NullTracer()
+
+    def _make_obs(self, trace_id: Optional[str] = None) -> Optional[CommitObs]:
+        """A per-commit observation context, or None when neither
+        tracing nor slow-commit logging is enabled (the zero-overhead
+        default: stage points then reduce to one ``is None`` test)."""
+        tracer = self.tracer
+        if not tracer.enabled and self.slow_commit_seconds is None:
+            return None
+        return CommitObs(
+            tracer, trace_id, slow_threshold=self.slow_commit_seconds
+        )
+
+    def enable_profiling(self, capture_rows: bool = False) -> AssertionProfiler:
+        """Attach (and return) a per-assertion check profiler.
+
+        Every subsequent check records count, skip, violation and wall
+        time per violation view; ``capture_rows=True`` additionally
+        threads a per-execution plan collector through each check so
+        rows-scanned fills in (slower — per-operator accounting).
+        """
+        profiler = AssertionProfiler(capture_rows=capture_rows)
+        self.safe_commit_proc.profiler = profiler
+        return profiler
+
+    def disable_profiling(self) -> None:
+        self.safe_commit_proc.profiler = None
+
+    def profile(self) -> dict:
+        """Cumulative per-assertion check statistics:
+        ``{view_name: {checks, skips, violations, seconds,
+        rows_scanned}}``.  Attaches a (timing-only) profiler on first
+        use; call :meth:`enable_profiling` (optionally with
+        ``capture_rows=True``) beforehand to control capture."""
+        if self.safe_commit_proc.profiler is None:
+            self.enable_profiling()
+        return self.safe_commit_proc.profiler.snapshot()
+
+    def profile_report(self) -> str:
+        """:meth:`profile` as a fixed-width table, slowest first."""
+        if self.safe_commit_proc.profiler is None:
+            self.enable_profiling()
+        return self.safe_commit_proc.profiler.report()
+
+    def explain_analyze(self, target: str) -> str:
+        """Execute and annotate a plan with actual rows/timings.
+
+        ``target`` may be an installed assertion name (all its
+        violation views are analyzed), a single view name, or any SQL
+        query.  View executions go through the same prepared-plan cache
+        entries safeCommit uses.
+        """
+        assertion = self.assertions.get(target)
+        if assertion is not None and assertion.view_names:
+            return "\n\n".join(
+                f"-- {view}\n"
+                + self.db.explain_analyze(f"SELECT * FROM {view}")
+                for view in assertion.view_names
+            )
+        if " " not in target.strip():
+            return self.db.explain_analyze(f"SELECT * FROM {target}")
+        return self.db.explain_analyze(target)
 
     # -- durability ---------------------------------------------------------
 

@@ -78,6 +78,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
 from ..errors import DurabilityError, WALCorruptionError
+from ..obs.metrics import StatsBlock
 
 #: 8-byte file header of logs created by this build: magic + format
 #: generation.  Readers accept :data:`WAL_MAGIC_V1` too — upgraded
@@ -905,8 +906,7 @@ def record_seq(record) -> int:
 # -- the log file -----------------------------------------------------------
 
 
-@dataclass
-class WalStats:
+class WalStats(StatsBlock):
     """Counters for one log's lifetime in this process.
 
     Increment through :meth:`bump` and read through :meth:`snapshot`:
@@ -915,29 +915,14 @@ class WalStats:
     multi-field reads would be torn relative to each other.
     """
 
-    appends: int = 0
-    fsyncs: int = 0
-    bytes_written: int = 0
-    truncations: int = 0
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
-    )
-
-    def bump(self, **deltas: int) -> None:
-        """Atomically add ``deltas`` to the named counters."""
-        with self._lock:
-            for name, delta in deltas.items():
-                setattr(self, name, getattr(self, name) + delta)
-
-    def snapshot(self) -> dict:
-        """One consistent cut of every counter, as a plain dict."""
-        with self._lock:
-            return {
-                "appends": self.appends,
-                "fsyncs": self.fsyncs,
-                "bytes_written": self.bytes_written,
-                "truncations": self.truncations,
-            }
+    COUNTERS = ("appends", "fsyncs", "bytes_written", "truncations")
+    PREFIX = "tintin_wal"
+    HELP = {
+        "appends": "WAL records appended",
+        "fsyncs": "fsync calls issued on the log file",
+        "bytes_written": "Bytes appended to the log",
+        "truncations": "Torn-tail truncations performed on open",
+    }
 
 
 @dataclass

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from time import perf_counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, NamedTuple, Optional, Sequence
@@ -203,6 +204,7 @@ class PreparedStatement:
         self,
         params: Optional[dict] = None,
         overlays: Optional[dict[str, TableOverlay]] = None,
+        collector: Optional[object] = None,
     ) -> ResultSet:
         """Run the prepared plan under a fresh execution context.
 
@@ -210,10 +212,12 @@ class PreparedStatement:
         :class:`~repro.minidb.storage.TableOverlay`) merges staged
         events into the named tables for this execution only — the
         overlay-merge read path of server sessions.  The compiled plan
-        itself is shared and untouched.
+        itself is shared and untouched.  ``collector`` (see
+        :class:`repro.obs.profiler.PlanStatsCollector`) observes this
+        one execution's per-node row counts and timings.
         """
         state = self._validated_state()
-        ctx = ExecutionContext(overlays)
+        ctx = ExecutionContext(overlays, collector=collector)
         return ResultSet(
             list(state.columns), list(state.plan.run(params, ctx))
         )
@@ -521,7 +525,10 @@ class Database:
         """
         explained = _split_explain(sql)
         if explained is not None:
-            return self._explain_text(explained)
+            analyze, inner = explained
+            if analyze:
+                return self.explain_analyze(inner)
+            return self._explain_text(inner)
         cached_dml = self._cached_dml(sql)
         if cached_dml is not None:
             return self.execute_statement(cached_dml)
@@ -550,7 +557,10 @@ class Database:
             # AST entry point: no SQL text to key the cache with — plan
             # fresh and report the tree (the text entry point in
             # :meth:`execute` adds cache hit/miss information).
-            return Planner(self.catalog).plan_query(stmt.query).explain()
+            plan = Planner(self.catalog).plan_query(stmt.query)
+            if getattr(stmt, "analyze", False):
+                return _run_explain_analyze(plan)
+            return plan.explain()
         if isinstance(stmt, n.CreateTable):
             self.create_table_ast(stmt)
             return None
@@ -634,6 +644,19 @@ class Database:
         """The physical plan for a query, as an indented tree, headed by
         a plan-cache status line (same output as ``EXPLAIN <query>``)."""
         return self._explain_text(sql)
+
+    def explain_analyze(
+        self,
+        sql: str,
+        overlays: Optional[dict[str, TableOverlay]] = None,
+    ) -> str:
+        """Execute a query and return its plan tree annotated with
+        actual per-node row counts and inclusive timings (same output
+        as ``EXPLAIN ANALYZE <query>``).  Goes through the prepared
+        plan cache like a normal query."""
+        prepared, _, _ = self._prepare_text(sql, required_by="EXPLAIN ANALYZE")
+        state = prepared._validated_state()
+        return _run_explain_analyze(state.plan, overlays)
 
     def _explain_text(self, sql: str) -> str:
         """EXPLAIN body: cache status header + the plan tree.
@@ -1061,8 +1084,9 @@ class Database:
         return f"Database({self.name!r}, {len(self.catalog.tables())} tables)"
 
 
-def _split_explain(sql: str) -> Optional[str]:
-    """If ``sql`` is ``EXPLAIN <query>``, return ``<query>``'s text.
+def _split_explain(sql: str) -> Optional[tuple[bool, str]]:
+    """If ``sql`` is ``EXPLAIN [ANALYZE] <query>``, return
+    ``(analyze, <query> text)``.
 
     Detected textually (before parsing) so the inner text keys the plan
     cache identically to running the query directly — EXPLAIN then
@@ -1075,4 +1099,31 @@ def _split_explain(sql: str) -> Optional[str]:
     rest = stripped[7:]
     if rest and not rest[0].isspace() and rest[0] != "(":
         return None  # an identifier like EXPLAINX
-    return rest.strip().rstrip(";")
+    rest = rest.strip()
+    analyze = False
+    head = rest[:7]
+    if head.upper() == "ANALYZE":
+        tail = rest[7:]
+        if not tail or tail[0].isspace() or tail[0] == "(":
+            analyze = True
+            rest = tail.strip()
+    return analyze, rest.rstrip(";")
+
+
+def _run_explain_analyze(
+    plan: PlanNode, overlays: Optional[dict[str, TableOverlay]] = None
+) -> str:
+    """Execute ``plan`` under a fresh stats collector and render the
+    annotated tree plus a one-line execution summary."""
+    from ..obs.profiler import PlanStatsCollector
+
+    collector = PlanStatsCollector()
+    ctx = ExecutionContext(overlays, collector=collector)
+    start = perf_counter()
+    rows = sum(1 for _ in plan.run(ctx=ctx))
+    elapsed = perf_counter() - start
+    return (
+        collector.annotate(plan)
+        + f"\n-- {rows} rows in {elapsed:.6f}s"
+        + f" ({collector.rows_scanned()} rows scanned)"
+    )

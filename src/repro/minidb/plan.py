@@ -65,15 +65,25 @@ class ExecutionContext:
     immutable plan can serve both plain reads (no overlay) and a
     session's read-your-writes view — without ever mutating base
     storage.
+
+    ``collector`` is an optional per-execution plan-statistics sink
+    (duck-typed: anything with ``wrap(node, iterator)``, see
+    :class:`repro.obs.profiler.PlanStatsCollector`).  When present,
+    every node's output iterator is routed through it — this powers
+    EXPLAIN ANALYZE and per-assertion row accounting.  When absent
+    (the default), execution pays one ``is None`` test per node.
     """
 
-    __slots__ = ("_memos", "overlays")
+    __slots__ = ("_memos", "overlays", "collector")
 
     def __init__(
-        self, overlays: Optional[dict[str, TableOverlay]] = None
+        self,
+        overlays: Optional[dict[str, TableOverlay]] = None,
+        collector: Optional[object] = None,
     ):
         self._memos: dict[object, dict] = {}
         self.overlays = overlays or None
+        self.collector = collector
 
     def memo(self, token: object) -> dict:
         """The mutable memo dict owned by ``token`` for this execution."""
@@ -140,13 +150,25 @@ def probe_table(
 
 
 class PlanNode:
-    """Base class for physical operators."""
+    """Base class for physical operators.
+
+    Subclasses implement :meth:`_execute`; the public :meth:`execute`
+    routes the node's output through the execution's plan-statistics
+    collector when one is installed (EXPLAIN ANALYZE, profiling) and
+    is otherwise a direct pass-through.
+    """
 
     scope: Scope
     estimate: float
 
-    def execute(self, params: dict) -> Iterator[tuple]:  # pragma: no cover
+    def _execute(self, params: dict) -> Iterator[tuple]:  # pragma: no cover
         raise NotImplementedError
+
+    def execute(self, params: dict) -> Iterator[tuple]:
+        ctx = params.get(CTX_KEY)
+        if ctx is None or ctx.collector is None:
+            return self._execute(params)
+        return ctx.collector.wrap(self, self._execute(params))
 
     def run(
         self,
@@ -189,7 +211,7 @@ class SeqScan(PlanNode):
         )
         self.estimate = float(max(len(table), 1))
 
-    def execute(self, params: dict) -> Iterator[tuple]:
+    def _execute(self, params: dict) -> Iterator[tuple]:
         return scan_table(params, self.table)
 
     def describe(self) -> str:
@@ -205,7 +227,7 @@ class Filter(PlanNode):
         self.scope = child.scope
         self.estimate = max(child.estimate * selectivity, 1.0)
 
-    def execute(self, params: dict) -> Iterator[tuple]:
+    def _execute(self, params: dict) -> Iterator[tuple]:
         predicate = self.predicate
         for row in self.child.execute(params):
             if predicate(row, params) is True:
@@ -229,7 +251,7 @@ class Project(PlanNode):
         self.scope = out_scope
         self.estimate = child.estimate
 
-    def execute(self, params: dict) -> Iterator[tuple]:
+    def _execute(self, params: dict) -> Iterator[tuple]:
         exprs = self.exprs
         for row in self.child.execute(params):
             yield tuple(expr(row, params) for expr in exprs)
@@ -246,7 +268,7 @@ class Distinct(PlanNode):
         self.scope = child.scope
         self.estimate = child.estimate
 
-    def execute(self, params: dict) -> Iterator[tuple]:
+    def _execute(self, params: dict) -> Iterator[tuple]:
         seen: set[tuple] = set()
         for row in self.child.execute(params):
             if row not in seen:
@@ -295,7 +317,7 @@ class IndexJoin(PlanNode):
         self.scope = _concat_scopes(outer.scope, inner_scope)
         self.estimate = max(outer.estimate, 1.0)
 
-    def execute(self, params: dict) -> Iterator[tuple]:
+    def _execute(self, params: dict) -> Iterator[tuple]:
         table = self.table
         columns = self.table_columns
         positions = self.outer_positions
@@ -350,7 +372,7 @@ class HashJoin(PlanNode):
         self.scope = _concat_scopes(left.scope, right.scope)
         self.estimate = max(left.estimate, right.estimate)
 
-    def execute(self, params: dict) -> Iterator[tuple]:
+    def _execute(self, params: dict) -> Iterator[tuple]:
         build: dict[tuple, list[tuple]] = {}
         for row in self.right.execute(params):
             key = tuple(row[p] for p in self.right_positions)
@@ -380,7 +402,7 @@ class NestedLoopCross(PlanNode):
         self.scope = _concat_scopes(left.scope, right.scope)
         self.estimate = left.estimate * right.estimate
 
-    def execute(self, params: dict) -> Iterator[tuple]:
+    def _execute(self, params: dict) -> Iterator[tuple]:
         right_rows = list(self.right.execute(params))
         for left_row in self.left.execute(params):
             for right_row in right_rows:
@@ -398,7 +420,7 @@ class UnionAll(PlanNode):
         self.scope = parts[0].scope
         self.estimate = sum(p.estimate for p in parts)
 
-    def execute(self, params: dict) -> Iterator[tuple]:
+    def _execute(self, params: dict) -> Iterator[tuple]:
         for part in self.parts:
             yield from part.execute(params)
 
@@ -414,7 +436,7 @@ class UnionDistinct(PlanNode):
         self.scope = parts[0].scope
         self.estimate = sum(p.estimate for p in parts)
 
-    def execute(self, params: dict) -> Iterator[tuple]:
+    def _execute(self, params: dict) -> Iterator[tuple]:
         seen: set[tuple] = set()
         for part in self.parts:
             for row in part.execute(params):
@@ -498,7 +520,7 @@ class Aggregate(PlanNode):
         self.scope = out_scope
         self.estimate = 1.0
 
-    def execute(self, params: dict) -> Iterator[tuple]:
+    def _execute(self, params: dict) -> Iterator[tuple]:
         states = [AggregateState(func) for func, _ in self.specs]
         args = [arg for _, arg in self.specs]
         for row in self.child.execute(params):
@@ -522,5 +544,5 @@ class Empty(PlanNode):
         self.scope = scope
         self.estimate = 0.0
 
-    def execute(self, params: dict) -> Iterator[tuple]:
+    def _execute(self, params: dict) -> Iterator[tuple]:
         return iter(())

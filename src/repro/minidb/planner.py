@@ -78,7 +78,7 @@ class Rename(PlanNode):
         self.scope = Scope([(binding, c) for c in columns], outer=child.scope.outer)
         self.estimate = child.estimate
 
-    def execute(self, params: dict) -> Iterator[tuple]:
+    def _execute(self, params: dict) -> Iterator[tuple]:
         return self.child.execute(params)
 
     def children(self) -> list[PlanNode]:

@@ -40,47 +40,32 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..errors import DeadlineExceeded, OverloadError
+from ..obs.metrics import StatsBlock
 
 
-@dataclass
-class AdmissionStats:
+class AdmissionStats(StatsBlock):
     """Counters for the admission queue (thread-safe snapshot)."""
 
-    submitted: int = 0
-    admitted: int = 0
-    completed: int = 0
-    shed_total: int = 0
-    shed_newcomer: int = 0
-    shed_waiting: int = 0
-    deadline_rejected: int = 0
-    backpressure_events: int = 0
-    max_depth_seen: int = 0
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+    COUNTERS = (
+        "submitted",
+        "admitted",
+        "completed",
+        "shed_total",
+        "shed_newcomer",
+        "shed_waiting",
+        "deadline_rejected",
+        "backpressure_events",
     )
-
-    def bump(self, **deltas: int) -> None:
-        with self._lock:
-            for name, delta in deltas.items():
-                setattr(self, name, getattr(self, name) + delta)
+    HIGH_WATER = ("max_depth_seen",)
+    PREFIX = "tintin_admission"
+    HELP = {
+        "submitted": "Requests submitted to the admission queue",
+        "shed_total": "Requests shed by priority or depth policy",
+        "backpressure_events": "Transitions into the backpressure state",
+    }
 
     def saw_depth(self, depth: int) -> None:
-        with self._lock:
-            self.max_depth_seen = max(self.max_depth_seen, depth)
-
-    def snapshot(self) -> dict:
-        with self._lock:
-            return {
-                "submitted": self.submitted,
-                "admitted": self.admitted,
-                "completed": self.completed,
-                "shed_total": self.shed_total,
-                "shed_newcomer": self.shed_newcomer,
-                "shed_waiting": self.shed_waiting,
-                "deadline_rejected": self.deadline_rejected,
-                "backpressure_events": self.backpressure_events,
-                "max_depth_seen": self.max_depth_seen,
-            }
+        self.record_max(max_depth_seen=depth)
 
 
 class _Ticket:

@@ -112,6 +112,8 @@ class TintinClient:
         #: a query may transparently retry on a fresh connection
         self._staged = 0
         self.session_id: Optional[str] = None
+        #: trace id echoed by the most recent traced commit verdict
+        self.last_trace_id: Optional[str] = None
         if connect:
             self.connect()
 
@@ -359,6 +361,7 @@ class TintinClient:
         timeout: Optional[float] = None,
         retry: bool = True,
         attempts: Optional[int] = None,
+        trace: bool | str = False,
     ) -> dict:
         """Commit the staged update; returns the verdict dict.
 
@@ -371,8 +374,17 @@ class TintinClient:
         :class:`DeadlineExceeded` propagate: the outcome of a lost
         ack is ambiguous by construction, and an expired deadline
         usually means the caller's budget is gone.
+
+        ``trace=True`` asks the server to trace this commit end to end
+        (a string supplies the trace id instead of letting the server
+        pick one); the verdict then carries ``trace_id``, also kept in
+        :attr:`last_trace_id`, which joins the client's records with
+        the spans captured by the server's tracer.
         """
-        payload = p.encode_json({"timeout": timeout})
+        spec: dict = {"timeout": timeout}
+        if trace:
+            spec["trace"] = trace
+        payload = p.encode_json(spec)
         budget = attempts if attempts is not None else self.retries
         attempt = 0
         while True:
@@ -385,6 +397,7 @@ class TintinClient:
                 attempt += 1
                 continue
             self._staged = 0
+            self.last_trace_id = verdict.get("trace_id")
             return verdict
 
     # -- out-of-band surfaces ----------------------------------------------

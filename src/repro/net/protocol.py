@@ -63,7 +63,7 @@ T_EXECUTE = 0x02  #: UTF-8 SQL (DML stages; SELECT answers ROWS)
 T_QUERY = 0x03  #: UTF-8 SQL (SELECT only)
 T_INSERT = 0x04  #: binary: table name + tagged rows
 T_DELETE = 0x05  #: binary: table name + tagged rows
-T_COMMIT = 0x06  #: JSON {timeout: seconds | null}
+T_COMMIT = 0x06  #: JSON {timeout: seconds | null, trace: true | hex id}
 T_DISCARD = 0x07  #: empty
 T_HEALTH = 0x08  #: empty
 T_METRICS = 0x09  #: empty
@@ -75,6 +75,13 @@ T_OK = 0x81  #: JSON payload (shape depends on the request)
 T_ROWS = 0x82  #: binary: column names + tagged rows
 T_ERROR = 0x83  #: JSON {code, message, retriable, retry_after}
 T_SLOWDOWN = 0x84  #: JSON {delay: seconds}; request id 0, unsolicited
+
+#: the optional ``trace`` key of a COMMIT payload requests commit-path
+#: tracing for that one commit: ``true`` lets the server allocate a
+#: trace id, a string (16 hex chars by convention) propagates a
+#: caller-chosen id end to end.  Either way the verdict payload echoes
+#: the id as ``trace_id``, so a client can join its own records with
+#: the spans the server's tracer captured.
 
 REQUEST_TYPES = frozenset(
     (
@@ -90,6 +97,24 @@ REQUEST_TYPES = frozenset(
         T_GOODBYE,
     )
 )
+
+#: frame-type names for metrics labels and logs
+FRAME_NAMES = {
+    T_HELLO: "hello",
+    T_EXECUTE: "execute",
+    T_QUERY: "query",
+    T_INSERT: "insert",
+    T_DELETE: "delete",
+    T_COMMIT: "commit",
+    T_DISCARD: "discard",
+    T_HEALTH: "health",
+    T_METRICS: "metrics",
+    T_GOODBYE: "goodbye",
+    T_OK: "ok",
+    T_ROWS: "rows",
+    T_ERROR: "error",
+    T_SLOWDOWN: "slowdown",
+}
 
 #: error codes carried in T_ERROR payloads; the client library maps
 #: them back onto the exception hierarchy

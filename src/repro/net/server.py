@@ -53,9 +53,50 @@ from ..errors import (
     ReproError,
     SessionExpired,
 )
+from ..obs.metrics import MetricsRegistry, StatsBlock
+from ..obs.trace import CommitObs
+from ..server.scheduler import commit_verdict
 from . import protocol as p
 from .admission import AdmissionQueue
 from .faults import DropConnection, FaultInjector
+
+
+class ServerStats(StatsBlock):
+    """Front-end counters (connections, requests, errors)."""
+
+    COUNTERS = (
+        "connections_total",
+        "requests_total",
+        "errors_total",
+        "dropped_connections",
+        "slowdown_frames",
+        "http_requests",
+    )
+    PREFIX = "tintin_server"
+    HELP = {
+        "connections_total": "TCP connections accepted",
+        "requests_total": "Protocol frames processed",
+        "errors_total": "Requests answered with an ERROR frame",
+        "dropped_connections": "Connections aborted by fault injection",
+        "slowdown_frames": "Backpressure SLOWDOWN frames broadcast",
+        "http_requests": "Plain HTTP requests served",
+    }
+
+
+class _WalStatsCollector:
+    """Renders WAL stats when (and only when) durability is attached —
+    the WAL may be opened after the server was constructed."""
+
+    __slots__ = ("_tintin",)
+
+    def __init__(self, tintin):
+        self._tintin = tintin
+
+    def collect(self):
+        durability = self._tintin.durability
+        if durability is None:
+            return ()
+        return durability.wal.stats.collect()
 
 
 def commit_result_payload(result) -> dict:
@@ -113,8 +154,14 @@ class TintinServer:
         sweep_interval: Optional[float] = 1.0,
         retry_after_base: float = 0.05,
         faults: Optional[FaultInjector] = None,
+        tracer=None,
+        slow_commit_seconds: Optional[float] = None,
     ):
         self.tintin = tintin
+        if tracer is not None:
+            tintin.set_tracer(tracer)
+        if slow_commit_seconds is not None:
+            tintin.slow_commit_seconds = slow_commit_seconds
         self.host = host
         self.port = port
         self.default_commit_timeout = default_commit_timeout
@@ -142,16 +189,39 @@ class TintinServer:
             retry_after_base=retry_after_base,
             on_backpressure=self._on_backpressure,
         )
-        #: plain counters, guarded by the GIL-free snapshot pattern
-        self._counters_lock = threading.Lock()
-        self._counters = {
-            "connections_total": 0,
-            "requests_total": 0,
-            "errors_total": 0,
-            "dropped_connections": 0,
-            "slowdown_frames": 0,
-            "http_requests": 0,
-        }
+        self.stats = ServerStats()
+        #: every engine and front-end counter block plus the latency
+        #: histograms, rendered as one Prometheus page by ``/metrics``
+        self.registry = MetricsRegistry()
+        self.registry.register(self.stats)
+        self.registry.register(self.admission.stats)
+        self.registry.register(tintin.sessions.scheduler.stats)
+        self.registry.register(_WalStatsCollector(tintin))
+        self.request_seconds = self.registry.histogram(
+            "tintin_request_seconds",
+            "Frame handling latency by request type",
+            label_names=("type",),
+        )
+        self.commit_seconds = self.registry.histogram(
+            "tintin_commit_seconds",
+            "End-to-end remote commit latency by verdict",
+            label_names=("verdict",),
+        )
+        self.registry.gauge(
+            "tintin_admission_depth",
+            "Commits waiting or running in the admission queue",
+            fn=lambda: self.admission.depth,
+        )
+        self.registry.gauge(
+            "tintin_connections_open",
+            "Currently open TCP connections",
+            fn=lambda: len(self._connections),
+        )
+        self.registry.gauge(
+            "tintin_sessions_active",
+            "Live sessions on the engine",
+            fn=lambda: tintin.sessions.active_count,
+        )
         # ensure the server layer exists before the loop thread runs
         # (serve() may already have configured it)
         if not tintin.serving:
@@ -213,8 +283,7 @@ class TintinServer:
             self._stopped.set()
 
     def _count(self, name: str, delta: int = 1) -> None:
-        with self._counters_lock:
-            self._counters[name] += delta
+        self.stats.bump(**{name: delta})
 
     def _fault(self, point: str, **ctx) -> None:
         if self.faults is not None:
@@ -355,11 +424,14 @@ class TintinServer:
             "backpressure": admission["backpressure"],
         }
 
+    def render_metrics(self) -> str:
+        """The Prometheus text exposition page (``GET /metrics``)."""
+        return self.registry.render()
+
     def metrics(self) -> dict:
         tintin = self.tintin
         scheduler = tintin.sessions.scheduler
-        with self._counters_lock:
-            server = dict(self._counters)
+        server = self.stats.snapshot()
         server["connections_open"] = len(self._connections)
         payload = {
             "server": server,
@@ -429,7 +501,9 @@ class TintinServer:
             pass
 
     async def _serve_http(self, conn: _Connection) -> None:
-        """Minimal HTTP façade: GET /health and GET /metrics."""
+        """Minimal HTTP façade: ``GET /health`` (JSON), ``GET /metrics``
+        (Prometheus text) and ``GET /metrics.json`` (the JSON shape the
+        binary METRICS frame also answers)."""
         self._count("http_requests")
         line = await conn.reader.readline()  # rest of the request line
         target = (b"GET " + line).decode("latin-1").split()
@@ -439,16 +513,20 @@ class TintinServer:
             header = await conn.reader.readline()
             if header in (b"\r\n", b"\n", b""):
                 break
+        ctype = "application/json"
         if path.startswith("/health"):
             body, status = json.dumps(self.health()).encode(), "200 OK"
-        elif path.startswith("/metrics"):
+        elif path.startswith("/metrics.json"):
             body, status = json.dumps(self.metrics()).encode(), "200 OK"
+        elif path.startswith("/metrics"):
+            body, status = self.render_metrics().encode(), "200 OK"
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
         else:
             body, status = b'{"error":"not found"}', "404 Not Found"
         conn.writer.write(
             (
                 f"HTTP/1.0 {status}\r\n"
-                "Content-Type: application/json\r\n"
+                f"Content-Type: {ctype}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 "Connection: close\r\n\r\n"
             ).encode()
@@ -477,13 +555,16 @@ class TintinServer:
             self._count("requests_total")
             if ftype not in p.REQUEST_TYPES:
                 raise ProtocolError(f"unknown frame type 0x{ftype:02x}")
-            if ftype == p.T_HEALTH:
-                await self._send(
-                    conn, p.T_OK, request_id, p.encode_json(self.health())
+            if ftype in (p.T_HEALTH, p.T_METRICS):
+                started = time.perf_counter()
+                body = (
+                    self.health() if ftype == p.T_HEALTH else self.metrics()
                 )
-            elif ftype == p.T_METRICS:
                 await self._send(
-                    conn, p.T_OK, request_id, p.encode_json(self.metrics())
+                    conn, p.T_OK, request_id, p.encode_json(body)
+                )
+                self.request_seconds.observe(
+                    time.perf_counter() - started, type=p.FRAME_NAMES[ftype]
                 )
             elif ftype == p.T_GOODBYE:
                 await conn.queue.put((ftype, request_id, payload))
@@ -498,6 +579,7 @@ class TintinServer:
             if item is None:
                 return
             ftype, request_id, payload = item
+            started = time.perf_counter()
             try:
                 done = await self._process(conn, ftype, request_id, payload)
             except DropConnection:
@@ -510,6 +592,11 @@ class TintinServer:
             except (ConnectionError, OSError):
                 conn.closed = True
                 return
+            finally:
+                self.request_seconds.observe(
+                    time.perf_counter() - started,
+                    type=p.FRAME_NAMES.get(ftype, "unknown"),
+                )
             if done:  # GOODBYE acknowledged
                 conn.closed = True
                 try:
@@ -690,6 +777,32 @@ class TintinServer:
                 p.encode_json({"delay": self.admission.suggested_delay()}),
             )
 
+    def _commit_obs(self, spec: dict) -> Optional[CommitObs]:
+        """The observation context for one remote commit.
+
+        A truthy ``trace`` key forces a context even when no tracer is
+        installed, so the verdict can echo a trace id (a string value
+        propagates the client's id end to end); otherwise the engine's
+        usual rule applies — no tracer and no slow-log, no context.
+        """
+        trace = spec.get("trace")
+        tintin = self.tintin
+        if trace:
+            return CommitObs(
+                tintin.tracer,
+                trace if isinstance(trace, str) else None,
+                slow_threshold=tintin.slow_commit_seconds,
+            )
+        return tintin._make_obs()
+
+    def _finish_commit(self, obs, verdict: str, started: float) -> None:
+        """Observe one decided commit: histogram sample + trace close."""
+        self.commit_seconds.observe(
+            time.perf_counter() - started, verdict=verdict
+        )
+        if obs is not None:
+            obs.finish(verdict)
+
     async def _process_commit(
         self, conn: _Connection, request_id: int, payload: bytes
     ) -> None:
@@ -699,6 +812,7 @@ class TintinServer:
             time.monotonic() + float(timeout) if timeout is not None else None
         )
         session = conn.session
+        obs = self._commit_obs(spec)
         loop = asyncio.get_event_loop()
         future: asyncio.Future = loop.create_future()
 
@@ -716,9 +830,18 @@ class TintinServer:
             except RuntimeError:  # loop died mid-shutdown
                 pass
 
+        submitted = time.time()
+
+        def run_commit():
+            if obs is not None:
+                # time spent queued for admission, before the scheduler
+                obs.record("admission.wait", submitted, time.time())
+            return session.commit(deadline=deadline, obs=obs)
+
         self._fault("admission.enqueue", session=session)
+        started = time.perf_counter()
         self.admission.submit(
-            lambda: session.commit(deadline=deadline),
+            run_commit,
             on_done,
             priority=session.priority,
             deadline=deadline,
@@ -726,6 +849,7 @@ class TintinServer:
         try:
             result = await future
         except OverloadError as exc:
+            self._finish_commit(obs, "overload", started)
             await self._send_error(
                 conn,
                 request_id,
@@ -736,16 +860,20 @@ class TintinServer:
             )
             return
         except DeadlineExceeded as exc:
+            self._finish_commit(obs, "deadline", started)
             await self._send_error(
                 conn, request_id, p.E_DEADLINE, str(exc), retriable=True
             )
             return
         except SessionExpired as exc:
+            self._finish_commit(obs, "session_expired", started)
             await self._send_error(conn, request_id, p.E_SESSION, str(exc))
             return
         except ReproError as exc:
+            self._finish_commit(obs, "error", started)
             await self._send_error(conn, request_id, p.E_EXECUTION, str(exc))
             return
+        self._finish_commit(obs, commit_verdict(result), started)
         # the commit is decided (and, when durable, its fsync has
         # returned).  The ack-lost fault window lives exactly here.
         self._fault("server.before_ack", session=session, result=result)
@@ -758,9 +886,12 @@ class TintinServer:
                 retriable=True,
             )
             return
+        verdict = commit_result_payload(result)
+        if obs is not None:
+            verdict["trace_id"] = obs.trace_id
         await self._send(
             conn,
             p.T_OK,
             request_id,
-            p.encode_json(commit_result_payload(result)),
+            p.encode_json(verdict),
         )

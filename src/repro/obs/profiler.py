@@ -1,0 +1,189 @@
+"""Per-assertion check profiling and per-plan-node statistics.
+
+:class:`AssertionProfiler` accumulates, per installed assertion's
+violation view: how many times it was checked vs. skipped (guard-table
+pruning), how many violations it surfaced, cumulative wall time, and —
+when row capture is enabled — cumulative rows pulled out of storage.
+The timing half is cheap (two ``perf_counter`` calls and one lock bump
+per checked view) and is always on once a profiler is installed; row
+capture threads a :class:`PlanStatsCollector` through plan execution
+and is opt-in because it touches every operator boundary.
+
+:class:`PlanStatsCollector` is also the machinery behind
+``EXPLAIN ANALYZE``: it wraps each plan node's iterator, counting rows
+yielded and inclusive wall time per node, keyed by node identity so an
+annotated plan tree can be printed afterwards.
+
+A collector instance observes exactly one plan execution (it is carried
+in that execution's :class:`~repro.minidb.plan.ExecutionContext` and is
+not thread-safe); cumulative aggregation across executions happens in
+the profiler, under its lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["AssertionProfiler", "PlanStatsCollector"]
+
+
+class PlanStatsCollector:
+    """Counts rows and inclusive wall time per plan node for one
+    execution.
+
+    Installed via ``ExecutionContext(collector=...)``;
+    :class:`~repro.minidb.plan.PlanNode` routes every node's iterator
+    through :meth:`wrap`.  Time is *inclusive* — a join's time contains
+    its children's, since their ``next()`` runs inside the parent's.
+    """
+
+    __slots__ = ("_stats",)
+
+    def __init__(self) -> None:
+        # id(node) -> [node, rows, seconds]
+        self._stats: Dict[int, list] = {}
+
+    def wrap(self, node: Any, iterator: Iterator[tuple]) -> Iterator[tuple]:
+        entry = self._stats.get(id(node))
+        if entry is None:
+            entry = self._stats[id(node)] = [node, 0, 0.0]
+        it = iter(iterator)
+        while True:
+            t0 = perf_counter()
+            try:
+                row = next(it)
+            except StopIteration:
+                entry[2] += perf_counter() - t0
+                return
+            entry[2] += perf_counter() - t0
+            entry[1] += 1
+            yield row
+
+    def rows_for(self, node: Any) -> int:
+        entry = self._stats.get(id(node))
+        return entry[1] if entry else 0
+
+    def seconds_for(self, node: Any) -> float:
+        entry = self._stats.get(id(node))
+        return entry[2] if entry else 0.0
+
+    def rows_scanned(self) -> int:
+        """Rows produced by storage-touching nodes (scans and index
+        probes — anything holding a base ``table``)."""
+        return sum(
+            rows
+            for node, rows, _ in self._stats.values()
+            if hasattr(node, "table")
+        )
+
+    def annotate(self, plan: Any) -> str:
+        """The plan tree with ``(actual rows=N, time=T)`` per node —
+        the body of an EXPLAIN ANALYZE report."""
+        lines = []
+
+        def walk(node: Any, indent: int) -> None:
+            lines.append(
+                "%s%s  (actual rows=%d, time=%.6fs)"
+                % (
+                    "  " * indent,
+                    node.describe(),
+                    self.rows_for(node),
+                    self.seconds_for(node),
+                )
+            )
+            for child in node.children():
+                walk(child, indent + 1)
+
+        walk(plan, 0)
+        return "\n".join(lines)
+
+
+class AssertionProfiler:
+    """Cumulative per-assertion check accounting.
+
+    Keyed by violation-view name.  ``capture_rows`` additionally
+    threads a per-execution :class:`PlanStatsCollector` through each
+    check so ``rows_scanned`` fills in (slower; off by default).
+    """
+
+    def __init__(self, capture_rows: bool = False) -> None:
+        self.capture_rows = capture_rows
+        self._lock = threading.Lock()
+        self._views: Dict[str, Dict[str, Any]] = {}
+
+    def _entry(self, view: str) -> Dict[str, Any]:
+        entry = self._views.get(view)
+        if entry is None:
+            entry = self._views[view] = {
+                "checks": 0,
+                "skips": 0,
+                "violations": 0,
+                "seconds": 0.0,
+                "rows_scanned": 0,
+            }
+        return entry
+
+    def record_check(
+        self,
+        view: str,
+        seconds: float,
+        violations: int = 0,
+        rows_scanned: int = 0,
+    ) -> None:
+        with self._lock:
+            entry = self._entry(view)
+            entry["checks"] += 1
+            entry["violations"] += violations
+            entry["seconds"] += seconds
+            entry["rows_scanned"] += rows_scanned
+
+    def record_skip(self, view: str) -> None:
+        with self._lock:
+            self._entry(view)["skips"] += 1
+
+    def collector(self) -> Optional[PlanStatsCollector]:
+        """A fresh per-execution collector, or None when row capture
+        is off."""
+        return PlanStatsCollector() if self.capture_rows else None
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """``{view_name: {checks, skips, violations, seconds,
+        rows_scanned}}``, consistent under the lock."""
+        with self._lock:
+            return {
+                view: dict(entry) for view, entry in self._views.items()
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._views.clear()
+
+    def report(self) -> str:
+        """A fixed-width text table, slowest assertion first."""
+        snap = self.snapshot()
+        header = "%-32s %8s %8s %10s %12s %12s" % (
+            "assertion",
+            "checks",
+            "skips",
+            "violations",
+            "seconds",
+            "rows",
+        )
+        lines = [header, "-" * len(header)]
+        for view, e in sorted(
+            snap.items(), key=lambda kv: kv[1]["seconds"], reverse=True
+        ):
+            lines.append(
+                "%-32s %8d %8d %10d %12.6f %12d"
+                % (
+                    view,
+                    e["checks"],
+                    e["skips"],
+                    e["violations"],
+                    e["seconds"],
+                    e["rows_scanned"],
+                )
+            )
+        return "\n".join(lines)

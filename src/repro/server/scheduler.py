@@ -64,6 +64,8 @@ from ..minidb.transactions import TransactionManager
 from ..core.event_tables import del_table_name, ins_table_name
 from ..core.safe_commit import CommitResult
 from .locks import ReadWriteLock
+from ..obs.metrics import StatsBlock
+from ..obs.trace import new_span_id
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.tintin import Tintin
@@ -136,6 +138,18 @@ def _deadline_result() -> CommitResult:
         deadline_expired=True,
     )
 
+def commit_verdict(result: CommitResult) -> str:
+    """The one-word outcome label used in traces, metrics and the
+    slow-commit log: committed / deadline / violation / error."""
+    if result.committed:
+        return "committed"
+    if result.deadline_expired:
+        return "deadline"
+    if result.violations:
+        return "violation"
+    return "error"
+
+
 #: sentinel: a denial negates something we cannot attribute to base
 #: tables, so any shared reference to its positive tables serializes
 ANY_TABLE = object()
@@ -161,6 +175,13 @@ class _PendingCommit:
     deadline: Optional[float] = None
     done: threading.Event = field(default_factory=threading.Event)
     result: Optional[CommitResult] = None
+    #: observation context (:class:`repro.obs.trace.CommitObs`) when
+    #: this commit is being traced or slow-logged; None on the default
+    #: path — every stage point below guards on exactly this
+    obs: Optional[object] = None
+    #: ``time.time()`` at enqueue, for the queue.wait span (only
+    #: stamped when ``obs`` is present)
+    enqueued_at: float = 0.0
 
     @property
     def size(self) -> int:
@@ -174,8 +195,7 @@ class _PendingCommit:
         ) > self.deadline
 
 
-@dataclass
-class SchedulerStats:
+class SchedulerStats(StatsBlock):
     """Counters describing how commits were scheduled.
 
     Mutate through :meth:`bump` and read through :meth:`snapshot`: the
@@ -184,59 +204,39 @@ class SchedulerStats:
     an attribute is neither atomic nor consistent across fields — an
     unguarded reader could see ``commits`` from one window and
     ``batches`` from another.
+
+    Notable fields: ``deadline_expired`` counts requests whose deadline
+    lapsed before their violation-view pass ran (cancelled inside the
+    scheduler, never validated or applied); ``wal_fsyncs`` <
+    ``wal_appends`` is group commit at work (several commits' records
+    shared one fsync); ``writer_windows`` > ``writer_flushes`` is the
+    log-writer thread's burst coalescing (several windows per fsync).
     """
 
-    batches: int = 0
-    commits: int = 0
-    group_fast_path: int = 0
-    serial_commits: int = 0
-    fallbacks: int = 0
-    max_group_size: int = 0
-    check_seconds: float = 0.0
-    #: requests whose deadline lapsed before their violation-view pass
-    #: ran — cancelled inside the scheduler, never validated or applied
-    deadline_expired: int = 0
-    #: durability counters: WAL records appended and fsyncs issued by
-    #: this scheduler (``wal_fsyncs`` < ``wal_appends`` is group commit
-    #: at work — several commits' records shared one fsync)
-    wal_appends: int = 0
-    wal_fsyncs: int = 0
-    #: log-writer thread counters: fsyncs it issued and commit windows
-    #: those covered (``writer_windows`` > ``writer_flushes`` is burst
-    #: coalescing at work — several windows shared one fsync)
-    writer_flushes: int = 0
-    writer_windows: int = 0
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+    COUNTERS = (
+        "batches",
+        "commits",
+        "group_fast_path",
+        "serial_commits",
+        "fallbacks",
+        "deadline_expired",
+        "wal_appends",
+        "wal_fsyncs",
+        "writer_flushes",
+        "writer_windows",
     )
-
-    def bump(self, **deltas) -> None:
-        """Atomically add ``deltas`` to the named counters."""
-        with self._lock:
-            for name, delta in deltas.items():
-                setattr(self, name, getattr(self, name) + delta)
+    ACCUMULATORS = ("check_seconds",)
+    HIGH_WATER = ("max_group_size",)
+    PREFIX = "tintin_scheduler"
+    HELP = {
+        "commits": "Commits applied by the scheduler",
+        "group_fast_path": "Commits validated and applied as part of a compatible group",
+        "fallbacks": "Groups that failed joint validation and re-ran serially",
+        "deadline_expired": "Commits cancelled in the scheduler after their deadline lapsed",
+    }
 
     def saw_group(self, size: int) -> None:
-        with self._lock:
-            self.max_group_size = max(self.max_group_size, size)
-
-    def snapshot(self) -> dict:
-        """One consistent cut of every counter, as a plain dict."""
-        with self._lock:
-            return {
-                "batches": self.batches,
-                "commits": self.commits,
-                "group_fast_path": self.group_fast_path,
-                "serial_commits": self.serial_commits,
-                "fallbacks": self.fallbacks,
-                "max_group_size": self.max_group_size,
-                "check_seconds": self.check_seconds,
-                "deadline_expired": self.deadline_expired,
-                "wal_appends": self.wal_appends,
-                "wal_fsyncs": self.wal_fsyncs,
-                "writer_flushes": self.writer_flushes,
-                "writer_windows": self.writer_windows,
-            }
+        self.record_max(max_group_size=size)
 
 
 class LogWriter:
@@ -355,6 +355,7 @@ class LogWriter:
         from ..errors import DurabilityError
 
         manager = burst[-1][0]
+        fsync_start = time.time()
         try:
             manager.sync()
         except (OSError, DurabilityError) as exc:
@@ -373,8 +374,19 @@ class LogWriter:
         self.stats.bump(
             wal_fsyncs=1, writer_flushes=1, writer_windows=len(burst)
         )
+        fsync_end = time.time()
         for _, deferred in burst:
             for pending, result in deferred:
+                # getattr: tests drive the writer with duck-typed
+                # member stubs that carry only done/result
+                obs = getattr(pending, "obs", None)
+                if obs is not None:
+                    obs.record(
+                        "wal.fsync",
+                        fsync_start,
+                        fsync_end,
+                        windows=len(burst),
+                    )
                 pending.result = result
                 pending.done.set()
 
@@ -456,7 +468,10 @@ class CommitScheduler:
     # -- submission --------------------------------------------------------
 
     def commit(
-        self, session: "Session", deadline: Optional[float] = None
+        self,
+        session: "Session",
+        deadline: Optional[float] = None,
+        obs: Optional[object] = None,
     ) -> CommitResult:
         """Commit one session's staged update; blocks until decided."""
         inserts, deletes = session.events.snapshot()
@@ -467,6 +482,7 @@ class CommitScheduler:
             transactions=session.transactions,
             session=session,
             deadline=deadline,
+            obs=obs,
         )
 
     def commit_events(
@@ -476,6 +492,7 @@ class CommitScheduler:
         transactions: Optional[TransactionManager] = None,
         session: Optional["Session"] = None,
         deadline: Optional[float] = None,
+        obs: Optional[object] = None,
     ) -> CommitResult:
         """Queue an explicit event batch (the default-session facade
         routes the globally captured update through here).
@@ -484,7 +501,19 @@ class CommitScheduler:
         request still undecided past it is cancelled before its
         violation-view pass (``CommitResult.deadline_expired`` set, no
         apply, no WAL frame) — the caller may safely retry.
+
+        ``obs`` (:class:`repro.obs.trace.CommitObs`) rides along with
+        the request through the window so each pipeline stage lands in
+        its trace.  A caller passing one keeps ownership (it finishes
+        the trace); with none passed, the facade's tracer settings
+        decide — commits stay observation-free (``pending.obs is
+        None``, the zero-overhead path) unless tracing or slow-commit
+        logging is enabled, in which case the obs is created *and
+        finished* here.
         """
+        owned = None
+        if obs is None:
+            obs = owned = self.tintin._make_obs()
         pending = _PendingCommit(
             session=session,
             inserts=inserts,
@@ -492,6 +521,8 @@ class CommitScheduler:
             footprint=self._footprint(inserts, deletes),
             transactions=transactions or TransactionManager(),
             deadline=deadline,
+            obs=obs,
+            enqueued_at=time.time() if obs is not None else 0.0,
         )
         with self._queue_lock:
             self._queue.append(pending)
@@ -519,6 +550,8 @@ class CommitScheduler:
             else:
                 pending.done.wait(timeout=0.0005)
         assert pending.result is not None
+        if owned is not None:
+            owned.finish(commit_verdict(pending.result))
         return pending.result
 
     # -- footprints --------------------------------------------------------
@@ -683,6 +716,11 @@ class CommitScheduler:
         batch = alive
         if not batch:
             return
+        for pending in batch:
+            if pending.obs is not None:
+                pending.obs.record(
+                    "queue.wait", pending.enqueued_at, time.time()
+                )
         self.stats.bump(batches=1, commits=len(batch))
         start = time.perf_counter()
         #: committed members whose WAL records are appended but not yet
@@ -795,6 +833,7 @@ class CommitScheduler:
         instance has between a failed WAL flush and its PANIC restart.
         """
         manager = self._durability()
+        fsync_start = time.time()
         try:
             if manager is not None:
                 manager.sync()
@@ -809,7 +848,12 @@ class CommitScheduler:
             if raise_on_failure:
                 raise
             return
+        fsync_end = time.time()
         for pending, result in deferred:
+            # spans land before done fires: once done is set the
+            # waiting client thread may finish (and ship) the trace
+            if pending.obs is not None:
+                pending.obs.record("wal.fsync", fsync_start, fsync_end)
             pending.result = result
             pending.done.set()
 
@@ -921,9 +965,25 @@ class CommitScheduler:
             for table, rows in pending.deletes.items():
                 union_del.setdefault(table, []).extend(rows)
         self._fault("scheduler.validate", group=len(group))
+        traced = [
+            (p.obs, new_span_id()) for p in group if p.obs is not None
+        ]
+        validate_start = time.time() if traced else 0.0
         violations, checked, skipped = self.tintin.safe_commit_proc.check_only(
-            self.db, overlays=self._event_overlays(union_ins, union_del)
+            self.db,
+            overlays=self._event_overlays(union_ins, union_del),
+            trace=traced or None,
         )
+        for obs, span_id in traced:
+            obs.record(
+                "validate",
+                validate_start,
+                time.time(),
+                span_id=span_id,
+                group=len(group),
+                checked=checked,
+                skipped=skipped,
+            )
         if not violations and any(p.expired() for p in group):
             # a deadline lapsed *during* union validation: the union
             # can no longer be applied as one batch (dropping the
@@ -951,6 +1011,7 @@ class CommitScheduler:
                     1 for row in rows if table.find_rowid(row) is not None
                 )
             applied_by_member.append(applied)
+        apply_start = time.time() if traced else 0.0
         try:
             with self.db.transaction_scope(self._group_transactions):
                 self.db.apply_batch(union_ins, union_del)
@@ -958,6 +1019,10 @@ class CommitScheduler:
             self.stats.bump(fallbacks=1)
             self._commit_serially(group, deferred)
             return
+        if traced:
+            apply_end = time.time()
+            for obs, _ in traced:
+                obs.record("apply", apply_start, apply_end, group=len(group))
         manager = self._durability()
         durable = manager is not None and bool(union_ins or union_del)
         if durable:
@@ -966,7 +1031,15 @@ class CommitScheduler:
             # fsync.  Results are deferred until that flush, so a
             # failed fsync can never acknowledge a commit that is not
             # on disk.
+            append_start = time.time() if traced else 0.0
             self._log_committed(manager, union_ins, union_del)
+            if traced:
+                append_end = time.time()
+                for obs, _ in traced:
+                    obs.record(
+                        "wal.append", append_start, append_end,
+                        group=len(group),
+                    )
         self.stats.bump(group_fast_path=len(group))
         for pending, applied in zip(group, applied_by_member):
             result = CommitResult(
@@ -1008,14 +1081,27 @@ class CommitScheduler:
                 continue
             self.stats.bump(serial_commits=1)
             self._fault("scheduler.validate", session=pending.session)
+            obs = pending.obs
+            traced = [(obs, new_span_id())] if obs is not None else []
+            validate_start = time.time() if traced else 0.0
             violations, checked, skipped = (
                 self.tintin.safe_commit_proc.check_only(
                     self.db,
                     overlays=self._event_overlays(
                         pending.inserts, pending.deletes
                     ),
+                    trace=traced or None,
                 )
             )
+            if obs is not None:
+                obs.record(
+                    "validate",
+                    validate_start,
+                    time.time(),
+                    span_id=traced[0][1],
+                    checked=checked,
+                    skipped=skipped,
+                )
             if self._expire_member(pending):
                 # lapsed mid-validation: the check already ran, but the
                 # apply and its WAL frame have not — cancelling here
@@ -1029,6 +1115,7 @@ class CommitScheduler:
                     skipped_views=skipped,
                 )
                 continue
+            apply_start = time.time() if obs is not None else 0.0
             try:
                 with self.db.transaction_scope(pending.transactions):
                     applied = self.db.apply_batch(
@@ -1042,6 +1129,8 @@ class CommitScheduler:
                     skipped_views=skipped,
                 )
                 continue
+            if obs is not None:
+                obs.record("apply", apply_start, time.time())
             result = CommitResult(
                 committed=True,
                 applied_rows=applied,
@@ -1049,7 +1138,10 @@ class CommitScheduler:
                 skipped_views=skipped,
             )
             if manager is not None and pending.size:
+                append_start = time.time() if obs is not None else 0.0
                 self._log_committed(manager, pending.inserts, pending.deletes)
+                if obs is not None:
+                    obs.record("wal.append", append_start, time.time())
                 deferred.append((pending, result))
             else:
                 pending.result = result

@@ -432,7 +432,11 @@ class Session:
 
     # -- committing --------------------------------------------------------
 
-    def commit(self, deadline: Optional[float] = None) -> "CommitResult":
+    def commit(
+        self,
+        deadline: Optional[float] = None,
+        obs: Optional[object] = None,
+    ) -> "CommitResult":
         """Validate-and-apply this session's staged update through the
         serialized commit scheduler (group commit may batch it with
         other sessions' compatible updates).
@@ -442,7 +446,9 @@ class Session:
         staged events mid-validation.  ``deadline`` (an absolute
         ``time.monotonic()`` instant) cancels the request before its
         violation-view pass once lapsed — the pin is released either
-        way when this call returns.
+        way when this call returns.  ``obs``
+        (:class:`repro.obs.trace.CommitObs`) carries an in-progress
+        trace into the scheduler; the caller keeps ownership.
         """
         self._check_alive()  # unpinned: a lapsed TTL raises here
         with self._commit_pin():
@@ -450,7 +456,7 @@ class Session:
             # between the TTL check and the pin (its events were then
             # discarded — there is nothing left to commit)
             self._check_alive()
-            result = self.scheduler.commit(self, deadline=deadline)
+            result = self.scheduler.commit(self, deadline=deadline, obs=obs)
         if result.committed:
             self.commits += 1
         else:

@@ -345,9 +345,12 @@ class SelectStatement(Statement):
 
 @dataclass(frozen=True)
 class Explain(Statement):
-    """``EXPLAIN <query>`` — show the physical plan instead of running it."""
+    """``EXPLAIN [ANALYZE] <query>`` — show the physical plan instead of
+    running it; with ANALYZE, execute it and annotate each node with
+    actual row counts and timings."""
 
     query: Query
+    analyze: bool = False
 
 
 # ---------------------------------------------------------------------------

@@ -161,7 +161,8 @@ class Parser:
             return n.SelectStatement(self._query())
         if token.is_keyword("EXPLAIN"):
             self._advance()
-            return n.Explain(self._query())
+            analyze = self._accept_keyword("ANALYZE")
+            return n.Explain(self._query(), analyze=bool(analyze))
         raise self._error(f"expected a statement, found {token.value!r}")
 
     def _create_statement(self) -> n.Statement:

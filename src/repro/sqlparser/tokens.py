@@ -29,7 +29,7 @@ KEYWORDS = frozenset(
         "DELETE", "UPDATE", "SET", "PRIMARY", "KEY", "FOREIGN",
         "REFERENCES", "UNIQUE", "CONSTRAINT", "DEFAULT", "BEGIN",
         "COMMIT", "ROLLBACK", "TRANSACTION", "TRUNCATE", "CALL", "LIKE",
-        "EXPLAIN",
+        "EXPLAIN", "ANALYZE",
     }
 )
 

@@ -242,10 +242,26 @@ class TestExplain:
             db.execute("EXPLAIN INSERT INTO o VALUES (5, 5)")
 
     def test_split_explain_is_textual_and_precise(self):
-        assert _split_explain("EXPLAIN SELECT 1 FROM t") == "SELECT 1 FROM t"
-        assert _split_explain("  explain   SELECT * FROM t;") == "SELECT * FROM t"
+        assert _split_explain("EXPLAIN SELECT 1 FROM t") == (
+            False,
+            "SELECT 1 FROM t",
+        )
+        assert _split_explain("  explain   SELECT * FROM t;") == (
+            False,
+            "SELECT * FROM t",
+        )
         assert _split_explain("SELECT * FROM t") is None
         assert _split_explain("EXPLAINX SELECT") is None
+        assert _split_explain("EXPLAIN ANALYZE SELECT 1 FROM t") == (
+            True,
+            "SELECT 1 FROM t",
+        )
+        assert _split_explain("explain analyze SELECT * FROM t;") == (
+            True,
+            "SELECT * FROM t",
+        )
+        # an identifier that merely starts with ANALYZE is not the keyword
+        assert _split_explain("EXPLAIN ANALYZED") == (False, "ANALYZED")
 
     def test_db_explain_helper_keeps_working(self):
         db = make_db()

@@ -111,7 +111,7 @@ def test_check_error_propagates_from_commit(monkeypatch):
     session = tintin.create_session()
     _stage_valid(session, 1)
 
-    def broken_check(db, overlays=None):
+    def broken_check(db, overlays=None, **kwargs):
         raise ValueError("planner exploded")
 
     monkeypatch.setattr(
