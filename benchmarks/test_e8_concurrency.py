@@ -47,6 +47,7 @@ from repro.bench import (
 from repro.tpch import (
     AGGREGATE_ASSERTIONS,
     COMPLEXITY_SUITE,
+    EVERY_ORDER_HAS_MAX_ITEM,
     TPCHGenerator,
     tpch_database,
 )
@@ -62,14 +63,18 @@ def _bound_assertion(k: int) -> str:
     )
 
 
-#: 6 EDC-compiled assertions + 2 aggregates + 8 bound variants: a
+#: 7 EDC-compiled assertions + 2 aggregates + 8 bound variants: a
 #: production-like rule set whose validation pass dominates the cost of
 #: a small commit — the share the group-commit fast path amortizes.
-#: (The doubly-nested ``everyOrderHasMaxItem`` stress case is excluded:
-#: its views cost >100ms per pass regardless of concurrency, which
-#: would measure EDC pathology, not scheduling.)
+#: The doubly-nested ``everyOrderHasMaxItem`` stress case is included
+#: (PR 8): its >100ms full views run once at arming and the seeded
+#: delta plans take over for the measured window, so deep denials now
+#: cost the same sub-millisecond checks as the rest of the suite.
 E8_ASSERTIONS = tuple(
-    spec.sql for spec in COMPLEXITY_SUITE + AGGREGATE_ASSERTIONS
+    spec.sql
+    for spec in COMPLEXITY_SUITE
+    + (EVERY_ORDER_HAS_MAX_ITEM,)
+    + AGGREGATE_ASSERTIONS
 ) + tuple(_bound_assertion(k) for k in range(8))
 
 SMOKE = os.environ.get("E8_SMOKE") == "1"
@@ -92,6 +97,23 @@ KEY_STRIDE = 1_000_000
 GATHER_SECONDS = 0.0008
 
 
+def arm_delta_pipeline(tintin: Tintin) -> None:
+    """Arm the delta pipeline before the measured window: one validated
+    warm-up commit promotes every seeded EDC (and warms the aggregate
+    memos), so sweeps measure steady-state incremental checking rather
+    than the one-time full passes that follow installation."""
+    db = tintin.db
+    customer = next(iter(db.table("customer").scan()))[0]
+    partsupp = db.table("partsupp").rows_snapshot()[0]
+    db.execute(f"INSERT INTO orders VALUES (9999999, {customer}, 500.0)")
+    db.execute(
+        "INSERT INTO lineitem VALUES "
+        f"(9999999, 1, {partsupp[0]}, {partsupp[1]}, 10)"
+    )
+    warmup = tintin.safe_commit()
+    assert warmup.committed, warmup
+
+
 def build_server(policy: str = "group") -> Tintin:
     db = tpch_database("e8")
     TPCHGenerator(SCALE, seed=42).populate(db)
@@ -102,6 +124,7 @@ def build_server(policy: str = "group") -> Tintin:
     # exercised: every session grows only its own orders)
     for sql in E8_ASSERTIONS:
         tintin.add_assertion(sql)
+    arm_delta_pipeline(tintin)
     tintin.serve(policy=policy, gather_seconds=GATHER_SECONDS)
     return tintin
 

@@ -27,6 +27,7 @@ the relational EDC views.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -68,6 +69,11 @@ class AggregateAssertion:
     #: counterpart of the prepared EDC views)
     outer_key_columns: tuple[str, ...] = ()
     inner_key_columns: tuple[str, ...] = ()
+    #: True when the aggregate argument and the inner condition depend
+    #: only on inner columns — the per-row contribution is then the
+    #: same for every probing outer row and the group state can be
+    #: memoized (see :class:`AggregateMemo`)
+    memoizable: bool = True
 
     @property
     def driving_tables(self) -> tuple[str, ...]:
@@ -182,6 +188,22 @@ class AggregateAssertionCompiler:
                 "subquery must be equi-correlated with the outer table"
             )
 
+        # A column ref the inner-local scope cannot resolve escapes to
+        # the outer row; such a condition/argument varies per probing
+        # outer tuple and disqualifies per-group memoization.
+        inner_local = Scope(
+            [(inner_ref.binding, c) for c in inner.schema.column_names]
+        )
+        memo_inputs = list(inner_conditions)
+        if call.argument is not None:
+            memo_inputs.append(call.argument)
+        memoizable = not any(
+            isinstance(node, n.ColumnRef)
+            and inner_local.try_resolve(node) is None
+            for expr in memo_inputs
+            for node in n.walk_expr(expr)
+        )
+
         return AggregateAssertion(
             name=assertion.name,
             outer_table=outer.schema.name,
@@ -211,6 +233,7 @@ class AggregateAssertionCompiler:
             inner_key_columns=tuple(
                 inner.schema.columns[ip].name for ip, _ in correlation
             ),
+            memoizable=memoizable,
         )
 
     @staticmethod
@@ -253,11 +276,168 @@ class AggregateAssertionCompiler:
         return None
 
 
+class _Group:
+    """Base-state aggregate of one correlation group: row count plus a
+    multiset of non-NULL argument values."""
+
+    __slots__ = ("rows", "values")
+
+    def __init__(self):
+        self.rows = 0
+        self.values: Counter = Counter()
+
+
+class AggregateMemo:
+    """Demand-filled per-group aggregate cache over the **base** inner
+    table, maintained incrementally from applied deltas (PR 8).
+
+    The checker normally recomputes a candidate group by probing the
+    base inner table; when the memo is warm it supplies the group's
+    ``(row count, value multiset)`` directly, so the check touches only
+    the staged event rows.  Groups are cached lazily: a check that
+    misses materializes the group from base-table probes and
+    :meth:`store`\\ s it — there is never a full-table rebuild scan in
+    the commit path.  Like the EDC delta arming state this is derived
+    cache: it goes warm only through :meth:`note_applied` (after a
+    *validated* apply — warming is just a version sync, no scan), is
+    version-checked at every use, and any unvalidated drift — catalog
+    change, bulk load, recovery replay — flushes it back to cold.  It
+    is never WAL-logged.
+
+    ``spec.memoizable`` is False when the aggregate argument or inner
+    condition references outer columns: the per-row contribution then
+    depends on the probing outer tuple and no per-group state exists.
+    """
+
+    def __init__(self, spec: AggregateAssertion):
+        self.spec = spec
+        self.enabled = spec.memoizable
+        self._groups: dict[tuple, _Group] = {}
+        self._catalog_version: Optional[int] = None
+        self._data_version: Optional[int] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def flush(self) -> None:
+        """Back to cold: the next validated apply re-warms."""
+        self._groups.clear()
+        self._catalog_version = None
+        self._data_version = None
+
+    @property
+    def warm(self) -> bool:
+        return self._data_version is not None
+
+    def usable(self, db: Database) -> bool:
+        """Warm and version-consistent with ``db`` right now."""
+        if not self.enabled or self._data_version is None:
+            return False
+        if db.catalog.version != self._catalog_version:
+            self.flush()
+            return False
+        table = db.catalog.get_table(self.spec.inner_table, default=None)
+        if table is None or table.data_version != self._data_version:
+            self.flush()
+            return False
+        return True
+
+    def note_applied(self, db: Database, inserts: dict, deletes: dict) -> None:
+        """Fold a just-applied batch into the cached group states.
+
+        Cold memos warm up here by syncing to the post-apply versions
+        (this is the only place the memo warms — mirroring the EDC
+        arming protocol — and it costs no scan: groups fill lazily on
+        first use); warm memos fold only the delta rows for the inner
+        table into groups that are already cached.  Deltas for an
+        uncached group are dropped — the group materializes from the
+        post-apply base whenever a check next needs it.
+        """
+        if not self.enabled:
+            return
+        table = db.catalog.get_table(self.spec.inner_table, default=None)
+        if table is None:
+            self.flush()
+            return
+        if (
+            self._data_version is None
+            or db.catalog.version != self._catalog_version
+        ):
+            self._groups.clear()
+            self._catalog_version = db.catalog.version
+            self._data_version = table.data_version
+            return
+        name = self.spec.inner_table.lower()
+        removed = next(
+            (v for k, v in (deletes or {}).items() if k.lower() == name), ()
+        )
+        added = next(
+            (v for k, v in (inserts or {}).items() if k.lower() == name), ()
+        )
+        for row in removed:
+            self._apply(row, -1)
+        for row in added:
+            self._apply(row, +1)
+        self._catalog_version = db.catalog.version
+        self._data_version = table.data_version
+
+    # -- state ------------------------------------------------------------
+
+    def _apply(self, row: tuple, sign: int) -> None:
+        """Fold one applied row into (+1) or out of (-1) its cached
+        group; no-op when the group isn't cached.  A fold that would go
+        negative (a delete the cached state never saw) evicts just that
+        group — it re-materializes from base on next use."""
+        spec = self.spec
+        if (
+            spec.inner_condition is not None
+            and spec.inner_condition(row, {}) is not True
+        ):
+            return
+        key = tuple(row[ip] for ip, _ in spec.correlation)
+        group = self._groups.get(key)
+        if group is None:
+            return
+        group.rows += sign
+        if group.rows < 0:
+            del self._groups[key]
+            return
+        if spec.argument is not None:
+            value = spec.argument(row, {})
+            if value is not None:
+                count = group.values[value] + sign
+                if count < 0:
+                    del self._groups[key]
+                    return
+                if count:
+                    group.values[value] = count
+                else:
+                    del group.values[value]
+
+    def group(self, key: tuple) -> Optional[tuple[int, Counter]]:
+        """Copy of the group's cached base state, or ``None`` when the
+        group isn't cached yet (caller materializes + :meth:`store`)."""
+        group = self._groups.get(key)
+        if group is None:
+            return None
+        return group.rows, Counter(group.values)
+
+    def store(self, key: tuple, rows: int, values: Counter) -> None:
+        """Cache a group materialized from the base table (called right
+        after a :meth:`usable` check, so versions are already in sync)."""
+        group = _Group()
+        group.rows = rows
+        group.values = Counter(values)
+        self._groups[key] = group
+
+
 class AggregateChecker:
     """Incremental group-probe checker for one aggregate assertion."""
 
     def __init__(self, spec: AggregateAssertion):
         self.spec = spec
+        #: derived per-group cache; duck-typed ``note_applied``/``flush``
+        #: driven by :class:`~repro.core.safe_commit.SafeCommit`
+        self.memo = AggregateMemo(spec)
 
     @property
     def driving_tables(self) -> tuple[str, ...]:
@@ -333,6 +513,11 @@ class AggregateChecker:
         key = tuple(outer_row[op] for _, op in spec.correlation)
         params = self._outer_params(db, outer_row)
 
+        if self.memo.usable(db):
+            return self._memoized_aggregate(
+                key, params, inner, ins_inner, del_inner, reader
+            )
+
         deleted = {
             row
             for row in reader.probe(del_inner, inner_columns, key)
@@ -355,6 +540,64 @@ class AggregateChecker:
         if spec.argument is None:
             return count
         return aggregate_value(spec.func, values)
+
+    def _memoized_aggregate(
+        self, key, params, inner, ins_inner, del_inner, reader
+    ):
+        """New-state aggregate from the warm memo: start at the cached
+        base-group state (materializing it from base probes on a cache
+        miss) and fold in only the staged event rows."""
+        spec = self.spec
+        inner_columns = spec.inner_key_columns
+        cached = self.memo.group(key)
+        if cached is None:
+            # miss: build the group's base state from the physical
+            # table — memoizable specs never read outer params here
+            rows = 0
+            values: Counter = Counter()
+            for row in inner.lookup_secondary(inner_columns, key):
+                if (
+                    spec.inner_condition is not None
+                    and spec.inner_condition(row, {}) is not True
+                ):
+                    continue
+                rows += 1
+                if spec.argument is not None:
+                    value = spec.argument(row, {})
+                    if value is not None:
+                        values[value] += 1
+            self.memo.store(key, rows, values)
+        else:
+            rows, values = cached
+        for row in set(reader.probe(del_inner, inner_columns, key)):
+            if not reader.contains(inner, row):
+                continue  # deleting a row the base never had
+            if (
+                spec.inner_condition is not None
+                and spec.inner_condition(row, params) is not True
+            ):
+                continue
+            rows -= 1
+            if spec.argument is not None:
+                value = spec.argument(row, params)
+                if value is not None:
+                    values[value] -= 1
+                    if values[value] <= 0:
+                        del values[value]
+        for row in reader.probe(ins_inner, inner_columns, key):
+            if (
+                spec.inner_condition is not None
+                and spec.inner_condition(row, params) is not True
+            ):
+                continue
+            rows += 1
+            if spec.argument is not None:
+                value = spec.argument(row, params)
+                if value is not None:
+                    values[value] += 1
+        if spec.argument is None:
+            return rows
+        return aggregate_value(spec.func, values.elements())
 
     def _outer_params(self, db, outer_row) -> dict:
         spec = self.spec

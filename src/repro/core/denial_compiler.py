@@ -22,6 +22,7 @@ Notes on fragment boundaries (documented deviations):
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import (
@@ -540,3 +541,153 @@ def _all_variables(items) -> set[Variable]:
 
 def _rename_item(item, mapping):
     return item.rename(mapping) if mapping else item
+
+
+# -- group-commit coupling ---------------------------------------------------
+#
+# The commit scheduler groups pairwise-compatible commits and validates
+# the group as one union.  Whether two commits may interact under an
+# assertion is a *static* property of its denials: the compiler's
+# union-find has already forced every equi-correlated column — across
+# any nesting depth — onto one shared Variable, so a variable's
+# occurrence list IS the set of columns through which staged rows of
+# different tables can reach the same witness.  ``derive_coupling``
+# turns that into value-comparable keyspaces (replacing the old
+# FK-reference heuristic, which could not see non-FK joins between two
+# event-receiving tables and forced ``policy="serial"`` for them).
+
+
+@dataclass(frozen=True)
+class CouplingSpec:
+    """The interaction surface one denial exposes to the scheduler.
+
+    ``keyspaces`` — one entry per shared variable of the denial; each
+    is a tuple of occurrences ``(atom index, table, column position,
+    role)`` where ``role`` is ``"pos"`` for a top-level positive atom
+    and ``"neg"`` for an atom under negation (any depth).  Two commits
+    staging the same value into one keyspace *may* share a witness;
+    whether that can mask a violation in the union depends on role and
+    operation (see ``_Footprint.compatible``): deleting at a positive
+    occurrence or inserting at a negated one *removes* witnesses — the
+    dangerous, FIFO-breaking direction — while inserting at a positive
+    occurrence or deleting at a negated one only *creates* violations,
+    which the union pass catches and re-runs serially.  The atom index
+    lets the scheduler skip the one removal/creation pairing that is
+    not a repair: a delete and an insert aimed at the *same* positive
+    atom touch distinct witness tuples unless the staged rows are
+    identical (and identical rows already collide on key stakes).
+
+    ``wildcard_pairs`` — table pairs whose interaction carries no
+    comparable key: atoms related only through an inequality builtin,
+    or cross-product atoms in disconnected components.  Commits staging
+    events in both tables of a pair always serialize.
+    """
+
+    denial: str
+    keyspaces: tuple[tuple[tuple[int, str, int, str], ...], ...]
+    wildcard_pairs: tuple[tuple[str, str], ...]
+
+
+def derive_coupling(denials) -> tuple[CouplingSpec, ...]:
+    """Static coupling specs for every denial (see :class:`CouplingSpec`)."""
+    specs = []
+    for denial in denials:
+        atoms: list[tuple[Atom, bool]] = []
+        builtins: list[Builtin] = []
+        _collect_literals(denial.body, False, atoms, builtins)
+
+        #: variable -> {(atom index, table, position, role)}
+        occurrences: dict[Variable, set] = {}
+        spans: dict[Variable, set] = {}
+        for index, (atom, negated) in enumerate(atoms):
+            table = _norm(atom.predicate.name)
+            role = "neg" if negated else "pos"
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, Variable):
+                    occurrences.setdefault(term, set()).add(
+                        (index, table, position, role)
+                    )
+                    spans.setdefault(term, set()).add(index)
+
+        keyspaces = tuple(
+            tuple(sorted(occurrences[var]))
+            for var in sorted(
+                (v for v, atom_ids in spans.items() if len(atom_ids) > 1),
+                key=lambda v: v.name,
+            )
+        )
+
+        specs.append(
+            CouplingSpec(
+                denial=denial.name,
+                keyspaces=keyspaces,
+                wildcard_pairs=_wildcard_pairs(
+                    atoms, builtins, occurrences
+                ),
+            )
+        )
+    return tuple(specs)
+
+
+def _collect_literals(items, negated: bool, atoms: list, builtins: list):
+    for item in items:
+        if isinstance(item, Builtin):
+            builtins.append(item)
+        elif isinstance(item, NegatedConjunction):
+            _collect_literals(item.items, True, atoms, builtins)
+        elif isinstance(item, Atom):
+            atoms.append((item, negated or item.negated))
+
+
+def _wildcard_pairs(atoms, builtins, occurrences) -> tuple[tuple[str, str], ...]:
+    """Table pairs with no shared (value-comparable) variable that can
+    still share a witness: linked by a builtin, or a plain cross
+    product (disconnected components of the join graph)."""
+    tables = sorted({_norm(atom.predicate.name) for atom, _ in atoms})
+    if len(tables) < 2:
+        return ()
+    var_tables = {
+        var: {table for _, table, _, _ in occs}
+        for var, occs in occurrences.items()
+    }
+    shared: set[tuple[str, str]] = set()
+    for linked in var_tables.values():
+        shared.update(_pairs(linked))
+
+    # connectivity over shared-var edges plus builtin edges
+    parent = {t: t for t in tables}
+
+    def find(t):
+        while parent[t] != t:
+            parent[t] = parent[parent[t]]
+            t = parent[t]
+        return t
+
+    def union(a, b):
+        parent[find(a)] = find(b)
+
+    builtin_pairs: set[tuple[str, str]] = set()
+    for builtin in builtins:
+        span = set()
+        for var in builtin.variables():
+            span |= var_tables.get(var, set())
+        builtin_pairs.update(_pairs(sorted(span)))
+    for a, b in shared | builtin_pairs:
+        union(a, b)
+
+    wildcards = {pair for pair in builtin_pairs if pair not in shared}
+    for a, b in _pairs(tables):
+        if find(a) != find(b):
+            wildcards.add((a, b))
+    return tuple(sorted(wildcards))
+
+
+def _pairs(items):
+    items = sorted(set(items))
+    return {
+        (a, b) for i, a in enumerate(items) for b in items[i + 1 :]
+    }
+
+
+def _norm(name: str) -> str:
+    return name.lower()

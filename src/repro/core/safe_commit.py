@@ -42,6 +42,17 @@ class CompiledEDC:
     #: set, ``check_only`` executes this handle instead of re-parsing
     #: and re-planning ``SELECT * FROM <view>`` on every commit
     prepared: Optional[PreparedStatement] = None
+    #: the delta rule derived for this EDC (:mod:`repro.core.delta`);
+    #: None means the full plan is the only evaluator
+    delta: Optional[object] = None
+    #: prepared handle of the seeded delta query (guard-mode EDCs only)
+    delta_prepared: Optional[PreparedStatement] = None
+    #: whether the seeded path may run: armed only after a clean
+    #: full-view check was applied, and disarmed whenever the shared
+    #: base-table version stamp (see ``SafeCommit._delta_stamp``)
+    #: drifts — i.e. after any write that did not go through the
+    #: validated commit path
+    delta_armed: bool = False
 
 
 @dataclass
@@ -109,9 +120,25 @@ class SafeCommit:
         #: via ``Tintin.enable_profiling()``.  None keeps the check
         #: loop timing-free.
         self.profiler = None
+        #: master switch for the seeded delta path (benchmarks and the
+        #: differential tests force the full-plan oracle by clearing it)
+        self.delta_enabled = True
+        #: EDCs whose *full* view executed cleanly in the last
+        #: ``check_only`` pass — promoted to armed by :meth:`note_applied`
+        #: once that pass's update is actually applied
+        self._rearm: list[CompiledEDC] = []
+        #: one shared stamp for *all* armed EDCs: normalized base-table
+        #: name -> data_version as of the last validated apply.  A
+        #: current table version differing from its stamp means an
+        #: unvalidated write happened — every armed EDC disarms.
+        self._delta_stamp: dict[str, int] = {}
+        self._delta_catalog_version: Optional[int] = None
+        #: cached union of the delta base tables over ``compiled``
+        self._delta_tables_cache: Optional[tuple[str, ...]] = None
 
     def register(self, compiled: CompiledEDC) -> None:
         self.compiled.append(compiled)
+        self._delta_tables_cache = None
 
     def register_aggregate(self, checker) -> None:
         self.aggregate_checkers.append(checker)
@@ -123,6 +150,7 @@ class SafeCommit:
         self.aggregate_checkers = [
             c for c in self.aggregate_checkers if c.spec.name != assertion
         ]
+        self._delta_tables_cache = None
 
     # -- the procedure body -------------------------------------------------
 
@@ -139,6 +167,7 @@ class SafeCommit:
                 skipped_views=skipped,
                 check_seconds=elapsed,
             )
+        inserts, deletes = self.events.snapshot_events()
         try:
             applied = self.events.apply_pending()
         except ConstraintViolation as exc:
@@ -150,6 +179,7 @@ class SafeCommit:
                 skipped_views=skipped,
                 check_seconds=elapsed,
             )
+        self.note_applied(db, inserts, deletes)
         return CommitResult(
             committed=True,
             applied_rows=applied,
@@ -185,6 +215,14 @@ class SafeCommit:
         skipped = 0
         profiler = self.profiler
         timed = profiler is not None or trace
+        rearm: list[CompiledEDC] = []
+        self._rearm = rearm
+        # one stamp sweep covers every armed EDC in this pass
+        delta_ok = (
+            self.delta_enabled
+            and db.plan_cache_enabled
+            and self._delta_stamp_valid(db)
+        )
         for compiled in self.compiled:
             if self._trivially_empty(db, compiled, overlays):
                 skipped += 1
@@ -192,10 +230,25 @@ class SafeCommit:
                     profiler.record_skip(compiled.view_name)
                 continue
             checked += 1
+            use_delta = (
+                delta_ok
+                and compiled.delta_armed
+                and compiled.delta_prepared is not None
+                and compiled.delta_prepared.db is db
+            )
+            label = (
+                compiled.view_name + ".delta"
+                if use_delta
+                else compiled.view_name
+            )
             collector = profiler.collector() if profiler is not None else None
             check_start = time.time() if timed else 0.0
             t0 = time.perf_counter() if timed else 0.0
-            if (
+            if use_delta:
+                result = compiled.delta_prepared.execute(
+                    overlays=overlays, collector=collector
+                )
+            elif (
                 compiled.prepared is not None
                 and compiled.prepared.db is db
                 and db.plan_cache_enabled
@@ -209,11 +262,20 @@ class SafeCommit:
                 result = db.query(
                     f"SELECT * FROM {compiled.view_name}", overlays=overlays
                 )
+            if (
+                not use_delta
+                and compiled.delta_prepared is not None
+                and not result.rows
+            ):
+                # the full view just proved the post-update state
+                # consistent for this EDC; once this update is applied
+                # the seeded path becomes sound again
+                rearm.append(compiled)
             if timed:
                 elapsed = time.perf_counter() - t0
                 if profiler is not None:
                     profiler.record_check(
-                        compiled.view_name,
+                        label,
                         elapsed,
                         violations=len(result.rows),
                         rows_scanned=(
@@ -223,7 +285,7 @@ class SafeCommit:
                 if trace:
                     self._trace_check(
                         trace,
-                        compiled.view_name,
+                        label,
                         check_start,
                         elapsed,
                         len(result.rows),
@@ -263,6 +325,114 @@ class SafeCommit:
             if violation is not None:
                 violations.append(violation)
         return violations, checked, skipped
+
+    # -- delta memo state ---------------------------------------------------
+
+    def _delta_tables(self) -> tuple[str, ...]:
+        """Union of the delta base tables over every compiled EDC."""
+        if self._delta_tables_cache is None:
+            names: set[str] = set()
+            for compiled in self.compiled:
+                if compiled.delta is not None:
+                    names.update(compiled.delta.base_tables)
+            self._delta_tables_cache = tuple(sorted(names))
+        return self._delta_tables_cache
+
+    def _delta_stamp_valid(self, db: Database) -> bool:
+        """Whether any seeded delta plan may replace its full view.
+
+        The seeded evaluation assumes the pre-update state satisfies
+        the assertion (the same assumption under which EDC generation
+        discards the event-free disjunct).  That holds exactly while
+        every write since arming went through a validated commit: the
+        shared ``data_version`` stamp of each closure base table must
+        still match, and the catalog must not have changed.  Any drift
+        — bulk loads, recovery replay, DDL — disarms *all* EDCs, and
+        the full plans (the differential oracle) take over until clean
+        full checks are applied again.
+        """
+        if self._delta_catalog_version is None:
+            return False
+        if db.catalog.version != self._delta_catalog_version:
+            self._disarm_all()
+            return False
+        get = db.catalog.get_table
+        for name, version in self._delta_stamp.items():
+            table = get(name, default=None)
+            if table is None or table.data_version != version:
+                self._disarm_all()
+                return False
+        return True
+
+    def _disarm_all(self) -> None:
+        for compiled in self.compiled:
+            compiled.delta_armed = False
+        self._delta_stamp = {}
+        self._delta_catalog_version = None
+
+    def note_applied(self, db: Database, inserts=None, deletes=None) -> None:
+        """Record that the update validated by the last ``check_only``
+        pass was applied.
+
+        Called under the engine's write protection after every
+        validated apply.  Re-arms the EDCs whose full views came back
+        clean in that pass, refreshes the shared base-table version
+        stamp (the apply itself legitimately bumped the written
+        tables; an unexplained bump on an *unwritten* table means
+        unvalidated drift and disarms everything instead), and lets
+        the aggregate memos fold the applied delta into their
+        per-group states.
+        """
+        written = {
+            name.lower()
+            for source in (inserts or {}, deletes or {})
+            for name, rows in source.items()
+            if rows
+        }
+        stamp: dict[str, int] = {}
+        get = db.catalog.get_table
+        drifted = (
+            self._delta_catalog_version is not None
+            and db.catalog.version != self._delta_catalog_version
+        )
+        for name in self._delta_tables():
+            table = get(name, default=None)
+            if table is None:
+                drifted = True
+                continue
+            if (
+                name not in written
+                and name in self._delta_stamp
+                and self._delta_stamp[name] != table.data_version
+            ):
+                drifted = True
+            stamp[name] = table.data_version
+        if drifted:
+            self._disarm_all()
+        else:
+            rearm, self._rearm = self._rearm, []
+            compiled_set = self.compiled
+            for compiled in rearm:
+                if compiled in compiled_set:
+                    compiled.delta_armed = True
+            self._delta_stamp = stamp
+            self._delta_catalog_version = db.catalog.version
+        for checker in self.aggregate_checkers:
+            memo = getattr(checker, "memo", None)
+            if memo is not None:
+                memo.note_applied(db, inserts or {}, deletes or {})
+
+    def reset_delta_state(self) -> None:
+        """Drop all derived memo state (delta arming + aggregate
+        memos).  The state is a cache over base data — never
+        WAL-logged — so recovery and bulk restores call this and let
+        the pipeline re-arm lazily through the full-plan path."""
+        self._rearm = []
+        self._disarm_all()
+        for checker in self.aggregate_checkers:
+            memo = getattr(checker, "memo", None)
+            if memo is not None:
+                memo.flush()
 
     @staticmethod
     def _trace_check(

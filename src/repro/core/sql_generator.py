@@ -84,6 +84,74 @@ class SQLGenerator:
             positives, negatives, builtins, guards, {}, aliases, aux_index
         )
 
+    def delta_query(self, edc: EDC, branches) -> n.Query:
+        """The seeded delta variant of a guard-mode EDC's view.
+
+        One SELECT per :class:`~repro.core.delta.DeltaBranch`: the
+        branch's event tables collapse into a
+        :class:`~repro.sqlparser.nodes.DeltaSeedRef` (distinct staged
+        keys), joined to the EDC's parent atoms through the branch
+        mapping; builtins and negations render exactly as in the full
+        view, so both queries agree column-for-column and the full plan
+        stays usable as the differential oracle.  The EventGuard is
+        dropped — the seed itself is the (now correlated) firing
+        condition.
+        """
+        aux_index = {a.predicate.name.lower(): a for a in edc.aux}
+        positives: list[Atom] = []
+        negatives: list = []
+        builtins: list[Builtin] = []
+        for literal in edc.body:
+            if isinstance(literal, Atom):
+                (negatives if literal.negated else positives).append(literal)
+            elif isinstance(literal, Builtin):
+                builtins.append(literal)
+            elif isinstance(literal, NegatedConjunction):
+                negatives.append(literal)
+            elif not isinstance(literal, EventGuard):  # pragma: no cover
+                raise CompilationError(f"unexpected EDC literal {literal!r}")
+        if not positives:
+            raise CompilationError(
+                f"EDC {edc.name!r} has no positive literal to select from"
+            )
+        selects: list[n.Select] = []
+        for branch in branches:
+            aliases = _AliasGenerator()
+            canon: dict[Variable, n.ColumnRef] = {}
+            base = self._build_select(
+                positives, negatives, builtins, [], {}, aliases, aux_index,
+                canon_out=canon,
+            )
+            seed_alias = "delta0"
+            columns = tuple(f"k{i}" for i in range(len(branch.mapping)))
+            positions = tuple(p for _, p in branch.mapping)
+            seed = n.DeltaSeedRef(seed_alias, branch.tables, columns, positions)
+            conditions = n.conjuncts(base.where)
+            for i, (variable, _) in enumerate(branch.mapping):
+                ref = canon.get(variable)
+                if ref is None:
+                    raise CompilationError(
+                        f"delta mapping variable {variable} is not bound by "
+                        f"a positive literal of EDC {edc.name!r}"
+                    )
+                conditions.append(
+                    n.Comparison("=", ref, n.ColumnRef(columns[i], seed_alias))
+                )
+            # project exactly the full view's output (the parents'
+            # columns, in FROM order) so results compare directly
+            items = tuple(n.Star(ref.binding) for ref in base.from_items)
+            selects.append(
+                n.Select(
+                    items,
+                    (seed,) + tuple(base.from_items),
+                    n.conjoin(conditions),
+                    distinct=True,
+                )
+            )
+        if len(selects) == 1:
+            return selects[0]
+        return n.Union(tuple(selects), all=False)
+
     def aux_view(
         self,
         aux: DerivedPredicate,

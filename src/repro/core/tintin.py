@@ -32,6 +32,7 @@ from ..obs.profiler import AssertionProfiler
 from ..obs.trace import CommitObs, NullTracer, Tracer
 from .assertion import Assertion
 from .baseline import NonIncrementalChecker
+from .delta import DeltaCompiler
 from .denial_compiler import DenialCompiler
 from .edc_generator import EDCGenerator
 from .event_tables import EventTableManager
@@ -56,6 +57,11 @@ class Tintin:
         self.baseline = NonIncrementalChecker(self.events)
         self.optimizer = SemanticOptimizer(db.catalog, enabled=optimize)
         self.assertions: dict[str, Assertion] = {}
+        #: bumped on every add/drop — consumers caching anything derived
+        #: from the assertion set (the scheduler's coupling specs) key
+        #: their caches on this, so a same-name re-add with a different
+        #: body can never serve stale derived state
+        self.assertion_version = 0
         self.reports: dict[str, OptimizationReport] = {}
         self._installed = False
         self._sessions: Optional["SessionManager"] = None
@@ -327,6 +333,7 @@ class Tintin:
             self.safe_commit_proc.register_aggregate(AggregateChecker(spec))
             self.baseline.register(assertion)
             self.assertions[assertion.name] = assertion
+            self.assertion_version += 1
             if self.durability is not None:
                 self.durability.log_ddl("assertion_add", sql=assertion.sql)
             return assertion
@@ -349,6 +356,7 @@ class Tintin:
                     self.db.create_view(view.name, view.query)
         assertion.edcs = all_edcs
 
+        delta_compiler = DeltaCompiler(sql_gen)
         for edc in all_edcs:
             query = sql_gen.edc_query(edc)
             view_name = edc.name
@@ -358,6 +366,16 @@ class Tintin:
             # every subsequent safeCommit executes it without parsing or
             # planning (the handle re-plans itself lazily after DDL)
             prepared = self.db.prepare(f"SELECT * FROM {view_name}")
+            # derive the delta rule alongside the full plan: guard-mode
+            # EDCs get a seeded plan that probes only update-adjacent
+            # parents; the full view stays installed as the oracle and
+            # the fallback whenever the memo state is cold
+            delta = delta_compiler.compile(edc)
+            delta_prepared = (
+                self.db.prepare_query(delta.query)
+                if delta is not None and delta.query is not None
+                else None
+            )
             self.safe_commit_proc.register(
                 CompiledEDC(
                     edc=edc,
@@ -365,11 +383,14 @@ class Tintin:
                     event_tables=edc.event_tables,
                     guard_tables=edc.guard_tables,
                     prepared=prepared,
+                    delta=delta,
+                    delta_prepared=delta_prepared,
                 )
             )
 
         self.baseline.register(assertion)
         self.assertions[assertion.name] = assertion
+        self.assertion_version += 1
         if self.durability is not None:
             self.durability.log_ddl("assertion_add", sql=assertion.sql)
         return assertion
@@ -386,6 +407,7 @@ class Tintin:
         for denial in assertion.denials:
             self.safe_commit_proc.unregister_assertion(denial.name)
         self.baseline.unregister(name)
+        self.assertion_version += 1
         if self.durability is not None:
             self.durability.log_ddl("assertion_drop", name=assertion.name)
 

@@ -218,6 +218,56 @@ class SeqScan(PlanNode):
         return f"SeqScan({self.table.name} AS {self.binding}, ~{len(self.table)} rows)"
 
 
+class DeltaSeed(PlanNode):
+    """Distinct key projection of one or more event tables.
+
+    The source node of a delta rule: scans the staged ``ins_T``/
+    ``del_T`` rows (overlay-aware, exactly like :class:`SeqScan`),
+    projects the columns that reach the rule's parent atoms and
+    deduplicates — so the downstream join probes each delta key once
+    no matter how many staged rows share it.  This is the semi-join
+    pruning that makes delta checks scale with ``|delta|`` instead of
+    the base-table size.
+
+    Keys containing NULL are dropped: the parent join is an equality
+    probe and NULL never equates (matching :class:`IndexJoin`).
+    """
+
+    def __init__(
+        self,
+        tables: list[Table],
+        binding: str,
+        columns: tuple[str, ...],
+        positions: tuple[int, ...],
+    ):
+        self.tables = list(tables)
+        self.binding = binding
+        self.columns = columns
+        self.positions = positions
+        self.scope = Scope([(binding, column) for column in columns])
+        self.estimate = float(max(sum(len(t) for t in self.tables), 1))
+        #: row-accounting hook: the profiler attributes scanned rows to
+        #: nodes exposing a ``table`` (the first source stands for all)
+        self.table = self.tables[0]
+
+    def _execute(self, params: dict) -> Iterator[tuple]:
+        positions = self.positions
+        seen: set[tuple] = set()
+        for table in self.tables:
+            for row in scan_table(params, table):
+                key = tuple(row[p] for p in positions)
+                if any(v is None for v in key):
+                    continue
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def describe(self) -> str:
+        names = ", ".join(t.name for t in self.tables)
+        cols = ", ".join(self.columns)
+        return f"DeltaSeed({names} AS {self.binding} -> ({cols}))"
+
+
 class Filter(PlanNode):
     """Keep rows where the compiled predicate evaluates to exactly True."""
 

@@ -36,6 +36,7 @@ from ..sqlparser import nodes as n
 from .expressions import Compiled, Scope, compile_expr, sql_not, sql_or
 from .plan import (
     Aggregate,
+    DeltaSeed,
     Distinct,
     Filter,
     HashJoin,
@@ -173,6 +174,18 @@ class Planner:
         raise CatalogError(f"unknown table or view {name!r}")
 
     def _base_relation(self, ref: n.TableRef, outer: Optional[Scope]) -> _Relation:
+        if isinstance(ref, n.DeltaSeedRef):
+            tables = []
+            for name in ref.tables:
+                table = self.catalog.get_table(name, default=None)
+                if table is None:
+                    raise CatalogError(f"unknown event table {name!r}")
+                self._note_table(table)
+                tables.append(table)
+            seed = DeltaSeed(tables, ref.binding, ref.columns, ref.positions)
+            # table=None: the seed is a key stream, never an IndexJoin
+            # target — it is the probe *source* the parents attach to
+            return _Relation(ref.binding, seed, None)
         table = self.catalog.get_table(ref.name, default=None)
         if table is not None:
             self._note_table(table)

@@ -32,19 +32,26 @@ footprints*:
   (the keys its staged rows point at), in either direction — no
   member's apply can create or erase another member's violation
   witnesses through an FK join onto a staged row;
-* two members *referencing* the same parent key must serialize when
-  that parent is universally quantified over a table both put events
-  in (derived from the denials' negations: two sessions editing the
+* staged values meeting in a denial *keyspace* — a shared variable of
+  an installed assertion's denial, whose occurrence list the compiler
+  derives statically (:func:`repro.core.denial_compiler
+  .derive_coupling`) — must not pair a witness-creating member with a
+  witness-*removing* one: deleting at a positive occurrence or
+  inserting at a negated one can mask another member's violation in
+  the union, so such members serialize (two sessions editing the
   lineitems of one order under an at-least-one assertion interact;
-  sharing a customer parent no negation quantifies over does not);
+  orders sharing a customer parent no keyspace ties to their events do
+  not).  Because the keyspaces come from the unified denial variables
+  rather than declared FKs, assertions joining two event-receiving
+  tables on non-FK attributes are covered too — ``policy="serial"`` is
+  no longer required for them (tables a denial relates without any
+  comparable key, e.g. through an inequality builtin alone, serialize
+  pairwise via the spec's wildcard pairs);
 * for aggregate assertions, the members' affected group keys must be
   disjoint (two sessions growing the same order's lineitem count must
   serialize).
 
-Assertions that join two event-receiving tables on non-FK attributes
-are outside what the footprint sees; construct the scheduler with
-``policy="serial"`` to disable grouping entirely if such assertions are
-installed.  The differential tests (sequential vs concurrent runs must
+The differential tests (sequential vs concurrent runs must
 accept/reject identical updates) exercise the shipped workloads.
 """
 
@@ -91,16 +98,30 @@ class _Footprint:
     agg_groups: dict[str, set] = field(default_factory=dict)
     #: normalized names of tables this update stages events in
     event_tables: set = field(default_factory=set)
+    #: keyspace signature (its occurrence tuple — shared by
+    #: structurally identical denials) -> the values this update's
+    #: staged rows bind in that keyspace, split by occurrence role and
+    #: operation (see ``CouplingSpec`` and ``_KeyspaceBindings``)
+    coupling: dict[tuple, "_KeyspaceBindings"] = field(default_factory=dict)
 
-    def compatible(self, other: "_Footprint", coupling: dict) -> bool:
+    def compatible(self, other: "_Footprint", coupling) -> bool:
         """Whether grouping with ``other`` preserves FIFO semantics.
 
-        ``coupling`` maps a table name to the set of tables negated in
-        some denial where it appears positively (:data:`ANY_TABLE` when
-        the negation's tables cannot be determined) — when two members
-        reference the same key of such a table and both stage events in
-        a negated table, one member's insert could mask the other's
-        violation in the union, so they must serialize.
+        ``coupling`` is the tuple of statically derived
+        :class:`~repro.core.denial_compiler.CouplingSpec` — two members
+        serialize when one stages a witness-*removing* binding (a
+        delete at a positive occurrence or an insert at a negated one)
+        into a denial keyspace where the other stages a witness-
+        *creating* one (an insert at a positive occurrence or a delete
+        at a negated one): the removal could repair the other member's
+        violation, making a union pass where FIFO would have rejected.
+        Removal-vs-creation aimed at the *same* positive atom is exempt
+        — there it only repairs if the exact staged rows coincide,
+        which the stakes check already serializes.  They also
+        serialize when staging events on opposite sides of a wildcard
+        pair.  Creating-vs-creating overlaps stay groupable: they can
+        only turn a clean union violating, which the union pass detects
+        and replays serially anyway.
         """
         for table, keys in self.stakes.items():
             if keys & other.stakes.get(table, _EMPTY):
@@ -111,14 +132,15 @@ class _Footprint:
         for space, keys in self.refs.items():
             if keys & other.key_stakes.get(space, _EMPTY):
                 return False
-            if keys & other.refs.get(space, _EMPTY):
-                negated = coupling.get(space[0])
-                if negated is None:
-                    continue
-                if negated is ANY_TABLE or (
-                    self.event_tables & negated
-                    and other.event_tables & negated
-                ):
+        for key, mine in self.coupling.items():
+            theirs = other.coupling.get(key)
+            if theirs is not None and mine.conflicts(theirs):
+                return False
+        for spec in coupling:
+            for a, b in spec.wildcard_pairs:
+                if (
+                    a in self.event_tables and b in other.event_tables
+                ) or (b in self.event_tables and a in other.event_tables):
                     return False
         for spec, keys in self.agg_groups.items():
             if keys & other.agg_groups.get(spec, _EMPTY):
@@ -127,6 +149,64 @@ class _Footprint:
 
 
 _EMPTY: frozenset = frozenset()
+
+
+class _KeyspaceBindings:
+    """One update's staged values in one denial keyspace, split four
+    ways: positive-atom inserts/deletes by atom index (``pi``/``pd``)
+    and negated-occurrence inserts/deletes combined (``ni``/``nd``).
+
+    Witness-removing bindings are ``pd`` and ``ni``; witness-creating
+    ones are ``pi`` and ``nd``.  :meth:`conflicts` pairs each removal
+    with the creations it could repair — every combination except a
+    delete and an insert aimed at the *same* positive atom, which bind
+    distinct witness tuples unless the staged rows are identical (and
+    identical rows already collide on stakes).
+    """
+
+    __slots__ = ("pi", "pd", "ni", "nd", "removes", "creates")
+
+    def __init__(self):
+        self.pi: dict[int, set] = {}
+        self.pd: dict[int, set] = {}
+        self.ni: set = set()
+        self.nd: set = set()
+        #: flat unions (sealed by :meth:`seal` after projection): any
+        #: precise repair pairing implies these coarse sets intersect,
+        #: so disjointness is a cheap early exit for the common case
+        #: of key-disjoint members
+        self.removes: set = set()
+        self.creates: set = set()
+
+    def seal(self) -> None:
+        self.removes = self.ni.union(*self.pd.values())
+        self.creates = self.nd.union(*self.pi.values())
+
+    def conflicts(self, other: "_KeyspaceBindings") -> bool:
+        if (
+            not (self.removes & other.creates)
+            and not (other.removes & self.creates)
+        ):
+            return False
+        return self._repairs(other) or other._repairs(self)
+
+    def _repairs(self, other: "_KeyspaceBindings") -> bool:
+        """Whether one of our removals could repair one of ``other``'s
+        creations in the union state."""
+        if self.ni and (
+            self.ni & other.nd
+            or any(self.ni & values for values in other.pi.values())
+        ):
+            return True
+        if other.nd and any(
+            values & other.nd for values in self.pd.values()
+        ):
+            return True
+        for atom, deleted in self.pd.items():
+            for other_atom, inserted in other.pi.items():
+                if atom != other_atom and deleted & inserted:
+                    return True
+        return False
 
 
 def _deadline_result() -> CommitResult:
@@ -148,11 +228,6 @@ def commit_verdict(result: CommitResult) -> str:
     if result.violations:
         return "violation"
     return "error"
-
-
-#: sentinel: a denial negates something we cannot attribute to base
-#: tables, so any shared reference to its positive tables serializes
-ANY_TABLE = object()
 
 
 def _columns_key(columns: tuple[str, ...]) -> tuple[str, ...]:
@@ -427,6 +502,10 @@ class CommitScheduler:
         self._leader_lock = threading.Lock()
         #: undo-log manager for combined (multi-session) applies
         self._group_transactions = TransactionManager()
+        #: (assertion-set version, derived CouplingSpec tuple)
+        self._coupling_cache: Optional[tuple] = None
+        #: (assertion-set version, per-table keyspace projection index)
+        self._coupling_proj_cache: Optional[tuple] = None
         #: the dedicated log-writer thread (batch-mode windows hand it
         #: their deferred members; it batches fsyncs across windows).
         #: Set ``log_writer_enabled = False`` to flush every window
@@ -567,6 +646,11 @@ class CommitScheduler:
             checker_.spec
             for checker_ in self.tintin.safe_commit_proc.aggregate_checkers
         ]
+        staged: dict[str, dict[str, list[tuple]]] = {"ins": {}, "del": {}}
+        for source, mode in ((inserts, "ins"), (deletes, "del")):
+            for name, rows in source.items():
+                if rows:
+                    staged[mode].setdefault(normalize(name), []).extend(rows)
         for source in (inserts, deletes):
             for name, rows in source.items():
                 if not rows:
@@ -611,53 +695,96 @@ class CommitScheduler:
                     fp.agg_groups.setdefault(spec.name, set()).update(
                         tuple(row[p] for p in positions) for row in rows
                     )
+        # project the staged rows onto every installed denial keyspace
+        # via the inverted per-table index (statically derived; see
+        # CouplingSpec).  NULLs never join, so NULL bindings are
+        # dropped; a column projection shared by several keyspaces is
+        # computed once per staged table.
+        proj = self._coupling_projection()
+        for mode in ("ins", "del"):
+            for table, rows in staged[mode].items():
+                entries = proj.get(table)
+                if not entries:
+                    continue
+                by_position: dict[int, set] = {}
+                for sig, atom, position, role in entries:
+                    values = by_position.get(position)
+                    if values is None:
+                        values = {
+                            row[position]
+                            for row in rows
+                            if row[position] is not None
+                        }
+                        by_position[position] = values
+                    if not values:
+                        continue
+                    bindings = fp.coupling.get(sig)
+                    if bindings is None:
+                        bindings = fp.coupling.setdefault(
+                            sig, _KeyspaceBindings()
+                        )
+                    if role == "pos":
+                        bucket = (
+                            bindings.pi if mode == "ins" else bindings.pd
+                        )
+                        bucket.setdefault(atom, set()).update(values)
+                    elif mode == "ins":
+                        bindings.ni |= values
+                    else:
+                        bindings.nd |= values
+        for bindings in fp.coupling.values():
+            bindings.seal()
         return fp
 
-    def _negation_coupling(self) -> dict:
-        """``{positive table: set of tables negated alongside it}`` over
-        every installed assertion's denials.
+    def _coupling_specs(self) -> tuple:
+        """The statically derived coupling specs of every installed
+        denial (see :func:`repro.core.denial_compiler.derive_coupling`),
+        cached against the facade's assertion-set version — re-adding
+        an assertion under the same name with a different body bumps
+        the version, so the cache can never serve a stale body."""
+        from ..core.denial_compiler import derive_coupling
 
-        This is what makes the refs-vs-refs check precise: two sessions
-        referencing the same parent key only interact when the parent
-        is universally quantified over a table they both put events in
-        (e.g. both touch the lineitems of one order under an
-        at-least-one assertion) — sharing a customer or partsupp parent
-        that no negation quantifies over stays groupable.  Recomputed
-        per batch (a handful of literal scans): caching by assertion
-        names would go stale when an assertion is re-added under the
-        same name with a different body.
-        """
-        from ..logic.literals import Atom
+        version = self.tintin.assertion_version
+        cached = self._coupling_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        specs = derive_coupling(
+            [
+                denial
+                for assertion in self.tintin.assertions.values()
+                for denial in assertion.denials
+            ]
+        )
+        self._coupling_cache = (version, specs)
+        return specs
 
-        coupling: dict = {}
-        for assertion in self.tintin.assertions.values():
-            for denial in assertion.denials:
-                negated: set = set()
-                wildcard = False
-                for atom in denial.negative_atoms:
-                    if atom.predicate.kind == "base":
-                        negated.add(normalize(atom.predicate.name))
-                    else:
-                        wildcard = True
-                for conj in denial.negated_conjunctions:
-                    for item in conj.items:
-                        if not isinstance(item, Atom):
-                            continue
-                        if item.predicate.kind == "base":
-                            negated.add(normalize(item.predicate.name))
-                        else:
-                            wildcard = True
-                if not negated and not wildcard:
+    def _coupling_projection(self) -> dict:
+        """Inverted projection index over the coupling specs: normalized
+        table name -> list of ``(signature, atom, position, role)``.
+
+        The signature is the keyspace's occurrence tuple itself —
+        structurally identical keyspaces (e.g. a family of bound-style
+        denials that all join ``orders`` to ``lineitem`` on the order
+        key) project to identical bindings, so they collapse into one
+        footprint entry and are checked once per member pair instead
+        of once per denial."""
+        version = self.tintin.assertion_version
+        cached = self._coupling_proj_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        proj: dict[str, list] = {}
+        seen: set = set()
+        for spec in self._coupling_specs():
+            for keyspace in spec.keyspaces:
+                if keyspace in seen:
                     continue
-                for atom in denial.positive_atoms:
-                    if atom.predicate.kind != "base":
-                        continue
-                    key = normalize(atom.predicate.name)
-                    if wildcard:
-                        coupling[key] = ANY_TABLE
-                    elif coupling.get(key) is not ANY_TABLE:
-                        coupling.setdefault(key, set()).update(negated)
-        return coupling
+                seen.add(keyspace)
+                for atom, table, position, role in keyspace:
+                    proj.setdefault(table, []).append(
+                        (keyspace, atom, position, role)
+                    )
+        self._coupling_proj_cache = (version, proj)
+        return proj
 
     # -- the commit window -------------------------------------------------
 
@@ -900,7 +1027,7 @@ class CommitScheduler:
             manager is not None and manager.mode == "commit"
         ):
             return [[pending] for pending in batch]
-        coupling = self._negation_coupling()
+        coupling = self._coupling_specs()
         groups: list[list[_PendingCommit]] = []
         current: list[_PendingCommit] = []
         for pending in batch:
@@ -1019,6 +1146,12 @@ class CommitScheduler:
             self.stats.bump(fallbacks=1)
             self._commit_serially(group, deferred)
             return
+        # the union passed ONE validation (one delta evaluation for the
+        # whole group) and is now applied: re-arm the seeded delta
+        # plans and fold the combined batch into the aggregate memos
+        self.tintin.safe_commit_proc.note_applied(
+            self.db, union_ins, union_del
+        )
         if traced:
             apply_end = time.time()
             for obs, _ in traced:
@@ -1131,6 +1264,9 @@ class CommitScheduler:
                 continue
             if obs is not None:
                 obs.record("apply", apply_start, time.time())
+            self.tintin.safe_commit_proc.note_applied(
+                self.db, pending.inserts, pending.deletes
+            )
             result = CommitResult(
                 committed=True,
                 applied_rows=applied,

@@ -206,6 +206,36 @@ class TableRef:
 
 
 @dataclass(frozen=True)
+class DeltaSeedRef:
+    """A synthetic FROM relation: the distinct key projection of one or
+    more event tables (``ins_T``/``del_T``).
+
+    Produced by the delta compiler, never by the parser.  ``tables``
+    lists the event tables whose staged rows seed the check (they share
+    the base table's schema, so one ``positions`` projection applies to
+    all of them); ``columns`` names the projected key columns as seen
+    by the rest of the query under ``alias``.  The executor scans the
+    event tables overlay-aware, projects ``positions`` and
+    deduplicates, so downstream joins probe each delta key once — the
+    semi-join pruning the delta rules rely on.
+    """
+
+    alias: str
+    tables: tuple[str, ...]
+    columns: tuple[str, ...]
+    positions: tuple[int, ...]
+
+    @property
+    def name(self) -> str:
+        return self.alias
+
+    @property
+    def binding(self) -> str:
+        """The name this relation is known by inside the query."""
+        return self.alias
+
+
+@dataclass(frozen=True)
 class Select:
     """A single SELECT block.
 

@@ -158,7 +158,7 @@ class TestOverlappingDeletes:
         tintin = build_tintin()
         commit_order(tintin, 1)
         scheduler = tintin.sessions.scheduler
-        coupling = scheduler._negation_coupling()
+        coupling = scheduler._coupling_specs()
         row = (1,)
         fp1 = scheduler._footprint({}, {"orders": [row]})
         fp2 = scheduler._footprint({}, {"orders": [row]})
@@ -170,7 +170,7 @@ class TestOverlappingDeletes:
     def test_stake_vs_reference_collision_is_incompatible(self):
         tintin = build_tintin()
         scheduler = tintin.sessions.scheduler
-        coupling = scheduler._negation_coupling()
+        coupling = scheduler._coupling_specs()
         # one session deletes order 5, another stages an item *referencing*
         # order 5: applying in either order changes the other's validity
         fp_del = scheduler._footprint({}, {"orders": [(5,)]})
@@ -189,7 +189,7 @@ class TestOverlappingDeletes:
         s_del.delete("items", [(1, 1)])   # removes order 1's only item
         s_ins.insert("items", [(1, 2)])   # adds a new item to order 1
         scheduler = tintin.sessions.scheduler
-        coupling = scheduler._negation_coupling()
+        coupling = scheduler._coupling_specs()
         fp_del = scheduler._footprint(*s_del.events.snapshot())
         fp_ins = scheduler._footprint(*s_ins.events.snapshot())
         assert not fp_del.compatible(fp_ins, coupling)
@@ -225,7 +225,7 @@ class TestOverlappingDeletes:
         boot.insert("customer", [(1,)])
         assert boot.commit().committed
         scheduler = tintin.sessions.scheduler
-        coupling = scheduler._negation_coupling()
+        coupling = scheduler._coupling_specs()
         # both sessions reference customer 1, but neither stages
         # customer events — and orders is quantified over customer,
         # not the other way round
@@ -426,7 +426,7 @@ class TestViolationAttribution:
         pendings = [self._inject(scheduler, s) for s in (s1, s2)]
         # same aggregate group key -> incompatible -> strict FIFO
         assert not pendings[0].footprint.compatible(
-            pendings[1].footprint, scheduler._negation_coupling()
+            pendings[1].footprint, scheduler._coupling_specs()
         )
         scheduler._process_batch()
         assert pendings[0].result.committed
