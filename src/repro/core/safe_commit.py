@@ -242,7 +242,7 @@ class SafeCommit:
                 else compiled.view_name
             )
             collector = profiler.collector() if profiler is not None else None
-            check_start = time.time() if timed else 0.0
+            check_start = time.monotonic() if timed else 0.0
             t0 = time.perf_counter() if timed else 0.0
             if use_delta:
                 result = compiled.delta_prepared.execute(
@@ -310,7 +310,7 @@ class SafeCommit:
                     profiler.record_skip(name)
                 continue
             checked += 1
-            check_start = time.time() if timed else 0.0
+            check_start = time.monotonic() if timed else 0.0
             t0 = time.perf_counter() if timed else 0.0
             violation = checker.check(db, overlays)
             if timed:

@@ -38,6 +38,8 @@ from .recovery import (
 )
 from .wal import (
     BATCH_V2_TAG,
+    DECIDE_V2_TAG,
+    PREPARE_V2_TAG,
     WAL_MAGIC,
     WAL_MAGIC_V1,
     WalResume,
@@ -49,8 +51,12 @@ from .wal import (
     decode_batch,
     decode_batch_v2,
     decode_batch_v2_at,
+    decode_decide_v2_at,
+    decode_prepare_v2_at,
     decode_records,
     encode_batch_v2,
+    encode_decide_v2,
+    encode_prepare_v2,
     encode_record,
     read_wal,
     read_wal_fused,
@@ -66,9 +72,11 @@ __all__ = [
     "BATCH_V2_TAG",
     "CHECKPOINT_FILE",
     "CHECKPOINT_FORMAT",
+    "DECIDE_V2_TAG",
     "DURABILITY_MODES",
     "DurabilityManager",
     "DurabilityStats",
+    "PREPARE_V2_TAG",
     "RecoveryReport",
     "WAL_FILE",
     "WAL_MAGIC",
@@ -85,8 +93,12 @@ __all__ = [
     "decode_batch",
     "decode_batch_v2",
     "decode_batch_v2_at",
+    "decode_decide_v2_at",
+    "decode_prepare_v2_at",
     "decode_records",
     "encode_batch_v2",
+    "encode_decide_v2",
+    "encode_prepare_v2",
     "encode_record",
     "has_durable_state",
     "load_checkpoint",

@@ -294,6 +294,63 @@ class DurabilityManager:
             self._fault("wal.before_fsync")
             self.wal.sync()
 
+    # -- two-phase commit ---------------------------------------------------
+
+    def log_prepare(
+        self,
+        gid: str,
+        inserts: dict,
+        deletes: dict,
+        counts: Optional[dict] = None,
+    ) -> None:
+        """Append + fsync one 2PC prepare record — the durable yes
+        vote.  The fsync is unconditional: a participant must never
+        vote yes on a prepare the disk could still lose."""
+        if not self.durable:
+            return
+        with self._lock:
+            ordinal_of = (
+                self._ordinal_of
+                if self._db is not None
+                and self.batch_format >= 2
+                and self._db.catalog.version == self._ddl_synced_version
+                else None
+            )
+            self.wal.append_prepare(
+                gid, inserts, deletes, counts, ordinal_of=ordinal_of
+            )
+            self._fault("wal.after_append", gid=gid, record="prepare")
+            self._fault("wal.before_fsync", gid=gid, record="prepare")
+            self.wal.sync()
+
+    def log_decide(
+        self,
+        gid: str,
+        verdict: bool,
+        counts: Optional[dict] = None,
+        sync: bool = True,
+    ) -> None:
+        """Append one 2PC decide record (the coordinator's verdict as
+        seen by this participant); fsynced by default so the in-doubt
+        window closes durably."""
+        if not self.durable:
+            return
+        with self._lock:
+            ordinal_of = (
+                self._ordinal_of
+                if self._db is not None
+                and self.batch_format >= 2
+                and self._db.catalog.version == self._ddl_synced_version
+                else None
+            )
+            self.wal.append_decide(
+                gid, verdict, counts, ordinal_of=ordinal_of
+            )
+            self._fault("wal.after_append", gid=gid, record="decide")
+            if sync:
+                self._fault("wal.before_fsync", gid=gid, record="decide")
+                self.wal.sync()
+
     # -- checkpoints -------------------------------------------------------
 
     def checkpoint(self, tintin: "Tintin") -> dict:

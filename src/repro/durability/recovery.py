@@ -53,6 +53,8 @@ from .wal import (
     decode_batch,
     decode_batch_v2,
     decode_batch_v2_at,
+    decode_decide_v2_at,
+    decode_prepare_v2_at,
     read_wal_fused,
     record_seq,
     record_type,
@@ -112,6 +114,17 @@ class RecoveryReport:
     wal_file_length: Optional[int] = None
     #: how many worker threads the checkpoint restore used (1 = serial)
     restore_workers: int = 1
+    #: 2PC prepare records replayed (whether or not later decided)
+    prepares_seen: int = 0
+    #: 2PC decide records replayed
+    decides_seen: int = 0
+    #: prepares with no decide by log's end — *in doubt*: the events
+    #: were durably voted yes but the coordinator's verdict never
+    #: reached this log.  ``{gid: (inserts, deletes)}``; the shard
+    #: router resolves each against the coordinator's decision log
+    #: (commit found → apply, absent → presumed abort) before the
+    #: engine serves traffic.
+    in_doubt: dict[str, tuple[dict, dict]] = field(default_factory=dict)
 
     def __str__(self) -> str:
         source = "checkpoint + WAL" if self.checkpoint_used else "WAL"
@@ -289,17 +302,30 @@ def _replay_record(
 ) -> None:
     db = tintin.db
     if type(record) is tuple:
-        # a fused-scan v2 batch: decode the frame span in place, name
+        # a fused-scan v2 frame: decode the frame span in place, name
         # resolution against the catalog exactly as replay has rebuilt
         # it — one pass, one dict build
-        _, seq, start, end = record
+        kind, seq, start, end = record
         try:
-            inserts, deletes, counts = decode_batch_v2_at(
-                data, start, end, names.names()
-            )
+            if kind == "batch":
+                inserts, deletes, counts = decode_batch_v2_at(
+                    data, start, end, names.names()
+                )
+            elif kind == "prepare":
+                gid, inserts, deletes, _ = decode_prepare_v2_at(
+                    data, start, end, names.names()
+                )
+                _replay_prepare(gid, seq, inserts, deletes, report)
+                return
+            else:  # "decide"
+                gid, commit, counts = decode_decide_v2_at(
+                    data, start, end, names.names()
+                )
+                _replay_decide(tintin, gid, seq, commit, counts, report)
+                return
         except DurabilityError as exc:
             raise RecoveryError(
-                f"batch record seq={seq} cannot be resolved against the "
+                f"{kind} record seq={seq} cannot be resolved against the "
                 f"replayed catalog: {exc}"
             ) from exc
         _replay_batch(tintin, seq, inserts, deletes, counts, report)
@@ -358,12 +384,79 @@ def _replay_record(
             tintin, record.get("seq"), inserts, deletes, counts, report
         )
         return
+    if kind == "prepare":
+        seq = record.get("seq")
+        try:
+            if record.get("binary"):
+                payload = record["payload"]
+                gid, inserts, deletes, _ = decode_prepare_v2_at(
+                    payload, 0, len(payload), names.names()
+                )
+            else:
+                gid = record["gid"]
+                inserts, deletes = decode_batch(record)
+        except DurabilityError as exc:
+            raise RecoveryError(
+                f"prepare record seq={seq} cannot be resolved against "
+                f"the replayed catalog: {exc}"
+            ) from exc
+        _replay_prepare(gid, seq, inserts, deletes, report)
+        return
+    if kind == "decide":
+        seq = record.get("seq")
+        try:
+            if record.get("binary"):
+                payload = record["payload"]
+                gid, commit, counts = decode_decide_v2_at(
+                    payload, 0, len(payload), names.names()
+                )
+            else:
+                gid = record["gid"]
+                commit = record["verdict"] == "commit"
+                counts = record.get("counts")
+        except DurabilityError as exc:
+            raise RecoveryError(
+                f"decide record seq={seq} cannot be resolved against "
+                f"the replayed catalog: {exc}"
+            ) from exc
+        _replay_decide(tintin, gid, seq, commit, counts, report)
+        return
     if kind in ("checkpoint", "truncate"):
         # informational markers: checkpointed state lives in the
         # checkpoint file, and the truncate marker only carries the
         # sequence high-water mark across compaction
         return
     raise RecoveryError(f"unknown WAL record type {kind!r} (seq={record.get('seq')})")
+
+
+def _replay_prepare(gid, seq, inserts, deletes, report: RecoveryReport) -> None:
+    """Stash a prepared-but-undecided batch.  Nothing is applied yet —
+    the prepare is only the durable yes vote; the events wait in
+    ``report.in_doubt`` until a decide record (or, past the log's end,
+    the router's resolution against the coordinator) settles them."""
+    if gid in report.in_doubt:
+        raise RecoveryError(
+            f"prepare record seq={seq} repeats gid {gid!r} while it is "
+            "still undecided — the log is inconsistent"
+        )
+    report.prepares_seen += 1
+    report.in_doubt[gid] = (inserts, deletes)
+
+
+def _replay_decide(
+    tintin, gid, seq, commit, counts, report: RecoveryReport
+) -> None:
+    """Settle a prepared batch: apply it on a commit verdict, discard
+    it on abort.  A decide for a gid with no pending prepare is a
+    duplicate resolution (the router re-decides idempotently after a
+    crash mid-resolution) and is ignored."""
+    report.decides_seen += 1
+    pending = report.in_doubt.pop(gid, None)
+    if pending is None:
+        return
+    if commit:
+        inserts, deletes = pending
+        _replay_batch(tintin, seq, inserts, deletes, counts, report)
 
 
 def _replay_batch(

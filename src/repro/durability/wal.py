@@ -52,7 +52,17 @@ Record types (the ``"type"`` field):
 ``batch``
     one *committed* event batch: the inserts/deletes ``safeCommit``
     (or a whole commit group) applied, plus the per-table row counts
-    observed right after the apply, which recovery re-verifies.
+    observed right after the apply, which recovery re-verifies;
+``prepare`` / ``decide``
+    the two-phase-commit protocol records of the sharded deployment.
+    A participant logs ``prepare`` (the batch body plus the global
+    transaction id) and fsyncs it *before* voting yes — that record IS
+    the vote; ``decide`` later records the coordinator's verdict
+    (commit or abort) for the same gid, with commit decides carrying
+    the post-apply row counts so replay verification covers them too.
+    A prepare with no matching decide is *in doubt*: recovery
+    surfaces it for resolution against the coordinator's decision log
+    instead of replaying or discarding it unilaterally.
 
 Every record carries a monotonically increasing ``seq``.  Checkpoints
 remember the last sequence they include, so replay after a crash that
@@ -94,6 +104,12 @@ _FRAME = struct.Struct(">II")  # payload length, CRC32(payload)
 #: first payload byte of a binary v2 ``batch`` record (JSON payloads
 #: start with ``{`` = 0x7B; the two can never be confused)
 BATCH_V2_TAG = 0xB2
+#: first payload byte of a binary v2 two-phase-commit ``prepare``
+#: record: the batch layout plus a global-transaction-id field
+PREPARE_V2_TAG = 0xB3
+#: first payload byte of a binary v2 two-phase-commit ``decide``
+#: record: the coordinator's commit/abort verdict for one gid
+DECIDE_V2_TAG = 0xB4
 
 #: how many times :func:`read_wal` performed a full file scan in this
 #: process — the single-pass-open regression tests assert the delta
@@ -465,6 +481,24 @@ def _encode_table_blocks(
     return True
 
 
+def _append_counts(
+    out: bytearray,
+    counts: dict[str, int],
+    ordinal_of: Callable[[str], Optional[int]],
+) -> bool:
+    if len(counts) >= 128:
+        return False
+    out.append(len(counts))
+    for name, count in counts.items():
+        ordinal = ordinal_of(name)
+        if ordinal is None or not 0 <= ordinal < 128:
+            return False
+        if not 0 <= count <= 0xFFFFFFFF:
+            return False
+        out += _COUNT_PAIR.pack(ordinal, count)
+    return True
+
+
 def encode_batch_v2(
     seq: int,
     inserts: dict[str, list[tuple]],
@@ -487,17 +521,59 @@ def encode_batch_v2(
         return None
     if not _encode_table_blocks(out, deletes, ordinal_of):
         return None
-    if counts is not None:
-        if len(counts) >= 128:
-            return None
-        out.append(len(counts))
-        for name, count in counts.items():
-            ordinal = ordinal_of(name)
-            if ordinal is None or not 0 <= ordinal < 128:
-                return None
-            if not 0 <= count <= 0xFFFFFFFF:
-                return None
-            out += _COUNT_PAIR.pack(ordinal, count)
+    if counts is not None and not _append_counts(out, counts, ordinal_of):
+        return None
+    return bytes(out)
+
+
+def encode_prepare_v2(
+    seq: int,
+    gid: str,
+    inserts: dict[str, list[tuple]],
+    deletes: dict[str, list[tuple]],
+    counts: Optional[dict[str, int]],
+    ordinal_of: Callable[[str], Optional[int]],
+) -> Optional[bytes]:
+    """One binary ``prepare`` payload: the batch layout with the
+    global transaction id spliced in between the seq and the flags.
+    Returns None when the batch (or a gid ≥ 2^32 bytes, which is not a
+    gid) is outside what v2 expresses — the caller falls back to v1.
+    """
+    gid_bytes = gid.encode("utf-8")
+    out = bytearray((PREPARE_V2_TAG,))
+    _append_uvarint(out, seq)
+    _append_uvarint(out, len(gid_bytes))
+    out += gid_bytes
+    out.append(1 if counts is not None else 0)
+    if not _encode_table_blocks(out, inserts, ordinal_of):
+        return None
+    if not _encode_table_blocks(out, deletes, ordinal_of):
+        return None
+    if counts is not None and not _append_counts(out, counts, ordinal_of):
+        return None
+    return bytes(out)
+
+
+def encode_decide_v2(
+    seq: int,
+    gid: str,
+    verdict: bool,
+    counts: Optional[dict[str, int]],
+    ordinal_of: Callable[[str], Optional[int]],
+) -> Optional[bytes]:
+    """One binary ``decide`` payload: seq, verdict byte (1 = commit,
+    0 = abort), the gid, then an optional counts section (commit
+    decides log the post-apply row counts for replay verification).
+    """
+    gid_bytes = gid.encode("utf-8")
+    out = bytearray((DECIDE_V2_TAG,))
+    _append_uvarint(out, seq)
+    out.append(1 if verdict else 0)
+    _append_uvarint(out, len(gid_bytes))
+    out += gid_bytes
+    out.append(1 if counts is not None else 0)
+    if counts is not None and not _append_counts(out, counts, ordinal_of):
+        return None
     return bytes(out)
 
 
@@ -541,6 +617,81 @@ def decode_batch_v2_at(
     except (IndexError, ValueError, struct.error, UnicodeDecodeError) as exc:
         raise DurabilityError(
             f"malformed v2 batch payload (CRC passed — encoder bug?): {exc}"
+        ) from exc
+
+
+def decode_prepare_v2_at(
+    data: bytes,
+    start: int,
+    end: int,
+    table_names: Optional[list[str]] = None,
+) -> tuple[str, dict, dict, Optional[dict]]:
+    """Decode one binary ``prepare`` payload in place.
+
+    Returns ``(gid, inserts, deletes, counts)``; events key by table
+    name when ``table_names`` is given, by raw ordinal otherwise.
+    """
+    try:
+        i = start + 1
+        while data[i] >= 0x80:  # skip the seq varint (the scan has it)
+            i += 1
+        i += 1
+        gid_len, i = _read_uvarint(data, i)
+        gid = data[i : i + gid_len].decode("utf-8")
+        i += gid_len
+        inserts, deletes, counts = _decode_body_at_flags(
+            data, i, end, table_names
+        )
+        return gid, inserts, deletes, counts
+    except DurabilityError:
+        raise
+    except (IndexError, ValueError, struct.error, UnicodeDecodeError) as exc:
+        raise DurabilityError(
+            f"malformed v2 prepare payload (CRC passed — encoder bug?): "
+            f"{exc}"
+        ) from exc
+
+
+def decode_decide_v2_at(
+    data: bytes,
+    start: int,
+    end: int,
+    table_names: Optional[list[str]] = None,
+) -> tuple[str, bool, Optional[dict]]:
+    """Decode one binary ``decide`` payload in place.
+
+    Returns ``(gid, commit, counts)`` — ``commit`` True for a commit
+    verdict, False for an abort; ``counts`` only on commit decides
+    that logged post-apply row counts.
+    """
+    try:
+        i = start + 1
+        while data[i] >= 0x80:  # skip the seq varint (the scan has it)
+            i += 1
+        i += 1
+        verdict = data[i]
+        i += 1
+        if verdict not in (0, 1):
+            raise ValueError(f"unknown decide verdict byte {verdict}")
+        gid_len, i = _read_uvarint(data, i)
+        gid = data[i : i + gid_len].decode("utf-8")
+        i += gid_len
+        flags = data[i]
+        i += 1
+        counts = None
+        if flags & 1:
+            counts, i = _decode_counts(data, i, end, table_names)
+        if i != end:
+            raise ValueError(
+                f"binary decide payload has {end - i} trailing byte(s)"
+            )
+        return gid, bool(verdict), counts
+    except DurabilityError:
+        raise
+    except (IndexError, ValueError, struct.error, UnicodeDecodeError) as exc:
+        raise DurabilityError(
+            f"malformed v2 decide payload (CRC passed — encoder bug?): "
+            f"{exc}"
         ) from exc
 
 
@@ -622,6 +773,15 @@ def _decode_batch_body(
     while p[i] >= 0x80:  # skip the seq varint (the scan has it)
         i += 1
     i += 1
+    return _decode_body_at_flags(p, i, length, table_names)
+
+
+def _decode_body_at_flags(
+    p: bytes, i: int, length: int, table_names: Optional[list[str]]
+) -> tuple[dict, dict, Optional[dict]]:
+    """:func:`_decode_batch_body` from the flags byte onward — the
+    shared suffix of ``batch`` and ``prepare`` payloads (a prepare is
+    a batch body with a gid spliced in before the flags)."""
     flags = p[i]
     i += 1
     structs = _ROW_STRUCTS
@@ -714,28 +874,7 @@ def _decode_batch_body(
         sections.append(events)
     counts = None
     if flags & 1:
-        n_counts = p[i]
-        i += 1
-        end = i + n_counts * _COUNT_PAIR.size
-        if end > length:
-            raise ValueError("counts section overruns the payload")
-        if n_counts == 1:
-            ordinal, value = _COUNT_PAIR.unpack_from(p, i)
-            pairs = ((ordinal, value),)
-        else:
-            pairs = _COUNT_PAIR.iter_unpack(memoryview(p)[i:end])
-        i = end
-        if table_names is None:
-            counts = dict(pairs)
-        else:
-            try:
-                counts = {table_names[o]: v for o, v in pairs}
-            except IndexError:
-                raise DurabilityError(
-                    f"batch record counts reference a table ordinal the "
-                    f"catalog cannot resolve ({len(table_names)} table(s) "
-                    "at this replay point)"
-                ) from None
+        counts, i = _decode_counts(p, i, length, table_names)
     if i != length:
         raise ValueError(
             f"binary batch payload has {length - i} trailing byte(s)"
@@ -743,7 +882,42 @@ def _decode_batch_body(
     return sections[0], sections[1], counts
 
 
+def _decode_counts(
+    p: bytes, i: int, length: int, table_names: Optional[list[str]]
+) -> tuple[dict, int]:
+    """One counts section at ``i``; returns ``(counts, next_offset)``."""
+    n_counts = p[i]
+    i += 1
+    end = i + n_counts * _COUNT_PAIR.size
+    if end > length:
+        raise ValueError("counts section overruns the payload")
+    if n_counts == 1:
+        ordinal, value = _COUNT_PAIR.unpack_from(p, i)
+        pairs = ((ordinal, value),)
+    else:
+        pairs = _COUNT_PAIR.iter_unpack(memoryview(p)[i:end])
+    if table_names is None:
+        return dict(pairs), end
+    try:
+        return {table_names[o]: v for o, v in pairs}, end
+    except IndexError:
+        raise DurabilityError(
+            f"batch record counts reference a table ordinal the "
+            f"catalog cannot resolve ({len(table_names)} table(s) "
+            "at this replay point)"
+        ) from None
+
+
 # -- frame scanning ----------------------------------------------------------
+
+#: binary payload tags both scanners dispatch on, mapped to the record
+#: type their scan-time view reports (all three share the layout
+#: prefix "tag byte, seq varint", so one seq-read path serves all)
+_BINARY_TAGS = {
+    BATCH_V2_TAG: "batch",
+    PREPARE_V2_TAG: "prepare",
+    DECIDE_V2_TAG: "decide",
+}
 
 
 def decode_records(
@@ -790,7 +964,7 @@ def decode_records(
                 return records, position, "undecodable payload"
             if not isinstance(record, dict):
                 return records, position, "non-object record"
-        elif first == BATCH_V2_TAG:
+        elif first in _BINARY_TAGS:
             # the scan-time view of a binary frame: type + seq, with
             # the payload kept for the one full decode at replay time
             # — a durable open needs sequences, not rows, and ordinals
@@ -802,7 +976,7 @@ def decode_records(
             except IndexError:
                 return records, position, "undecodable payload"
             record = {
-                "type": "batch",
+                "type": _BINARY_TAGS[first],
                 "seq": seq,
                 "binary": True,
                 "payload": payload,
@@ -847,13 +1021,13 @@ def scan_frames_fused(
         if zlib.crc32(view[start:end]) != crc:
             return items, position, "checksum mismatch"
         first = data[start] if length else -1
-        if first == BATCH_V2_TAG:
+        if first in _BINARY_TAGS:
             try:
                 b = data[start + 1]
                 seq = b if b < 0x80 else _read_uvarint(data, start + 1)[0]
             except IndexError:
                 return items, position, "undecodable payload"
-            items.append(("batch", seq, start, end))
+            items.append((_BINARY_TAGS[first], seq, start, end))
         elif first == 0x7B:  # "{" — a JSON (v1) record
             try:
                 record = json.loads(data[start:end].decode("utf-8"))
@@ -1127,6 +1301,72 @@ class WriteAheadLog:
                 )
                 return {"type": "batch", "seq": self.last_seq, "binary": True}
         return self.append("batch", **batch_payload(inserts, deletes, counts))
+
+    def append_prepare(
+        self,
+        gid: str,
+        inserts: dict[str, list[tuple]],
+        deletes: dict[str, list[tuple]],
+        counts: Optional[dict[str, int]] = None,
+        ordinal_of: Optional[Callable[[str], Optional[int]]] = None,
+        binary: bool = True,
+    ) -> dict:
+        """Buffer one 2PC ``prepare`` record (binary when possible).
+
+        The caller must :meth:`sync` before reporting a yes vote —
+        the durable prepare record *is* the vote.
+        """
+        self._check_usable()
+        if binary and ordinal_of is not None:
+            payload = encode_prepare_v2(
+                self.last_seq + 1, gid, inserts, deletes, counts, ordinal_of
+            )
+            if payload is not None:
+                self.last_seq += 1
+                self._write_frame(
+                    _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+                )
+                return {
+                    "type": "prepare",
+                    "seq": self.last_seq,
+                    "gid": gid,
+                    "binary": True,
+                }
+        return self.append(
+            "prepare", gid=gid, **batch_payload(inserts, deletes, counts)
+        )
+
+    def append_decide(
+        self,
+        gid: str,
+        verdict: bool,
+        counts: Optional[dict[str, int]] = None,
+        ordinal_of: Optional[Callable[[str], Optional[int]]] = None,
+        binary: bool = True,
+    ) -> dict:
+        """Buffer one 2PC ``decide`` record: the coordinator's verdict
+        for ``gid`` (True = commit, False = abort); commit decides may
+        carry post-apply row counts for replay verification."""
+        self._check_usable()
+        if binary and ordinal_of is not None:
+            payload = encode_decide_v2(
+                self.last_seq + 1, gid, verdict, counts, ordinal_of
+            )
+            if payload is not None:
+                self.last_seq += 1
+                self._write_frame(
+                    _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+                )
+                return {
+                    "type": "decide",
+                    "seq": self.last_seq,
+                    "gid": gid,
+                    "binary": True,
+                }
+        fields: dict = {"gid": gid, "verdict": "commit" if verdict else "abort"}
+        if counts is not None:
+            fields["counts"] = counts
+        return self.append("decide", **fields)
 
     def sync(self) -> None:
         """Flush buffered frames and fsync — the durability point.

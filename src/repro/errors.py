@@ -181,6 +181,21 @@ class RecoveryError(DurabilityError):
 
 
 # ---------------------------------------------------------------------------
+# Sharding
+
+
+class ShardError(ReproError):
+    """A shard worker failed or is unreachable.
+
+    Raised by the router when a worker process reports an engine error
+    or its pipe dies mid-conversation.  For two-phase commits the
+    router distinguishes *when*: a failure before the decision was
+    logged aborts the global transaction (safe to retry); a failure
+    after leaves the decision durable in the coordinator log and the
+    dead participant resolves its in-doubt transaction on restart."""
+
+
+# ---------------------------------------------------------------------------
 # Logic layer
 
 

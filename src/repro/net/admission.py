@@ -33,6 +33,7 @@ latency win at sane depths.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections import deque
@@ -41,6 +42,12 @@ from typing import Callable, Optional
 
 from ..errors import DeadlineExceeded, OverloadError
 from ..obs.metrics import StatsBlock
+
+#: Callback failures (a completion or backpressure callback raising
+#: back into the queue) are logged here: they must not take down the
+#: worker pool, but a dying callback is a bug in the embedding server,
+#: not noise.
+log = logging.getLogger("repro.net")
 
 
 class AdmissionStats(StatsBlock):
@@ -71,20 +78,36 @@ class AdmissionStats(StatsBlock):
 class _Ticket:
     """One admitted-or-waiting request."""
 
-    __slots__ = ("priority", "deadline", "fn", "on_done", "seq")
+    __slots__ = (
+        "priority",
+        "deadline",
+        "fn",
+        "on_done",
+        "seq",
+        "enqueued_at",
+    )
 
-    def __init__(self, priority, deadline, fn, on_done, seq):
+    def __init__(self, priority, deadline, fn, on_done, seq, enqueued_at):
         self.priority = priority
         self.deadline = deadline
         self.fn = fn
         self.on_done = on_done
         self.seq = seq
+        #: monotonic instant this ticket joined the waiting room; the
+        #: oldest waiter's age is the queue's observed turnaround time
+        #: and drives the ``retry_after`` hint shed clients receive
+        self.enqueued_at = enqueued_at
 
     def finish(self, result=None, error: Optional[BaseException] = None):
         try:
             self.on_done(result, error)
         except Exception:  # pragma: no cover - callback bug net
-            pass
+            log.warning(
+                "admission on_done callback failed (seq=%d, priority=%d)",
+                self.seq,
+                self.priority,
+                exc_info=True,
+            )
 
 
 class AdmissionQueue:
@@ -106,6 +129,7 @@ class AdmissionQueue:
         workers: int = 4,
         retry_after_base: float = 0.05,
         on_backpressure: Optional[Callable[[bool, float], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         if max_depth < 1:
             raise ValueError("max_depth must be at least 1")
@@ -126,6 +150,9 @@ class AdmissionQueue:
             )
         self.workers = workers
         self.retry_after_base = retry_after_base
+        #: monotonic time source (injectable so tests can step a fake
+        #: clock through the backlog-age computation)
+        self._clock = clock
         #: called outside the queue lock on backpressure transitions:
         #: ``on_backpressure(active, suggested_delay_seconds)``
         self.on_backpressure = on_backpressure
@@ -164,10 +191,22 @@ class AdmissionQueue:
         """The slow-down hint for clients while backpressure is on."""
         return self.retry_after_base * 2
 
-    def _retry_after(self, depth: int) -> float:
-        """Backlog-scaled retry hint: the deeper the queue, the longer
-        a shed client should stay away."""
-        return self.retry_after_base * (1 + depth / max(1, self.workers))
+    def _retry_after(self) -> float:
+        with self._cond:
+            return self._retry_after_locked()
+
+    def _retry_after_locked(self) -> float:
+        """Backlog-age-scaled retry hint: a shed client should stay
+        away at least as long as the oldest waiting request has already
+        been queued.  That age is the queue's *observed* turnaround —
+        measured on the monotonic clock, so an NTP step can never hand
+        a client a negative or hour-long hint — where queue depth was
+        only ever a proxy for it (ten quick commits clear far sooner
+        than three slow ones)."""
+        if self._waiting:
+            age = self._clock() - self._waiting[0].enqueued_at
+            return self.retry_after_base + max(0.0, age)
+        return self.retry_after_base
 
     def metrics(self) -> dict:
         with self._cond:
@@ -202,13 +241,12 @@ class AdmissionQueue:
         transition: Optional[bool] = None
         with self._cond:
             if self._stopped or self._draining:
-                depth = len(self._waiting) + self._running
                 on_done(
                     None,
                     OverloadError(
                         "server is shutting down; retry against another "
                         "instance",
-                        retry_after=self._retry_after(depth),
+                        retry_after=self._retry_after_locked(),
                     ),
                 )
                 return
@@ -237,12 +275,14 @@ class AdmissionQueue:
                         OverloadError(
                             f"admission queue full ({depth} in flight); "
                             "load shed",
-                            retry_after=self._retry_after(depth),
+                            retry_after=self._retry_after_locked(),
                         ),
                     )
                     return
             self._seq += 1
-            ticket = _Ticket(priority, deadline, fn, on_done, self._seq)
+            ticket = _Ticket(
+                priority, deadline, fn, on_done, self._seq, self._clock()
+            )
             self._waiting.append(ticket)
             self.stats.bump(admitted=1)
             depth = len(self._waiting) + self._running
@@ -253,7 +293,7 @@ class AdmissionQueue:
             shed_ticket.finish(
                 error=OverloadError(
                     "shed by a higher-priority request under overload",
-                    retry_after=self._retry_after(self.depth),
+                    retry_after=self._retry_after(),
                 )
             )
         if transition is not None:
@@ -276,7 +316,11 @@ class AdmissionQueue:
             try:
                 callback(active, self.suggested_delay() if active else 0.0)
             except Exception:  # pragma: no cover - callback bug net
-                pass
+                log.warning(
+                    "backpressure callback failed (active=%s)",
+                    active,
+                    exc_info=True,
+                )
 
     # -- the worker pool ---------------------------------------------------
 

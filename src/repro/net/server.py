@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import threading
 import time
 from typing import Optional
@@ -59,6 +60,14 @@ from ..server.scheduler import commit_verdict
 from . import protocol as p
 from .admission import AdmissionQueue
 from .faults import DropConnection, FaultInjector
+
+#: Front-end housekeeping failures (socket teardown, slowdown
+#: broadcasts, session expiry during disconnect) land here instead of
+#: being silently dropped: none of them may break the caller — abort
+#: and teardown must always run to completion — but every one of them
+#: is evidence when a connection misbehaves.  Attach a handler (or
+#: configure the root logger) to see them.
+log = logging.getLogger("repro.net")
 
 
 class ServerStats(StatsBlock):
@@ -197,6 +206,10 @@ class TintinServer:
         self.registry.register(self.admission.stats)
         self.registry.register(tintin.sessions.scheduler.stats)
         self.registry.register(_WalStatsCollector(tintin))
+        # engines may expose extra collector blocks — the shard router
+        # contributes per-shard scheduler counters labelled by shard id
+        for collector in getattr(tintin, "metrics_collectors", ()):
+            self.registry.register(collector)
         self.request_seconds = self.registry.histogram(
             "tintin_request_seconds",
             "Frame handling latency by request type",
@@ -353,7 +366,10 @@ class TintinServer:
                 self._close_connections(abort=True), loop
             ).result(timeout=5)
         except Exception:
-            pass
+            # abort must still stop the loop and release the caller
+            log.warning(
+                "abort: closing listener/connections failed", exc_info=True
+            )
         loop.call_soon_threadsafe(loop.stop)
         self._stopped.wait(timeout=10)
         self._executor.shutdown(wait=False)
@@ -376,7 +392,10 @@ class TintinServer:
                 else:
                     conn.writer.close()
             except Exception:
-                pass
+                # the remaining connections must still be severed
+                log.debug(
+                    "closing connection transport failed", exc_info=True
+                )
         self._connections.clear()
 
     # -- backpressure ------------------------------------------------------
@@ -410,7 +429,12 @@ class TintinServer:
                     await conn.writer.drain()
                 self._count("slowdown_frames")
             except Exception:
-                pass  # the read loop will reap the dead connection
+                # the read loop will reap the dead connection; the
+                # broadcast must still reach the remaining ones
+                log.debug(
+                    "SLOWDOWN broadcast to one connection failed",
+                    exc_info=True,
+                )
 
     # -- surfaces ----------------------------------------------------------
 
@@ -484,7 +508,17 @@ class TintinServer:
             await conn.queue.put(None)  # let in-flight work finish
             try:
                 await asyncio.wait_for(conn.worker, timeout=30)
-            except (asyncio.TimeoutError, asyncio.CancelledError, Exception):
+            except asyncio.CancelledError:
+                conn.worker.cancel()
+            except asyncio.TimeoutError:
+                log.warning(
+                    "connection worker did not drain within 30s; cancelling"
+                )
+                conn.worker.cancel()
+            except Exception:
+                log.warning(
+                    "connection worker died during teardown", exc_info=True
+                )
                 conn.worker.cancel()
         session = conn.session
         conn.session = None
@@ -494,11 +528,15 @@ class TintinServer:
             try:
                 await self._run_blocking(session.expire)
             except Exception:
-                pass
+                log.warning(
+                    "expiring session %s during teardown failed",
+                    getattr(session, "session_id", "?"),
+                    exc_info=True,
+                )
         try:
             conn.writer.close()
         except Exception:
-            pass
+            log.debug("closing writer during teardown failed", exc_info=True)
 
     async def _serve_http(self, conn: _Connection) -> None:
         """Minimal HTTP façade: ``GET /health`` (JSON), ``GET /metrics``
@@ -602,7 +640,9 @@ class TintinServer:
                 try:
                     conn.writer.close()
                 except Exception:
-                    pass
+                    log.debug(
+                        "closing writer after GOODBYE failed", exc_info=True
+                    )
                 return
 
     # -- request processing ------------------------------------------------
@@ -830,12 +870,12 @@ class TintinServer:
             except RuntimeError:  # loop died mid-shutdown
                 pass
 
-        submitted = time.time()
+        submitted = time.monotonic()
 
         def run_commit():
             if obs is not None:
                 # time spent queued for admission, before the scheduler
-                obs.record("admission.wait", submitted, time.time())
+                obs.record("admission.wait", submitted, time.monotonic())
             return session.commit(deadline=deadline, obs=obs)
 
         self._fault("admission.enqueue", session=session)

@@ -17,6 +17,7 @@ and reports.
 
 from __future__ import annotations
 
+import logging
 import threading
 from bisect import bisect_left
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
@@ -51,6 +52,13 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     5.0,
     10.0,
 )
+
+
+#: Collection-time failures (a gauge callback raising mid-render) are
+#: logged here rather than silently dropping the metric: the /metrics
+#: page must still render, but a gauge that vanishes without a trace
+#: is exactly the kind of blind spot the page exists to prevent.
+log = logging.getLogger("repro.obs")
 
 
 def escape_label_value(value: Any) -> str:
@@ -178,6 +186,14 @@ class Gauge:
         try:
             value = self.value()
         except Exception:
+            # the rest of the /metrics page must still render, but a
+            # dying callback means this gauge is silently absent from
+            # it — say so
+            log.warning(
+                "gauge %s callback failed during collection",
+                self.name,
+                exc_info=True,
+            )
             return
         if self.help_text:
             yield "# HELP %s %s" % (self.name, self.help_text)

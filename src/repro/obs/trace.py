@@ -215,6 +215,16 @@ class CommitObs:
     commit verdict; its span id is pre-allocated so stage spans can
     parent to it before it exists.
 
+    **Clock discipline**: every instant handed to :meth:`record` (and
+    taken internally by :meth:`stage`/:meth:`finish`) is a
+    ``time.monotonic()`` reading — producers along the commit path
+    never touch the wall clock, so an NTP step mid-commit cannot
+    produce negative durations or mis-ordered stages.  Spans surfaced
+    to users still carry wall-clock (epoch) timestamps: this class is
+    the single monotonic→wall conversion point, applying the fixed
+    offset captured at construction, so one commit's spans share one
+    consistent wall mapping.
+
     One ``CommitObs`` belongs to one commit and is touched by at most
     one thread at a time (ownership passes along with the commit
     through the pipeline), so stage recording is unsynchronized.
@@ -227,6 +237,8 @@ class CommitObs:
         "stages",
         "slow_threshold",
         "t0",
+        "m0",
+        "_offset",
         "_on_finish",
         "_finished",
     )
@@ -244,7 +256,16 @@ class CommitObs:
         self.root_id = new_span_id()
         self.stages: List[Tuple[str, float, float]] = []
         self.slow_threshold = slow_threshold
-        self.t0 = start if start is not None else time.time()
+        now_wall = time.time()
+        now_mono = time.monotonic()
+        #: the one wall-clock sample this commit ever takes; every
+        #: emitted span timestamp is a monotonic instant shifted by it
+        self._offset = now_wall - now_mono
+        #: monotonic commit start (``start`` lets a caller backdate to
+        #: an earlier monotonic reading, e.g. frame-arrival time)
+        self.m0 = start if start is not None else now_mono
+        #: wall-clock commit start, for user-surfaced span timestamps
+        self.t0 = self.m0 + self._offset
         self._on_finish: List[Callable[["CommitObs", str], None]] = []
         self._finished = False
 
@@ -258,14 +279,16 @@ class CommitObs:
         span_id: Optional[int] = None,
         **attrs: Any,
     ) -> Optional[int]:
-        """Record one finished stage; returns the span id if emitted."""
+        """Record one finished stage (monotonic instants); returns the
+        span id if emitted."""
         self.stages.append((name, start, end))
         if self.tracer.enabled:
+            offset = self._offset
             return self.tracer.emit_span(
                 name,
                 self.trace_id,
-                start,
-                end,
+                start + offset,
+                end + offset,
                 parent_id=parent if parent is not None else self.root_id,
                 span_id=span_id,
                 **attrs,
@@ -276,11 +299,11 @@ class CommitObs:
     def stage(
         self, name: str, *, parent: Optional[int] = None, **attrs: Any
     ) -> Iterator[None]:
-        start = time.time()
+        start = time.monotonic()
         try:
             yield
         finally:
-            self.record(name, start, time.time(), parent=parent, **attrs)
+            self.record(name, start, time.monotonic(), parent=parent, **attrs)
 
     def on_finish(self, fn: Callable[["CommitObs", str], None]) -> None:
         """Run ``fn(obs, verdict)`` just before the root span is emitted."""
@@ -293,8 +316,8 @@ class CommitObs:
         the first call has any effect (re-finishing returns elapsed
         time without emitting again).
         """
-        end = time.time()
-        total = end - self.t0
+        end = time.monotonic()
+        total = end - self.m0
         if self._finished:
             return total
         self._finished = True
@@ -305,7 +328,7 @@ class CommitObs:
                 "commit",
                 self.trace_id,
                 self.t0,
-                end,
+                end + self._offset,
                 span_id=self.root_id,
                 verdict=verdict,
                 **attrs,

@@ -254,7 +254,7 @@ class _PendingCommit:
     #: this commit is being traced or slow-logged; None on the default
     #: path — every stage point below guards on exactly this
     obs: Optional[object] = None
-    #: ``time.time()`` at enqueue, for the queue.wait span (only
+    #: ``time.monotonic()`` at enqueue, for the queue.wait span (only
     #: stamped when ``obs`` is present)
     enqueued_at: float = 0.0
 
@@ -299,6 +299,9 @@ class SchedulerStats(StatsBlock):
         "wal_fsyncs",
         "writer_flushes",
         "writer_windows",
+        "prepares",
+        "prepared_commits",
+        "prepared_aborts",
     )
     ACCUMULATORS = ("check_seconds",)
     HIGH_WATER = ("max_group_size",)
@@ -308,6 +311,9 @@ class SchedulerStats(StatsBlock):
         "group_fast_path": "Commits validated and applied as part of a compatible group",
         "fallbacks": "Groups that failed joint validation and re-ran serially",
         "deadline_expired": "Commits cancelled in the scheduler after their deadline lapsed",
+        "prepares": "Two-phase commit prepare votes logged (yes votes)",
+        "prepared_commits": "Prepared transactions committed by coordinator decision",
+        "prepared_aborts": "Prepared transactions aborted by coordinator decision",
     }
 
     def saw_group(self, size: int) -> None:
@@ -430,7 +436,7 @@ class LogWriter:
         from ..errors import DurabilityError
 
         manager = burst[-1][0]
-        fsync_start = time.time()
+        fsync_start = time.monotonic()
         try:
             manager.sync()
         except (OSError, DurabilityError) as exc:
@@ -449,7 +455,7 @@ class LogWriter:
         self.stats.bump(
             wal_fsyncs=1, writer_flushes=1, writer_windows=len(burst)
         )
-        fsync_end = time.time()
+        fsync_end = time.monotonic()
         for _, deferred in burst:
             for pending, result in deferred:
                 # getattr: tests drive the writer with duck-typed
@@ -517,6 +523,15 @@ class CommitScheduler:
         #: spots in the commit pipeline so tests can stall or kill the
         #: scheduler deterministically.  None in production.
         self.fault_hook: Optional[callable] = None
+        #: two-phase commit participant state: gid -> (inserts, deletes,
+        #: open TransactionManager) of the prepared-but-undecided
+        #: distributed transaction.  The tentative apply already
+        #: happened (undo log held open); the coordinator's decision
+        #: either commits it (close the undo log, log the decide) or
+        #: aborts it (roll the undo log back).  While non-empty,
+        #: ordinary commit windows are refused — a window validated
+        #: against tentative state could be invalidated by the abort.
+        self._prepared: dict[str, tuple[dict, dict, TransactionManager]] = {}
 
     def _fault(self, point: str, **ctx) -> None:
         hook = self.fault_hook
@@ -601,7 +616,7 @@ class CommitScheduler:
             transactions=transactions or TransactionManager(),
             deadline=deadline,
             obs=obs,
-            enqueued_at=time.time() if obs is not None else 0.0,
+            enqueued_at=time.monotonic() if obs is not None else 0.0,
         )
         with self._queue_lock:
             self._queue.append(pending)
@@ -632,6 +647,223 @@ class CommitScheduler:
         if owned is not None:
             owned.finish(commit_verdict(pending.result))
         return pending.result
+
+    # -- two-phase commit (participant side) -------------------------------
+
+    @property
+    def has_prepared(self) -> bool:
+        """Whether a prepared-but-undecided transaction is pending.
+        Checkpointing must be refused while this holds: a checkpoint
+        truncates the WAL, and the prepare record *is* the vote — the
+        only evidence recovery has that this engine said yes."""
+        return bool(self._prepared)
+
+    def prepare_events(
+        self,
+        gid: str,
+        inserts: dict[str, list[tuple]],
+        deletes: dict[str, list[tuple]],
+        deadline: Optional[float] = None,
+        obs: Optional[object] = None,
+    ) -> CommitResult:
+        """Phase one of two-phase commit: validate, tentatively apply,
+        and durably log the prepare record — which *is* the yes vote.
+
+        A ``committed=True`` result means this engine votes yes and is
+        now bound by the coordinator's decision: the update is applied
+        with its undo log held open, the prepare record is fsynced, and
+        every ordinary commit window is refused until
+        :meth:`decide_prepared` resolves the transaction.  Any other
+        result is a no vote — nothing was applied, no record was
+        written, and the coordinator must abort the global transaction.
+
+        The router serializes cross-shard transactions per participant
+        (it holds every participant's shard lock for the whole 2PC),
+        so at most one prepare is ever outstanding here; a second one
+        arriving anyway is voted down, not queued.
+        """
+        from ..errors import DurabilityError
+
+        prepare_start = time.monotonic() if obs is not None else 0.0
+        with self._leader_lock:
+            if gid in self._prepared:
+                raise ValueError(f"transaction {gid!r} is already prepared")
+            if self._prepared:
+                return CommitResult(
+                    committed=False,
+                    constraint_error=(
+                        "participant busy: another transaction is prepared "
+                        "and undecided"
+                    ),
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                self.stats.bump(deadline_expired=1)
+                return _deadline_result()
+            self._fault("scheduler.prepare", gid=gid)
+            manager = self._durability()
+            txn = TransactionManager()
+            applied = 0
+            with self.rwlock.write_locked():
+                stashed = self.events.snapshot_events()
+                self.events.truncate_events()
+                try:
+                    violations, checked, skipped = (
+                        self.tintin.safe_commit_proc.check_only(
+                            self.db,
+                            overlays=self._event_overlays(inserts, deletes),
+                        )
+                    )
+                    if violations:
+                        return CommitResult(
+                            committed=False,
+                            violations=violations,
+                            checked_views=checked,
+                            skipped_views=skipped,
+                        )
+                    # tentative apply: physical constraints (unique
+                    # keys, deferred FKs) are verified NOW, so a yes
+                    # vote guarantees the later commit cannot fail —
+                    # the undo log stays open until the decision
+                    txn.begin()
+                    try:
+                        with self.db.transaction_scope(txn):
+                            applied = self.db.apply_batch(inserts, deletes)
+                    except BaseException as exc:
+                        if txn.in_transaction:
+                            txn.rollback()
+                        self.tintin.safe_commit_proc.reset_delta_state()
+                        if isinstance(exc, ConstraintViolation):
+                            return CommitResult(
+                                committed=False,
+                                constraint_error=str(exc),
+                                checked_views=checked,
+                                skipped_views=skipped,
+                            )
+                        raise
+                finally:
+                    self.events.load_events(*stashed)
+            if manager is not None:
+                try:
+                    manager.log_prepare(gid, inserts, deletes)
+                except (OSError, DurabilityError) as exc:
+                    # an unloggable vote is a no vote: without the
+                    # durable prepare record a crash would silently
+                    # forget the yes, so undo the tentative apply
+                    with self.rwlock.write_locked():
+                        if txn.in_transaction:
+                            txn.rollback()
+                    self.tintin.safe_commit_proc.reset_delta_state()
+                    return CommitResult(
+                        committed=False,
+                        constraint_error=f"prepare logging failed: {exc}",
+                    )
+            self._prepared[gid] = (inserts, deletes, txn)
+            self.stats.bump(prepares=1)
+            if obs is not None:
+                obs.record(
+                    "prepare", prepare_start, time.monotonic(), gid=gid
+                )
+            return CommitResult(
+                committed=True,
+                applied_rows=applied,
+                checked_views=checked,
+                skipped_views=skipped,
+            )
+
+    def adopt_prepared(
+        self,
+        gid: str,
+        inserts: dict[str, list[tuple]],
+        deletes: dict[str, list[tuple]],
+    ) -> None:
+        """Re-enter a recovered in-doubt transaction as prepared.
+
+        Recovery replays the WAL's prepare record but not its events
+        (``RecoveryReport.in_doubt``); the router then resolves the
+        transaction against the coordinator's decision log.  Adopting
+        performs the tentative apply exactly as :meth:`prepare_events`
+        did originally — but writes NO new WAL record (the original
+        prepare record is still in the log) — so the subsequent
+        :meth:`decide_prepared` behaves identically either way.
+        """
+        with self._leader_lock:
+            if gid in self._prepared:
+                raise ValueError(f"transaction {gid!r} is already prepared")
+            txn = TransactionManager()
+            with self.rwlock.write_locked():
+                txn.begin()
+                try:
+                    with self.db.transaction_scope(txn):
+                        self.db.apply_batch(inserts, deletes)
+                except BaseException:
+                    if txn.in_transaction:
+                        txn.rollback()
+                    self.tintin.safe_commit_proc.reset_delta_state()
+                    raise
+            self._prepared[gid] = (inserts, deletes, txn)
+
+    def decide_prepared(
+        self,
+        gid: str,
+        verdict: bool,
+        obs: Optional[object] = None,
+    ) -> Optional[CommitResult]:
+        """Phase two: enforce the coordinator's decision on a prepared
+        transaction.  Returns None for an unknown gid — a duplicate
+        decide (the router re-decides after crashing mid-resolution)
+        is an idempotent no-op, never an error."""
+        from ..durability.manager import touched_counts
+
+        decide_start = time.monotonic() if obs is not None else 0.0
+        with self._leader_lock:
+            entry = self._prepared.pop(gid, None)
+            if entry is None:
+                return None
+            inserts, deletes, txn = entry
+            self._fault(
+                "scheduler.decide", gid=gid, verdict=verdict
+            )
+            manager = self._durability()
+            if verdict:
+                # the tentative apply becomes permanent: close the undo
+                # log, fold the delta into the derived state, log the
+                # decision with post-apply counts for replay checking
+                with self.rwlock.write_locked():
+                    if txn.in_transaction:
+                        txn.commit()
+                    self.tintin.safe_commit_proc.note_applied(
+                        self.db, inserts, deletes
+                    )
+                    counts = touched_counts(self.db, inserts, deletes)
+                if manager is not None:
+                    manager.log_decide(gid, True, counts=counts)
+                    self.stats.bump(wal_appends=1, wal_fsyncs=1)
+                self.stats.bump(commits=1, prepared_commits=1)
+                result = CommitResult(committed=True)
+            else:
+                with self.rwlock.write_locked():
+                    if txn.in_transaction:
+                        txn.rollback()
+                    # memo state may have been seeded expecting the
+                    # apply to stick; dropping it is always sound
+                    self.tintin.safe_commit_proc.reset_delta_state()
+                if manager is not None:
+                    manager.log_decide(gid, False)
+                    self.stats.bump(wal_appends=1, wal_fsyncs=1)
+                self.stats.bump(prepared_aborts=1)
+                result = CommitResult(
+                    committed=False,
+                    constraint_error="aborted by coordinator decision",
+                )
+            if obs is not None:
+                obs.record(
+                    "decide",
+                    decide_start,
+                    time.monotonic(),
+                    gid=gid,
+                    verdict="commit" if verdict else "abort",
+                )
+            return result
 
     # -- footprints --------------------------------------------------------
 
@@ -809,6 +1041,14 @@ class CommitScheduler:
 
     def _process_batch(self) -> None:
         """Drain, decide and (when durable) flush one commit window."""
+        # a prepared-but-undecided distributed transaction owns the
+        # engine: its tentative writes are applied with the undo log
+        # open, so a window validated now could be invalidated by the
+        # coordinator's abort.  Refuse the window; the submitters'
+        # retry loops re-elect a leader once the decision lands (2PC
+        # decision windows are short — one coordinator round trip).
+        if self._prepared:
+            return
         # per-commit durability (durability="commit") means NO group
         # commit: the WAL order is the commit order and every commit
         # owns the exclusive window for its whole validate-apply-log-
@@ -846,7 +1086,7 @@ class CommitScheduler:
         for pending in batch:
             if pending.obs is not None:
                 pending.obs.record(
-                    "queue.wait", pending.enqueued_at, time.time()
+                    "queue.wait", pending.enqueued_at, time.monotonic()
                 )
         self.stats.bump(batches=1, commits=len(batch))
         start = time.perf_counter()
@@ -960,7 +1200,7 @@ class CommitScheduler:
         instance has between a failed WAL flush and its PANIC restart.
         """
         manager = self._durability()
-        fsync_start = time.time()
+        fsync_start = time.monotonic()
         try:
             if manager is not None:
                 manager.sync()
@@ -975,7 +1215,7 @@ class CommitScheduler:
             if raise_on_failure:
                 raise
             return
-        fsync_end = time.time()
+        fsync_end = time.monotonic()
         for pending, result in deferred:
             # spans land before done fires: once done is set the
             # waiting client thread may finish (and ship) the trace
@@ -1095,7 +1335,7 @@ class CommitScheduler:
         traced = [
             (p.obs, new_span_id()) for p in group if p.obs is not None
         ]
-        validate_start = time.time() if traced else 0.0
+        validate_start = time.monotonic() if traced else 0.0
         violations, checked, skipped = self.tintin.safe_commit_proc.check_only(
             self.db,
             overlays=self._event_overlays(union_ins, union_del),
@@ -1105,7 +1345,7 @@ class CommitScheduler:
             obs.record(
                 "validate",
                 validate_start,
-                time.time(),
+                time.monotonic(),
                 span_id=span_id,
                 group=len(group),
                 checked=checked,
@@ -1138,7 +1378,7 @@ class CommitScheduler:
                     1 for row in rows if table.find_rowid(row) is not None
                 )
             applied_by_member.append(applied)
-        apply_start = time.time() if traced else 0.0
+        apply_start = time.monotonic() if traced else 0.0
         try:
             with self.db.transaction_scope(self._group_transactions):
                 self.db.apply_batch(union_ins, union_del)
@@ -1153,7 +1393,7 @@ class CommitScheduler:
             self.db, union_ins, union_del
         )
         if traced:
-            apply_end = time.time()
+            apply_end = time.monotonic()
             for obs, _ in traced:
                 obs.record("apply", apply_start, apply_end, group=len(group))
         manager = self._durability()
@@ -1164,10 +1404,10 @@ class CommitScheduler:
             # fsync.  Results are deferred until that flush, so a
             # failed fsync can never acknowledge a commit that is not
             # on disk.
-            append_start = time.time() if traced else 0.0
+            append_start = time.monotonic() if traced else 0.0
             self._log_committed(manager, union_ins, union_del)
             if traced:
-                append_end = time.time()
+                append_end = time.monotonic()
                 for obs, _ in traced:
                     obs.record(
                         "wal.append", append_start, append_end,
@@ -1216,7 +1456,7 @@ class CommitScheduler:
             self._fault("scheduler.validate", session=pending.session)
             obs = pending.obs
             traced = [(obs, new_span_id())] if obs is not None else []
-            validate_start = time.time() if traced else 0.0
+            validate_start = time.monotonic() if traced else 0.0
             violations, checked, skipped = (
                 self.tintin.safe_commit_proc.check_only(
                     self.db,
@@ -1230,7 +1470,7 @@ class CommitScheduler:
                 obs.record(
                     "validate",
                     validate_start,
-                    time.time(),
+                    time.monotonic(),
                     span_id=traced[0][1],
                     checked=checked,
                     skipped=skipped,
@@ -1248,7 +1488,7 @@ class CommitScheduler:
                     skipped_views=skipped,
                 )
                 continue
-            apply_start = time.time() if obs is not None else 0.0
+            apply_start = time.monotonic() if obs is not None else 0.0
             try:
                 with self.db.transaction_scope(pending.transactions):
                     applied = self.db.apply_batch(
@@ -1263,7 +1503,7 @@ class CommitScheduler:
                 )
                 continue
             if obs is not None:
-                obs.record("apply", apply_start, time.time())
+                obs.record("apply", apply_start, time.monotonic())
             self.tintin.safe_commit_proc.note_applied(
                 self.db, pending.inserts, pending.deletes
             )
@@ -1274,10 +1514,10 @@ class CommitScheduler:
                 skipped_views=skipped,
             )
             if manager is not None and pending.size:
-                append_start = time.time() if obs is not None else 0.0
+                append_start = time.monotonic() if obs is not None else 0.0
                 self._log_committed(manager, pending.inserts, pending.deletes)
                 if obs is not None:
-                    obs.record("wal.append", append_start, time.time())
+                    obs.record("wal.append", append_start, time.monotonic())
                 deferred.append((pending, result))
             else:
                 pending.result = result

@@ -1,0 +1,28 @@
+"""Shard-per-process scale-out for the TINTIN engine.
+
+One Python process can validate and apply only one commit window at a
+time — the GIL serializes the relational work even when clients pile
+up.  This package scales *out* instead of up: tables are partitioned
+by a declared shard key across worker processes, each running its own
+full engine (catalog, scheduler, WAL, checkpoint set), fronted by a
+:class:`~repro.shard.router.ShardedTintin` router that classifies
+every commit's key footprint:
+
+* **single-shard** commits go straight to their shard's scheduler —
+  the common case, and the one the partitioning should be chosen for;
+* **cross-shard** commits run two-phase commit: prepare (validate +
+  tentatively apply + durably WAL a prepare record on each
+  participant), then commit/abort driven by the coordinator's
+  decision log.  Recovery replays in-doubt transactions from prepare
+  records and resolves them against that log (presumed abort).
+
+Assertions remain *per-shard*: each worker checks its own slice, so a
+well-chosen shard key must co-locate the rows every assertion joins —
+exactly the paper's locality argument, applied to placement.
+"""
+
+from .config import ShardConfig
+from .router import ShardedTintin, ShardSession
+from .worker import shard_worker_main
+
+__all__ = ["ShardConfig", "ShardedTintin", "ShardSession", "shard_worker_main"]

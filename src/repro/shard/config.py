@@ -1,0 +1,92 @@
+"""Shard-key declarations and commit-footprint classification.
+
+The router's one routing decision per commit is made here: every
+staged row is mapped to a shard by hashing its declared shard-key
+column, and a commit whose rows land on a single shard bypasses
+two-phase commit entirely.  The placement function must therefore be
+*deterministic across processes* — Python's builtin ``hash`` is
+per-process salted for strings, so string keys go through CRC-32
+instead.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional
+
+from ..errors import SchemaError
+
+
+class ShardConfig:
+    """Declared partitioning: shard count plus ``{table: column}`` keys.
+
+    Tables without a declared key are *pinned to shard 0* — small
+    reference tables (the paper's lookup relations) live there whole,
+    and any commit touching them routes through shard 0.  Declare a
+    key for every high-traffic table.
+    """
+
+    def __init__(self, shards: int, keys: Optional[dict[str, str]] = None):
+        if shards < 1:
+            raise SchemaError("shard count must be at least 1")
+        self.shards = shards
+        #: table name (lowercased) -> shard-key column name
+        self.keys = {
+            table.lower(): column.lower()
+            for table, column in (keys or {}).items()
+        }
+        # key-column positions resolve lazily against the router's
+        # catalog mirror (the table may not exist yet at config time)
+        self._positions: dict[str, Optional[int]] = {}
+
+    def shard_of(self, value) -> int:
+        """Deterministic placement for one shard-key value.
+
+        Integers partition by modulus (contiguous ids spread evenly);
+        everything else hashes its ``repr`` through CRC-32 — stable
+        across processes and interpreter restarts, unlike the salted
+        builtin ``hash``.
+        """
+        if isinstance(value, bool) or not isinstance(value, int):
+            return zlib.crc32(repr(value).encode("utf-8")) % self.shards
+        return value % self.shards
+
+    def _key_position(self, db, table: str) -> Optional[int]:
+        """Column position of ``table``'s shard key, None when pinned."""
+        lowered = table.lower()
+        if lowered not in self._positions:
+            column = self.keys.get(lowered)
+            if column is None:
+                self._positions[lowered] = None
+            else:
+                schema = db.table(table).schema
+                self._positions[lowered] = schema.key_positions((column,))[0]
+        return self._positions[lowered]
+
+    def split(
+        self,
+        db,
+        inserts: dict[str, list[tuple]],
+        deletes: dict[str, list[tuple]],
+    ) -> dict[int, tuple[dict, dict]]:
+        """Partition one commit's event batch by shard.
+
+        Returns ``{shard_id: (inserts, deletes)}`` covering only the
+        shards the batch actually touches — a single-entry result is
+        the router's fast path, anything larger is a distributed
+        transaction.  ``db`` is the catalog mirror used to resolve
+        key-column positions.
+        """
+        out: dict[int, tuple[dict, dict]] = {}
+        for side, events in enumerate((inserts, deletes)):
+            for table, rows in (events or {}).items():
+                position = self._key_position(db, table)
+                for row in rows:
+                    shard = (
+                        0
+                        if position is None
+                        else self.shard_of(row[position])
+                    )
+                    bucket = out.setdefault(shard, ({}, {}))
+                    bucket[side].setdefault(table, []).append(row)
+        return out

@@ -1,0 +1,246 @@
+"""Wall-clock hygiene on the commit path (ISSUE 10 satellites).
+
+The bug class: producers along the commit pipeline used to stamp
+intervals with ``time.time()`` — enqueue instants, fsync windows,
+validation spans, the admission ``retry_after`` hint.  A single NTP
+step mid-commit then yields negative queue waits, hour-long "fsyncs"
+and retry hints that tell clients to come back yesterday.  The fix
+makes :class:`repro.obs.trace.CommitObs` the *single* monotonic→wall
+conversion point: every producer reads ``time.monotonic()``, and the
+one wall-clock sample per commit (taken at obs construction) shifts
+spans into epoch time for display.
+
+Three layers of defense:
+
+* a source scan — no ``time.time(`` call may appear anywhere in
+  ``src/repro/server/`` or ``src/repro/net/`` (the conversion point in
+  ``repro.obs.trace`` is the sole sanctioned caller);
+* unit tests on the affine conversion itself;
+* a regression: with the wall clock marching *backwards* under the
+  engine, a traced commit still emits only non-negative span durations.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.net
+import repro.server
+from repro import Database, Tintin
+from repro.net.admission import AdmissionQueue
+from repro.errors import OverloadError
+from repro.obs.trace import CommitObs, RecordingTracer
+
+
+# -- source scan ------------------------------------------------------------
+
+
+_WALL_CLOCK = re.compile(r"\btime\.time\(")
+
+
+@pytest.mark.parametrize("package", [repro.server, repro.net])
+def test_no_wall_clock_reads_in_commit_path_packages(package):
+    """``time.time(`` is banned from the scheduler and the network
+    front end outright — intervals and deadlines there must come from
+    the monotonic clock, and span timestamps are converted exactly
+    once, inside ``CommitObs``."""
+    package_dir = Path(package.__file__).parent
+    offenders = []
+    for source in sorted(package_dir.glob("*.py")):
+        for lineno, line in enumerate(
+            source.read_text().splitlines(), start=1
+        ):
+            if _WALL_CLOCK.search(line):
+                offenders.append(f"{source.name}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "wall-clock read(s) on the commit path: " + ", ".join(offenders)
+    )
+
+
+# -- the conversion point ---------------------------------------------------
+
+
+class TestCommitObsClockDiscipline:
+    def test_spans_are_monotonic_shifted_by_one_fixed_offset(self):
+        tracer = RecordingTracer()
+        obs = CommitObs(tracer)
+        offset = obs.t0 - obs.m0
+        start = time.monotonic()
+        end = start + 0.25
+        obs.record("stage", start, end)
+        obs.finish("committed")
+        stage = tracer.spans()[0]
+        assert stage.start == pytest.approx(start + offset)
+        assert stage.end == pytest.approx(end + offset)
+        assert stage.duration == pytest.approx(0.25)
+        # the root span shares the same mapping: one commit, one offset
+        root = tracer.spans()[-1]
+        assert root.name == "commit"
+        assert root.start == pytest.approx(obs.t0)
+
+    def test_offset_is_sampled_once_at_construction(self, monkeypatch):
+        """A wall-clock step *after* the obs exists cannot move its
+        spans: the offset was fixed at construction."""
+        tracer = RecordingTracer()
+        obs = CommitObs(tracer)
+        offset = obs.t0 - obs.m0
+        monkeypatch.setattr(time, "time", lambda: 1.0)  # epoch 1970
+        start = time.monotonic()
+        obs.record("stage", start, start + 0.5)
+        span = tracer.spans()[0]
+        assert span.start == pytest.approx(start + offset)
+        assert span.duration == pytest.approx(0.5)
+
+    def test_backdated_start_keeps_consistent_mapping(self):
+        tracer = RecordingTracer()
+        earlier = time.monotonic() - 2.0
+        obs = CommitObs(tracer, start=earlier)
+        assert obs.m0 == earlier
+        assert obs.t0 == pytest.approx(earlier + (obs.t0 - obs.m0))
+        total = obs.finish("committed")
+        assert total == pytest.approx(2.0, abs=0.5)
+
+
+# -- the regression ---------------------------------------------------------
+
+
+def _build_tintin() -> Tintin:
+    db = Database("clock")
+    db.execute("CREATE TABLE orders (id INTEGER PRIMARY KEY, total DOUBLE)")
+    db.execute(
+        "CREATE TABLE items (order_id INTEGER, n INTEGER, "
+        "PRIMARY KEY (order_id, n), "
+        "FOREIGN KEY (order_id) REFERENCES orders (id))"
+    )
+    tintin = Tintin(db)
+    tintin.install()
+    tintin.add_assertion(
+        "CREATE ASSERTION atLeastOneItem CHECK (NOT EXISTS ("
+        "SELECT * FROM orders AS o WHERE NOT EXISTS ("
+        "SELECT * FROM items AS i WHERE i.order_id = o.id)))"
+    )
+    return tintin
+
+
+def test_backward_stepping_wall_clock_yields_sane_spans(monkeypatch):
+    """The wall clock loses ten seconds between any two readings while
+    commits run.  Before the sweep, ``queue.wait``/``validate``/
+    ``apply`` spans mixed clocks or spanned two wall readings and went
+    negative; now every duration must come out non-negative and small.
+    """
+    state = {"now": 1_700_000_000.0}
+
+    def broken_wall():
+        state["now"] -= 10.0
+        return state["now"]
+
+    monkeypatch.setattr(time, "time", broken_wall)
+    tintin = _build_tintin()
+    tracer = RecordingTracer()
+    tintin.set_tracer(tracer)
+    for key in (1, 2):
+        session = tintin.create_session()
+        session.insert("orders", [(key, 1.0)])
+        session.insert("items", [(key, 1)])
+        result = session.commit()
+        assert result.committed
+    spans = tracer.spans()
+    names = {span.name for span in spans}
+    assert "commit" in names and "validate" in names
+    assert "queue.wait" in names and "apply" in names
+    for span in spans:
+        assert span.duration >= 0.0, (
+            f"negative duration on {span.name}: {span.duration}"
+        )
+        assert span.duration < 60.0, (
+            f"wall-step leaked into {span.name}: {span.duration}"
+        )
+
+
+# -- admission retry_after --------------------------------------------------
+
+
+class TestRetryAfterBacklogAge:
+    def test_hint_grows_with_oldest_waiter_age(self):
+        """Step a fake monotonic clock under the queue: the shed
+        newcomer's hint is the base plus how long the oldest waiting
+        request has already been queued."""
+        clock = {"now": 100.0}
+        started = threading.Event()
+        release = threading.Event()
+        queue = AdmissionQueue(
+            max_depth=2,
+            workers=1,
+            retry_after_base=0.05,
+            clock=lambda: clock["now"],
+        )
+        outcomes: dict[str, object] = {}
+        try:
+
+            def blocker():
+                started.set()
+                release.wait(timeout=10)
+                return "ran"
+
+            queue.submit(blocker, lambda r, e: outcomes.update(first=(r, e)))
+            assert started.wait(timeout=10)
+            # the worker is busy; this one waits, enqueued at t=100
+            queue.submit(
+                lambda: "ran",
+                lambda r, e: outcomes.update(second=(r, e)),
+            )
+            clock["now"] = 103.0  # the waiter is now 3s old
+            queue.submit(
+                lambda: "never",
+                lambda r, e: outcomes.update(shed=(r, e)),
+            )
+            _, error = outcomes["shed"]
+            assert isinstance(error, OverloadError)
+            assert error.retry_after == pytest.approx(0.05 + 3.0)
+        finally:
+            release.set()
+            queue.drain(timeout=10)
+            queue.stop()
+        assert outcomes["first"] == ("ran", None)
+        assert outcomes["second"] == ("ran", None)
+
+    def test_hint_is_base_when_nothing_waits(self):
+        queue = AdmissionQueue(
+            max_depth=2, workers=1, retry_after_base=0.07
+        )
+        try:
+            assert queue._retry_after() == pytest.approx(0.07)
+        finally:
+            queue.stop()
+
+    def test_hint_never_goes_negative_on_clock_weirdness(self):
+        """A clock injected for tests (or a buggy one) running behind
+        the enqueue stamp must clamp at the base, not go negative."""
+        clock = {"now": 100.0}
+        started = threading.Event()
+        release = threading.Event()
+        queue = AdmissionQueue(
+            max_depth=2,
+            workers=1,
+            retry_after_base=0.05,
+            clock=lambda: clock["now"],
+        )
+        try:
+            def blocker():
+                started.set()
+                release.wait(timeout=10)
+
+            queue.submit(blocker, lambda r, e: None)
+            assert started.wait(timeout=10)
+            queue.submit(lambda: None, lambda r, e: None)
+            clock["now"] = 99.0  # behind the waiter's enqueue stamp
+            assert queue._retry_after() == pytest.approx(0.05)
+        finally:
+            release.set()
+            queue.drain(timeout=10)
+            queue.stop()

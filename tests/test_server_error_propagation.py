@@ -6,7 +6,10 @@ the server package to the same standard.  Two layers of defense:
 
 * a source audit — no handler in ``repro.server`` may catch
   ``Exception``/``BaseException`` (or use a bare ``except``) without
-  re-raising;
+  re-raising; ``repro.net`` and ``repro.obs`` (ISSUE 10) are held to a
+  slightly weaker bar — housekeeping paths there (socket teardown,
+  slowdown broadcasts, gauge callbacks) may swallow, but only if the
+  handler *logs* the failure with context;
 * runtime regressions — an engine error (not a constraint violation)
   raised inside ``_commit_group``/``_commit_serially`` reaches the
   leader's caller as the original exception, and every other queued
@@ -22,6 +25,8 @@ from pathlib import Path
 
 import pytest
 
+import repro.net
+import repro.obs
 import repro.server
 from repro import Database, Tintin
 from repro.errors import ConstraintViolation
@@ -68,17 +73,71 @@ def _reraises(handler: ast.ExceptHandler) -> bool:
     return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
 
 
-def test_no_swallow_all_handlers_in_server_package():
-    package_dir = Path(repro.server.__file__).parent
+_LOG_METHODS = {"debug", "info", "warning", "error", "exception", "critical"}
+
+
+def _logs(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler calls a logger method (``log.warning(...)``,
+    ``SLOW_LOG.error(...)``, ...) — the minimum a swallowing
+    housekeeping handler owes the operator."""
+    for node in ast.walk(handler):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _LOG_METHODS
+        ):
+            return True
+    return False
+
+
+def _captures(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler binds the exception and stores it somewhere
+    (``error = exc`` / ``self._start_error = exc``) — the deferred-
+    delivery pattern: the exception is reported through a callback or
+    re-raised by another thread, not dropped."""
+    if handler.name is None:
+        return False
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Assign) and (
+            isinstance(node.value, ast.Name)
+            and node.value.id == handler.name
+        ):
+            return True
+    return False
+
+
+def _audit(package, allow_logging: bool) -> list[str]:
+    package_dir = Path(package.__file__).parent
     offenders = []
     for source in sorted(package_dir.glob("*.py")):
         tree = ast.parse(source.read_text(), filename=str(source))
         for handler in _broad_handlers(tree):
-            if not _reraises(handler):
-                offenders.append(f"{source.name}:{handler.lineno}")
+            if _reraises(handler) or _captures(handler):
+                continue
+            if allow_logging and _logs(handler):
+                continue
+            offenders.append(f"{source.name}:{handler.lineno}")
+    return offenders
+
+
+def test_no_swallow_all_handlers_in_server_package():
+    offenders = _audit(repro.server, allow_logging=False)
     assert not offenders, (
         "broad exception handler(s) without re-raise in repro.server: "
         + ", ".join(offenders)
+    )
+
+
+def test_no_silent_swallow_in_net_and_obs_packages():
+    """ISSUE 10: ``repro.net``/``repro.obs`` housekeeping handlers may
+    swallow (teardown must run to completion even over a dead socket)
+    but never *silently* — each one must log what it dropped."""
+    offenders = _audit(repro.net, allow_logging=True) + _audit(
+        repro.obs, allow_logging=True
+    )
+    assert not offenders, (
+        "broad exception handler(s) that neither re-raise nor log in "
+        "repro.net/repro.obs: " + ", ".join(offenders)
     )
 
 
